@@ -1,0 +1,246 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (at laptop scale; see EXPERIMENTS.md for the scale-down map) plus
+   bechamel microbenchmarks of the solver kernels.
+
+   Usage:
+     dune exec bench/main.exe              # everything, moderate scale
+     dune exec bench/main.exe -- fig4 | table1-small [--no-exact]
+       | table1-large | case-study | fgsm-sweep | ablation-itne
+       | ablation-refine | ablation-window | micro *)
+
+let fmt = Format.std_formatter
+
+let header title = Format.fprintf fmt "@.=== %s ===@." title
+
+(* E1: the illustrating example (Fig. 4). *)
+let run_fig4 () =
+  header "E1: illustrating example (paper Fig. 4)";
+  Exp.Fig4.print fmt (Exp.Fig4.run ())
+
+(* E2/E4/E5: Table I, small networks, with exact baselines. *)
+let run_table1_small ~with_exact () =
+  header "E2: Table I, Auto MPG networks (DNN-1..5)";
+  Format.fprintf fmt "delta = 0.001, W = 2, refine = half (paper setting)@.";
+  let trained = Exp.Models.table1_small () in
+  let rows =
+    List.mapi
+      (fun i t ->
+        (* the paper could not finish the exact methods beyond DNN-4;
+           we likewise only run them on the smaller models *)
+        let with_exact = with_exact && i < 4 in
+        (* token budgets for the larger nets document the blow-up (the
+           paper's "8h" / ">24h" rows) without consuming it *)
+        let reluplex_nodes = if i < 2 then 12_000 else 2_000 in
+        let milp_time = if i < 2 then 60.0 else 45.0 in
+        Format.fprintf fmt "running %s (%d hidden neurons)...@."
+          t.Exp.Models.id
+          (Nn.Network.hidden_neuron_count t.Exp.Models.net);
+        Format.print_flush ();
+        Exp.Table1.run ~with_exact ~reluplex_nodes ~milp_time
+          ~config:Exp.Table1.auto_mpg_config ~delta:0.001 t)
+      trained
+  in
+  Exp.Table1.print fmt rows
+
+(* E3: Table I, convolutional networks (scaled-down MNIST analogues). *)
+let run_table1_large () =
+  header "E3: Table I, conv networks (DNN-6..8, scaled)";
+  Format.fprintf fmt "delta = 2/255, W = 3, refine = 30 (paper setting)@.";
+  let trained = Exp.Models.table1_large () in
+  let config =
+    { Exp.Table1.digits_config with
+      Cert.Certifier.refine = Cert.Certifier.Count 10;
+      milp_options =
+        { Milp.default_options with Milp.max_nodes = 400;
+          time_limit = 1.0 } }
+  in
+  let rows =
+    List.map
+      (fun t ->
+        Format.fprintf fmt "running %s (%d hidden neurons, acc %.2f)...@."
+          t.Exp.Models.id
+          (Nn.Network.hidden_neuron_count t.Exp.Models.net)
+          t.Exp.Models.test_metric;
+        Format.print_flush ();
+        Exp.Table1.run ~with_exact:false ~pgd_samples:20 ~config
+          ~delta:(2.0 /. 255.0) t)
+      trained
+  in
+  Exp.Table1.print fmt rows
+
+let camera_trained () =
+  (* 12 x 24 camera images keep the conv certification tractable; the
+     paper used 24 x 48 on a Xeon with hours of budget *)
+  Exp.Models.camera_net ~id:"camera" ~h:12 ~w:24 ()
+
+(* E6: case study certification + invariant set. *)
+let run_case_study () =
+  header "E6: ACC case study: certification + invariant set";
+  let trained = camera_trained () in
+  Format.fprintf fmt "camera net: %s (test mse %.5f)@."
+    (Nn.Network.describe trained.Exp.Models.net)
+    trained.Exp.Models.test_metric;
+  Format.print_flush ();
+  let config =
+    { Exp.Case_study.default_config with
+      Cert.Certifier.milp_options =
+        { Milp.default_options with Milp.max_nodes = 400;
+          time_limit = 1.0 } }
+  in
+  let c = Exp.Case_study.certify ~config trained in
+  Exp.Case_study.print_certification fmt c
+
+(* E7: FGSM robustness sweep in closed loop. *)
+let run_fgsm_sweep () =
+  header "E7: closed-loop FGSM sweep (paper: 2/255 safe, 10/255 ~17% unsafe)";
+  let trained = camera_trained () in
+  let dd_safe =
+    Control.Invariant.max_safe_estimation_error Control.Acc.default_params
+  in
+  let points =
+    Exp.Case_study.fgsm_sweep ~episodes:12 ~steps:50 ~h:12 ~w:24
+      ~dd_bound:dd_safe
+      ~deltas:[ 0.0; 2.0 /. 255.0; 5.0 /. 255.0; 10.0 /. 255.0;
+                20.0 /. 255.0 ]
+      Control.Acc.default_params trained
+  in
+  Format.fprintf fmt "monitored bound |dd| <= %.4f@." dd_safe;
+  Exp.Case_study.print_sweep fmt points
+
+(* E8..E10: ablations. *)
+let run_ablation_itne () =
+  header "E8: ITNE vs BTNE tightness (random nets, growing width)";
+  Exp.Ablation.print_itne_vs_btne fmt (Exp.Ablation.itne_vs_btne ())
+
+let run_ablation_refine () =
+  header "E9: refinement budget vs tightness (DNN-3)";
+  let t = Exp.Models.auto_mpg_net ~id:"dnn3" ~sizes:(8, 8) () in
+  Exp.Ablation.print_sweep ~name:"r" fmt (Exp.Ablation.refine_sweep t)
+
+let run_ablation_symbolic () =
+  header "E11: interval vs symbolic propagation (extension)";
+  Exp.Ablation.print_propagation fmt (Exp.Ablation.propagation_sweep ())
+
+let run_ablation_window () =
+  header "E10: window size vs tightness (DNN-3)";
+  let t = Exp.Models.auto_mpg_net ~id:"dnn3" ~sizes:(8, 8) () in
+  Exp.Ablation.print_sweep ~name:"W" fmt (Exp.Ablation.window_sweep t)
+
+(* Bechamel microbenchmarks of the kernels behind every experiment. *)
+let run_micro () =
+  header "microbenchmarks (bechamel)";
+  let open Bechamel in
+  let net = Exp.Fig4.example_network () in
+  let domain = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+  let dnn2 =
+    (Exp.Models.auto_mpg_net ~id:"dnn2" ~sizes:(8, 4) ()).Exp.Models.net
+  in
+  let dnn2_domain = Cert.Bounds.box_domain dnn2 ~lo:0.0 ~hi:1.0 in
+  (* pre-compile one certification LP for the solver kernel benchmark *)
+  let compiled_lp =
+    let bounds =
+      Cert.Bounds.create dnn2 ~input:dnn2_domain
+        ~input_dist:(Cert.Bounds.uniform_delta dnn2 0.001)
+    in
+    Cert.Interval_prop.propagate dnn2 bounds;
+    let view =
+      Cert.Subnet.cone dnn2 ~last:(Nn.Network.n_layers dnn2 - 1)
+        ~targets:[| 0 |] ~window:2
+    in
+    let enc = Cert.Encode.itne ~mode:Cert.Encode.Relaxed ~bounds view in
+    Lp.Simplex.compile enc.Cert.Encode.model
+  in
+  let lp_lo, lp_hi = Lp.Simplex.default_bounds compiled_lp in
+  let rng = Random.State.make [| 1 |] in
+  let image = Data.Camera.render ~rng ~h:12 ~w:24 ~d:1.0 ~noise:0.02 in
+  let camera_net = (camera_trained ()).Exp.Models.net in
+  let camera_rng = Random.State.make [| 2 |] in
+  let tests =
+    [ Test.make ~name:"fig4-itne-lpr"
+        (Staged.stage (fun () ->
+             ignore (Cert.Variants.itne_lpr net ~input:domain ~delta:0.1)));
+      Test.make ~name:"table1-lp-solve"
+        (Staged.stage (fun () ->
+             ignore
+               (Lp.Simplex.solve_compiled compiled_lp ~lo:lp_lo ~hi:lp_hi)));
+      Test.make ~name:"table1-interval-prop"
+        (Staged.stage (fun () ->
+             ignore
+               (Cert.Interval_prop.certify dnn2 ~input:dnn2_domain
+                  ~delta:0.001)));
+      Test.make ~name:"table1-pgd"
+        (Staged.stage (fun () ->
+             ignore
+               (Attack.Pgd.max_output_variation ~seed:3 dnn2
+                  ~x:(Array.make 7 0.5) ~delta:0.001 ~j:0)));
+      Test.make ~name:"case-camera-render"
+        (Staged.stage (fun () ->
+             ignore
+               (Data.Camera.render ~rng:camera_rng ~h:12 ~w:24 ~d:1.2
+                  ~noise:0.02)));
+      Test.make ~name:"case-dnn-forward"
+        (Staged.stage (fun () -> ignore (Nn.Network.forward camera_net image)))
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"grc" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      entries := (name, est) :: !entries)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      Format.fprintf fmt "%-40s %14.1f ns/run (%.3f ms)@." name ns (ns /. 1e6))
+    (List.sort compare !entries)
+
+let run_all () =
+  (* cheap, high-signal stages first so partial runs stay useful *)
+  run_fig4 ();
+  run_ablation_refine ();
+  run_ablation_window ();
+  run_ablation_symbolic ();
+  run_ablation_itne ();
+  run_micro ();
+  run_case_study ();
+  run_fgsm_sweep ();
+  run_table1_small ~with_exact:true ();
+  run_table1_large ()
+
+let () =
+  Exp.Models.cache_dir := "artifacts";
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let positional =
+    List.filter
+      (fun a -> not (String.length a > 1 && a.[0] = '-'))
+      (List.tl args)
+  in
+  match positional with
+  | [] -> run_all ()
+  | [ "fig4" ] -> run_fig4 ()
+  | [ "table1-small" ] ->
+      run_table1_small ~with_exact:(not (has "--no-exact")) ()
+  | [ "table1-large" ] -> run_table1_large ()
+  | [ "case-study" ] -> run_case_study ()
+  | [ "fgsm-sweep" ] -> run_fgsm_sweep ()
+  | [ "ablation-itne" ] -> run_ablation_itne ()
+  | [ "ablation-refine" ] -> run_ablation_refine ()
+  | [ "ablation-window" ] -> run_ablation_window ()
+  | [ "ablation-symbolic" ] -> run_ablation_symbolic ()
+  | [ "micro" ] -> run_micro ()
+  | other ->
+      Format.eprintf "unknown bench target: %s@." (String.concat " " other);
+      exit 2

@@ -1,0 +1,254 @@
+(* grc: global robustness certification CLI.
+
+   Subcommands: train, certify, attack, info, fig4, case-study. *)
+
+open Cmdliner
+
+let setup_cache dir =
+  Exp.Models.cache_dir := dir
+
+let cache_arg =
+  let doc = "Directory for trained-network artifacts." in
+  Arg.(value & opt string "artifacts" & info [ "artifacts" ] ~doc)
+
+(* --- train --- *)
+
+let train_cmd =
+  let family =
+    let doc = "Model family: auto-mpg, digits or camera." in
+    Arg.(required & opt (some (enum [ ("auto-mpg", `Auto); ("digits", `Digits);
+                                      ("camera", `Camera) ])) None
+         & info [ "family" ] ~doc)
+  in
+  let id =
+    let doc = "Artifact id (file name under --artifacts)." in
+    Arg.(required & opt (some string) None & info [ "id" ] ~doc)
+  in
+  let size =
+    let doc = "Hidden sizes h1,h2 (auto-mpg), conv layer count (digits)." in
+    Arg.(value & opt string "8,8" & info [ "size" ] ~doc)
+  in
+  let image =
+    let doc = "Image side (digits) or height,width (camera)." in
+    Arg.(value & opt string "12" & info [ "image" ] ~doc)
+  in
+  let run cache family id size image =
+    setup_cache cache;
+    let trained =
+      match family with
+      | `Auto ->
+          let h1, h2 =
+            match String.split_on_char ',' size with
+            | [ a; b ] -> (int_of_string a, int_of_string b)
+            | [ a ] -> (int_of_string a, int_of_string a)
+            | _ -> failwith "--size must be h1,h2"
+          in
+          Exp.Models.auto_mpg_net ~id ~sizes:(h1, h2) ()
+      | `Digits ->
+          Exp.Models.digits_net ~id ~conv_layers:(int_of_string size)
+            ~image:(int_of_string image) ()
+      | `Camera ->
+          let h, w =
+            match String.split_on_char ',' image with
+            | [ a; b ] -> (int_of_string a, int_of_string b)
+            | [ a ] -> (int_of_string a, 2 * int_of_string a)
+            | _ -> failwith "--image must be h,w"
+          in
+          Exp.Models.camera_net ~id ~h ~w ()
+    in
+    Printf.printf "%s: %s\n  hidden neurons: %d\n  test metric: %.5f\n"
+      trained.Exp.Models.id
+      (Nn.Network.describe trained.Exp.Models.net)
+      (Nn.Network.hidden_neuron_count trained.Exp.Models.net)
+      trained.Exp.Models.test_metric
+  in
+  let info_ =
+    Cmd.info "train" ~doc:"Train (or load from cache) a benchmark network."
+  in
+  Cmd.v info_ Term.(const run $ cache_arg $ family $ id $ size $ image)
+
+(* --- shared certify options --- *)
+
+let net_arg =
+  let doc = "Path to a saved network (see $(b,grc train) / Nn.Io)." in
+  Arg.(required & opt (some file) None & info [ "net" ] ~doc)
+
+let delta_arg =
+  let doc = "Input perturbation bound (L-inf)." in
+  Arg.(value & opt float 0.001 & info [ "delta" ] ~doc)
+
+let lo_arg =
+  Arg.(value & opt float 0.0 & info [ "lo" ] ~doc:"Input domain lower bound.")
+
+let hi_arg =
+  Arg.(value & opt float 1.0 & info [ "hi" ] ~doc:"Input domain upper bound.")
+
+let certify_cmd =
+  let window =
+    Arg.(value & opt int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+  in
+  let refine =
+    Arg.(value & opt int 0
+         & info [ "refine"; "r" ] ~doc:"Neurons refined per sub-problem.")
+  in
+  let refine_frac =
+    Arg.(value & opt (some float) None
+         & info [ "refine-frac" ]
+             ~doc:"Fraction of relaxable neurons refined (overrides --refine).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:"Parallel OCaml domains for per-neuron sub-problems.")
+  in
+  let symbolic =
+    Arg.(value & flag
+         & info [ "symbolic" ]
+             ~doc:"Run the affine propagation pre-pass before Algorithm 1.")
+  in
+  let meth =
+    let doc =
+      "Method: algo1 (ours), exact (twin MILP), reluplex (lazy splitting), \
+       interval (bound propagation), symbolic (affine propagation), \
+       itne-nd, itne-lpr, btne-nd, btne-lpr."
+    in
+    Arg.(value
+         & opt (enum [ ("algo1", `Algo1); ("exact", `Exact);
+                       ("reluplex", `Reluplex); ("interval", `Interval);
+                       ("symbolic", `Symbolic);
+                       ("itne-nd", `Itne_nd); ("itne-lpr", `Itne_lpr);
+                       ("btne-nd", `Btne_nd); ("btne-lpr", `Btne_lpr) ])
+             `Algo1
+         & info [ "method" ] ~doc)
+  in
+  let run net_path delta lo hi window refine refine_frac domains symbolic
+      meth =
+    let net = Nn.Io.load net_path in
+    let input = Cert.Bounds.box_domain net ~lo ~hi in
+    let t0 = Unix.gettimeofday () in
+    let eps =
+      match meth with
+      | `Algo1 ->
+          let refine_rule =
+            match refine_frac with
+            | Some f -> Cert.Certifier.Fraction f
+            | None ->
+                if refine > 0 then Cert.Certifier.Count refine
+                else Cert.Certifier.No_refine
+          in
+          let config =
+            { Cert.Certifier.default_config with
+              Cert.Certifier.window; refine = refine_rule; domains;
+              symbolic }
+          in
+          (Cert.Certifier.certify ~config net ~input ~delta).Cert.Certifier.eps
+      | `Exact -> (Cert.Exact.global_btne net ~input ~delta).Cert.Exact.eps
+      | `Reluplex ->
+          (Cert.Reluplex_style.global net ~input ~delta)
+            .Cert.Reluplex_style.eps
+      | `Interval -> Cert.Interval_prop.certify net ~input ~delta
+      | `Symbolic -> Cert.Symbolic.certify net ~input ~delta
+      | `Itne_nd ->
+          Array.map Cert.Interval.abs_max
+            (Cert.Variants.itne_nd ~window net ~input ~delta)
+              .Cert.Variants.delta_out
+      | `Itne_lpr ->
+          Array.map Cert.Interval.abs_max
+            (Cert.Variants.itne_lpr net ~input ~delta).Cert.Variants.delta_out
+      | `Btne_nd ->
+          Array.map Cert.Interval.abs_max
+            (Cert.Variants.btne_nd ~window net ~input ~delta)
+              .Cert.Variants.delta_out
+      | `Btne_lpr ->
+          Array.map Cert.Interval.abs_max
+            (Cert.Variants.btne_lpr net ~input ~delta).Cert.Variants.delta_out
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iteri
+      (fun j e -> Printf.printf "output %d: eps <= %.6f\n" j e)
+      eps;
+    Printf.printf "time: %.2fs\n" dt
+  in
+  let info_ =
+    Cmd.info "certify"
+      ~doc:"Certify the global robustness of a saved network."
+  in
+  Cmd.v info_
+    Term.(const run $ net_arg $ delta_arg $ lo_arg $ hi_arg
+          $ window $ refine $ refine_frac $ domains $ symbolic $ meth)
+
+let attack_cmd =
+  let samples =
+    Arg.(value & opt int 50
+         & info [ "samples" ] ~doc:"Random starting points for PGD.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run net_path delta lo hi samples seed =
+    let net = Nn.Io.load net_path in
+    let domain = Cert.Bounds.box_domain net ~lo ~hi in
+    let rng = Random.State.make [| seed |] in
+    let dim = Nn.Network.input_dim net in
+    let xs =
+      Array.init samples (fun _ ->
+          Array.init dim (fun _ -> lo +. Random.State.float rng (hi -. lo)))
+    in
+    let r = Attack.Global_under.sweep ~seed ~domain net ~xs ~delta in
+    Array.iteri
+      (fun j e -> Printf.printf "output %d: eps >= %.6f (PGD)\n" j e)
+      r.Attack.Global_under.eps_under;
+    Printf.printf "time: %.2fs\n" r.Attack.Global_under.runtime
+  in
+  let info_ =
+    Cmd.info "attack"
+      ~doc:"Under-approximate global robustness by PGD from random points."
+  in
+  Cmd.v info_
+    Term.(const run $ net_arg $ delta_arg $ lo_arg $ hi_arg $ samples $ seed)
+
+let info_cmd =
+  let run net_path =
+    let net = Nn.Io.load net_path in
+    Printf.printf "architecture: %s\ninput dim: %d\noutput dim: %d\n\
+                   hidden neurons: %d\n"
+      (Nn.Network.describe net) (Nn.Network.input_dim net)
+      (Nn.Network.output_dim net) (Nn.Network.hidden_neuron_count net)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a saved network.")
+    Term.(const run $ net_arg)
+
+let fig4_cmd =
+  let run () = Exp.Fig4.print Format.std_formatter (Exp.Fig4.run ()) in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Reproduce the paper's illustrating example table.")
+    Term.(const run $ const ())
+
+let case_study_cmd =
+  let episodes =
+    Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"Simulation episodes.")
+  in
+  let run cache episodes =
+    setup_cache cache;
+    let trained = Exp.Models.camera_net ~id:"camera" ~h:12 ~w:24 () in
+    let c = Exp.Case_study.certify trained in
+    Exp.Case_study.print_certification Format.std_formatter c;
+    let points =
+      Exp.Case_study.fgsm_sweep ~episodes ~steps:60 ~h:12 ~w:24
+        ~dd_bound:c.Exp.Case_study.dd_safe
+        ~deltas:[ 0.0; 2.0 /. 255.0; 5.0 /. 255.0; 10.0 /. 255.0 ]
+        Control.Acc.default_params trained
+    in
+    Exp.Case_study.print_sweep Format.std_formatter points
+  in
+  Cmd.v
+    (Cmd.info "case-study"
+       ~doc:"Run the ACC perception safety case study end to end.")
+    Term.(const run $ cache_arg $ episodes)
+
+let () =
+  let doc = "Global robustness certification of ReLU networks (DATE 2022)." in
+  let info_ = Cmd.info "grc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info_
+          [ train_cmd; certify_cmd; attack_cmd; info_cmd; fig4_cmd;
+            case_study_cmd ]))

@@ -1,0 +1,1 @@
+examples/acc_safety.ml: Cert Control Exp Format Milp Nn Printf

@@ -1,0 +1,1 @@
+examples/auto_mpg_cert.ml: Array Exp Format Nn Printf

@@ -1,0 +1,1 @@
+examples/digits_cert.ml: Array Attack Cert Data Exp Float Linalg Milp Nn Printf

@@ -1,0 +1,1 @@
+examples/digits_cert.mli:

@@ -1,0 +1,1 @@
+examples/illustrating_example.ml: Exp Format Nn Printf

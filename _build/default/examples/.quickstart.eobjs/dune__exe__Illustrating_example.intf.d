@@ -1,0 +1,1 @@
+examples/illustrating_example.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attack Cert Nn Printf Random

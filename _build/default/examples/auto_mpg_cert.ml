@@ -1,0 +1,44 @@
+(* The paper's Table I workflow on one Auto MPG network: train a
+   regression DNN on the (synthetic) dataset, certify its global
+   robustness with Algorithm 1, compare against the exact twin-network
+   MILP, the Reluplex-style splitting solver, and a PGD sweep.
+
+   Run with: dune exec examples/auto_mpg_cert.exe *)
+
+let () =
+  Exp.Models.cache_dir := "artifacts";
+  let trained = Exp.Models.auto_mpg_net ~id:"example-mpg" ~sizes:(8, 8) () in
+  let net = trained.Exp.Models.net in
+  Printf.printf "trained %s\n  test MSE %.5f, %d hidden neurons\n\n"
+    (Nn.Network.describe net) trained.Exp.Models.test_metric
+    (Nn.Network.hidden_neuron_count net);
+
+  let delta = 0.001 in
+  Printf.printf
+    "certifying (delta = %.3f over the normalised feature box [0,1]^7)\n\n"
+    delta;
+  let row =
+    Exp.Table1.run ~with_exact:true ~config:Exp.Table1.auto_mpg_config ~delta
+      trained
+  in
+  Exp.Table1.print Format.std_formatter [ row ];
+  print_newline ();
+
+  (* interpretation *)
+  let ours = row.Exp.Table1.ours.Exp.Table1.eps.(0) in
+  let under = row.Exp.Table1.under.Exp.Table1.eps.(0) in
+  (match row.Exp.Table1.milp with
+   | Some m ->
+       let exact = m.Exp.Table1.eps.(0) in
+       Printf.printf
+         "sandwich: PGD %.4f <= exact %.4f <= ours %.4f (%.0f%% over)\n"
+         under exact ours ((ours /. exact -. 1.0) *. 100.0);
+       Printf.printf "speedup vs exact MILP: %.0fx\n"
+         (m.Exp.Table1.time /. row.Exp.Table1.ours.Exp.Table1.time)
+   | None -> ());
+  print_newline ();
+  print_endline
+    "In MPG units (the target spans roughly 10-45 MPG normalised to [0,1]),\n\
+     the certified bound above says a 0.1% sensor perturbation can never\n\
+     change the predicted fuel economy by more than eps * 35 MPG, for any\n\
+     input the model may ever see - a guarantee no test set can provide."

@@ -1,0 +1,25 @@
+(* The paper's illustrating example (Section II-D): the 2-2-1 network
+   of Fig. 1 walked through every certification technique of Fig. 4,
+   printing our computed intervals next to the paper's.
+
+   Run with: dune exec examples/illustrating_example.exe *)
+
+let () =
+  let net = Exp.Fig4.example_network () in
+  Printf.printf "Fig. 1 network: %s\n" (Nn.Network.describe net);
+  Printf.printf
+    "input domain [-1,1]^2, perturbation delta = 0.1, sample x0 = (0,0)\n\n";
+  let entries = Exp.Fig4.run () in
+  Exp.Fig4.print Format.std_formatter entries;
+  print_newline ();
+  print_endline
+    "Reading the table:\n\
+     - Under the basic encoding (BTNE), decomposition loses the twin\n\
+    \  distance entirely (x7.5 over-approximation in the paper) and the\n\
+    \  LP relaxation is similarly loose.\n\
+     - The interleaving encoding (ITNE) keeps per-neuron distance\n\
+    \  variables, so ND and LPR stay within ~1.4x of the exact range.\n\
+     - Algorithm 1 combines ITNE + ND + LPR and lands between the pure\n\
+    \  techniques and the exact answer at a fraction of the cost.\n\
+     Our BTNE-LPR row is tighter than the paper's because our LP keeps\n\
+     interval bounds on all variables; both are sound over-approximations."

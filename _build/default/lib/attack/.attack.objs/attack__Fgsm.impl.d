@@ -1,0 +1,1 @@
+lib/attack/fgsm.ml: Array Cert Float Nn

@@ -1,0 +1,1 @@
+lib/attack/fgsm.mli: Cert Nn

@@ -1,0 +1,1 @@
+lib/attack/global_under.ml: Array Nn Pgd Unix

@@ -1,0 +1,1 @@
+lib/attack/global_under.mli: Cert Nn Pgd

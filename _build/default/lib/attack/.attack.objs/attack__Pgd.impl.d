@@ -1,0 +1,1 @@
+lib/attack/pgd.ml: Array Cert Float Nn Random

@@ -1,0 +1,1 @@
+lib/attack/pgd.mli: Cert Nn

@@ -1,0 +1,1 @@
+lib/attack/square.ml: Array Cert Float Nn Random

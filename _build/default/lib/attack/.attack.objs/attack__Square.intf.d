@@ -1,0 +1,1 @@
+lib/attack/square.mli: Cert Nn

@@ -1,0 +1,25 @@
+let clip domain x =
+  match domain with
+  | None -> x
+  | Some dom ->
+      Array.mapi
+        (fun k v ->
+          Float.max dom.(k).Cert.Interval.lo
+            (Float.min dom.(k).Cert.Interval.hi v))
+        x
+
+let perturb ?domain net ~x ~delta ~dout =
+  let g = Nn.Grad.input_gradient net ~x ~dout in
+  let x' =
+    Array.mapi
+      (fun k v ->
+        let s = if g.(k) > 0.0 then 1.0 else if g.(k) < 0.0 then -1.0 else 0.0 in
+        v +. (delta *. s))
+      x
+  in
+  clip domain x'
+
+let against_output ?domain ~sign net ~x ~delta ~j =
+  let dout = Array.make (Nn.Network.output_dim net) 0.0 in
+  dout.(j) <- sign;
+  perturb ?domain net ~x ~delta ~dout

@@ -1,0 +1,15 @@
+(** Fast Gradient Sign Method (Goodfellow et al.). *)
+
+val perturb :
+  ?domain:Cert.Interval.t array ->
+  Nn.Network.t -> x:float array -> delta:float -> dout:float array ->
+  float array
+(** [perturb net ~x ~delta ~dout] moves every input component by
+    [delta] in the sign of the gradient of [dout . F] — the one-step
+    attack maximising that linear functional of the output.  The result
+    is clipped to [domain] when given. *)
+
+val against_output :
+  ?domain:Cert.Interval.t array -> sign:float ->
+  Nn.Network.t -> x:float array -> delta:float -> j:int -> float array
+(** FGSM maximising [sign * F(x')_j]. *)

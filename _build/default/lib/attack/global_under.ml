@@ -1,0 +1,29 @@
+type result = {
+  eps_under : float array;
+  worst_sample : int array;
+  runtime : float;
+}
+
+let sweep ?config ?domain ?max_samples ~seed net ~xs ~delta =
+  let t0 = Unix.gettimeofday () in
+  let out_dim = Nn.Network.output_dim net in
+  let n =
+    match max_samples with
+    | None -> Array.length xs
+    | Some k -> min k (Array.length xs)
+  in
+  let eps_under = Array.make out_dim 0.0 in
+  let worst_sample = Array.make out_dim (-1) in
+  for i = 0 to n - 1 do
+    for j = 0 to out_dim - 1 do
+      let v =
+        Pgd.max_output_variation ?config ?domain ~seed:(seed + i) net
+          ~x:xs.(i) ~delta ~j
+      in
+      if v > eps_under.(j) then begin
+        eps_under.(j) <- v;
+        worst_sample.(j) <- i
+      end
+    done
+  done;
+  { eps_under; worst_sample; runtime = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,16 @@
+(** Dataset-sweep under-approximation of global robustness (the
+    [eps_under] column of the paper's Table I): run PGD around every
+    dataset sample and keep the worst output variation found.  The true
+    global bound lies between this and the certifier's
+    over-approximation. *)
+
+type result = {
+  eps_under : float array;    (** per output *)
+  worst_sample : int array;   (** dataset index achieving it *)
+  runtime : float;
+}
+
+val sweep :
+  ?config:Pgd.config -> ?domain:Cert.Interval.t array ->
+  ?max_samples:int -> seed:int ->
+  Nn.Network.t -> xs:float array array -> delta:float -> result

@@ -1,0 +1,54 @@
+type config = { steps : int; step_size : float; restarts : int }
+
+let default_config = { steps = 20; step_size = 0.25; restarts = 2 }
+
+let project ~center ~delta ~domain x =
+  Array.mapi
+    (fun k v ->
+      let lo = center.(k) -. delta and hi = center.(k) +. delta in
+      let lo, hi =
+        match domain with
+        | None -> (lo, hi)
+        | Some dom ->
+            ( Float.max lo dom.(k).Cert.Interval.lo,
+              Float.min hi dom.(k).Cert.Interval.hi )
+      in
+      Float.max lo (Float.min hi v))
+    x
+
+let max_output_variation ?(config = default_config) ?domain ~seed net ~x
+    ~delta ~j =
+  let rng = Random.State.make [| seed; 0x70676400 |] in
+  let base = (Nn.Network.forward net x).(j) in
+  let step = config.step_size *. delta in
+  let run sign =
+    let best = ref 0.0 in
+    for _restart = 1 to config.restarts do
+      let cur =
+        ref
+          (project ~center:x ~delta ~domain
+             (Array.map
+                (fun v ->
+                  v +. (delta *. ((2.0 *. Random.State.float rng 1.0) -. 1.0)))
+                x))
+      in
+      for _it = 1 to config.steps do
+        let g = Nn.Grad.output_gradient net ~x:!cur ~j in
+        let moved =
+          Array.mapi
+            (fun k v ->
+              let s =
+                if g.(k) > 0.0 then 1.0 else if g.(k) < 0.0 then -1.0 else 0.0
+              in
+              v +. (sign *. step *. s))
+            !cur
+        in
+        cur := project ~center:x ~delta ~domain moved
+      done;
+      let out = (Nn.Network.forward net !cur).(j) in
+      let variation = Float.abs (out -. base) in
+      if variation > !best then best := variation
+    done;
+    !best
+  in
+  Float.max (run 1.0) (run (-1.0))

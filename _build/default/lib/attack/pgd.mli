@@ -1,0 +1,19 @@
+(** Projected gradient descent within an L-inf ball (Madry et al.),
+    used by the paper to under-approximate global robustness: for a
+    dataset sample [x], PGD searches the ball [||x' - x||_inf <= delta]
+    for the perturbation maximising the output variation
+    [|F(x')_j - F(x)_j|]. *)
+
+type config = {
+  steps : int;
+  step_size : float;   (** as a fraction of delta (default 0.25) *)
+  restarts : int;      (** random restarts (default 2) *)
+}
+
+val default_config : config
+
+val max_output_variation :
+  ?config:config -> ?domain:Cert.Interval.t array -> seed:int ->
+  Nn.Network.t -> x:float array -> delta:float -> j:int -> float
+(** Largest [|F(x')_j - F(x)_j|] found; a lower bound on the local
+    (hence global) output variation. *)

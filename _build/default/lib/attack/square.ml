@@ -1,0 +1,43 @@
+type config = { iterations : int; p_init : float }
+
+let default_config = { iterations = 200; p_init = 0.5 }
+
+let clip domain k v =
+  match domain with
+  | None -> v
+  | Some dom ->
+      Float.max dom.(k).Cert.Interval.lo (Float.min dom.(k).Cert.Interval.hi v)
+
+let max_output_variation ?(config = default_config) ?domain ~seed net ~x
+    ~delta ~j =
+  let rng = Random.State.make [| seed; 0x5154 |] in
+  let dim = Array.length x in
+  let base = (Nn.Network.forward net x).(j) in
+  (* current perturbation sign per coordinate: +1 / -1 at the ball
+     surface (extreme points maximise linear pieces of ReLU nets) *)
+  let signs =
+    Array.init dim (fun _ -> if Random.State.bool rng then 1.0 else -1.0)
+  in
+  let eval signs =
+    let x' =
+      Array.init dim (fun k -> clip domain k (x.(k) +. (delta *. signs.(k))))
+    in
+    Float.abs ((Nn.Network.forward net x').(j) -. base)
+  in
+  let best = ref (eval signs) in
+  for it = 1 to config.iterations do
+    (* flip a geometrically shrinking random subset of coordinates *)
+    let p =
+      config.p_init
+      *. Float.exp (-3.0 *. float_of_int it /. float_of_int config.iterations)
+    in
+    let n_flip = max 1 (int_of_float (p *. float_of_int dim)) in
+    let flipped = Array.init n_flip (fun _ -> Random.State.int rng dim) in
+    Array.iter (fun k -> signs.(k) <- -.signs.(k)) flipped;
+    let v = eval signs in
+    if v > !best then best := v
+    else
+      (* revert on no improvement *)
+      Array.iter (fun k -> signs.(k) <- -.signs.(k)) flipped
+  done;
+  !best

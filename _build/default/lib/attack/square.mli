@@ -1,0 +1,22 @@
+(** Gradient-free random-search attack in the L-inf ball (in the spirit
+    of Andriushchenko et al.'s Square Attack, simplified).
+
+    Useful as a black-box cross-check of the gradient-based PGD
+    under-approximation: it needs only forward evaluations, so it is
+    immune to gradient masking and works on non-differentiable
+    surrogates. *)
+
+type config = {
+  iterations : int;      (** candidate perturbations tried *)
+  p_init : float;        (** initial fraction of coordinates flipped *)
+}
+
+val default_config : config
+(** 200 iterations, [p_init = 0.5]. *)
+
+val max_output_variation :
+  ?config:config -> ?domain:Cert.Interval.t array -> seed:int ->
+  Nn.Network.t -> x:float array -> delta:float -> j:int -> float
+(** Largest [|F(x')_j - F(x)_j|] found over random square-wise sign
+    perturbations at the ball surface; a sound lower bound on the local
+    output variation. *)

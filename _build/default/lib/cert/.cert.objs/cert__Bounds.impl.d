@@ -1,0 +1,1 @@
+lib/cert/bounds.ml: Array Interval Nn

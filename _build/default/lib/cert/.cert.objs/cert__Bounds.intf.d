@@ -1,0 +1,1 @@
+lib/cert/bounds.mli: Interval Nn

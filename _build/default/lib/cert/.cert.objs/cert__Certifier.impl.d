@@ -1,0 +1,1 @@
+lib/cert/certifier.ml: Array Bounds Domain Encode Float Fun Interval Interval_prop Linalg List Lp Milp Nn Option Refine Subnet Symbolic Unix

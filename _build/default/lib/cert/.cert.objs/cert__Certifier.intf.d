@@ -1,0 +1,1 @@
+lib/cert/certifier.mli: Bounds Encode Interval Milp Nn

@@ -1,0 +1,1 @@
+lib/cert/encode.ml: Array Bounds Float Hashtbl Interval Linalg List Lp Nn Printf Subnet

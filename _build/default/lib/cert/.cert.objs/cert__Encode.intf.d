@@ -1,0 +1,1 @@
+lib/cert/encode.mli: Bounds Hashtbl Interval Lp Subnet

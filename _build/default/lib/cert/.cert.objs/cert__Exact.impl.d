@@ -1,0 +1,1 @@
+lib/cert/exact.ml: Array Bounds Certifier Encode Float Fun Interval Interval_prop Lp Milp Nn Subnet Unix

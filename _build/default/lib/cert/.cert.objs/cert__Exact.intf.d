@@ -1,0 +1,1 @@
+lib/cert/exact.mli: Interval Milp Nn

@@ -1,0 +1,1 @@
+lib/cert/interval.ml: Float Format Printf

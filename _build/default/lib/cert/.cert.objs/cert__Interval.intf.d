@@ -1,0 +1,1 @@
+lib/cert/interval.mli: Format

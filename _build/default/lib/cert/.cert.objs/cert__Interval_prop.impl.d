@@ -1,0 +1,1 @@
+lib/cert/interval_prop.ml: Array Bounds Interval Linalg List Nn

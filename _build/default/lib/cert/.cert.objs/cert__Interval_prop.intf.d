@@ -1,0 +1,1 @@
+lib/cert/interval_prop.mli: Bounds Interval Nn

@@ -1,0 +1,1 @@
+lib/cert/local.ml: Array Bounds Encode Float Fun Interval Interval_prop Lp Milp Nn Subnet Unix

@@ -1,0 +1,1 @@
+lib/cert/local.mli: Interval Milp Nn

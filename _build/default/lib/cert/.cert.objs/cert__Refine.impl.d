@@ -1,0 +1,1 @@
+lib/cert/refine.ml: Array Bounds Float Interval List

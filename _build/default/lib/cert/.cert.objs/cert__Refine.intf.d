@@ -1,0 +1,1 @@
+lib/cert/refine.mli: Bounds Interval

@@ -1,0 +1,1 @@
+lib/cert/reluplex_style.ml: Array Bounds Certifier Encode Float Fun Hashtbl Interval Interval_prop List Lp Nn Subnet Unix

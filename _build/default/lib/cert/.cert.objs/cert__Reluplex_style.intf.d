@@ -1,0 +1,1 @@
+lib/cert/reluplex_style.mli: Interval Nn

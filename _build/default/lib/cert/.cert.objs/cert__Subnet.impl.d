@@ -1,0 +1,1 @@
+lib/cert/subnet.ml: Array Int Linalg List Nn Set

@@ -1,0 +1,1 @@
+lib/cert/subnet.mli: Nn

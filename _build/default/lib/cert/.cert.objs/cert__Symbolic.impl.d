@@ -1,0 +1,1 @@
+lib/cert/symbolic.ml: Array Bounds Float Interval Interval_prop Linalg List Nn

@@ -1,0 +1,1 @@
+lib/cert/symbolic.mli: Bounds Interval Nn

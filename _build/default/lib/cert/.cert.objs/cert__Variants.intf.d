@@ -1,0 +1,1 @@
+lib/cert/variants.mli: Interval Milp Nn

@@ -1,0 +1,355 @@
+module Model = Lp.Model
+module Sparse_row = Linalg.Sparse_row
+
+type refine_rule = No_refine | Count of int | Fraction of float
+
+type config = {
+  window : int;
+  refine : refine_rule;
+  milp_options : Milp.options;
+  margin : float;
+  mode : Encode.mode;
+  exact_output_relation : bool;
+  domains : int;
+  symbolic : bool;
+}
+
+let default_config =
+  { window = 2; refine = No_refine; milp_options = Milp.default_options;
+    margin = 1e-6; mode = Encode.Relaxed; exact_output_relation = true;
+    domains = 1; symbolic = false }
+
+(* The paper's future-work item: the per-neuron sub-problems of one
+   layer are independent, so fan them out over OCaml 5 domains.  Each
+   worker only reads shared state (bounds of earlier layers, compiled
+   matrices); results are applied sequentially after the join. *)
+let parallel_map n_domains (items : 'a array) (f : 'a -> 'b) : 'b array =
+  let n = Array.length items in
+  if n_domains <= 1 || n <= 1 then Array.map f items
+  else begin
+    let k = min n_domains n in
+    let chunk d =
+      let per = (n + k - 1) / k in
+      let start = d * per in
+      let stop = min n (start + per) in
+      (start, stop)
+    in
+    let workers =
+      List.init k (fun d ->
+          Domain.spawn (fun () ->
+              let start, stop = chunk d in
+              List.init (stop - start) (fun i ->
+                  (start + i, f items.(start + i)))))
+    in
+    let out = Array.make n None in
+    List.iter
+      (fun w ->
+        List.iter (fun (i, r) -> out.(i) <- Some r) (Domain.join w))
+      workers;
+    Array.map Option.get out
+  end
+
+type report = {
+  eps : float array;
+  bounds : Bounds.t;
+  lp_solves : int;
+  milp_solves : int;
+  runtime : float;
+}
+
+type stats = { mutable lp_solves : int; mutable milp_solves : int }
+
+(* Solve a bound query on an encoded model; returns None when the solver
+   could not produce a sound bound (the caller keeps its interval bound,
+   which is always sound). *)
+let query stats milp_options model dir terms =
+  if Model.integer_vars model = [] then begin
+    stats.lp_solves <- stats.lp_solves + 1;
+    let sol =
+      let cp = Lp.Simplex.compile model in
+      let lo, hi = Lp.Simplex.default_bounds cp in
+      Lp.Simplex.solve_compiled ~objective:(dir, terms) cp ~lo ~hi
+    in
+    match sol.Lp.Simplex.status with
+    | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+    | Lp.Simplex.Iteration_limit -> None
+  end
+  else begin
+    stats.milp_solves <- stats.milp_solves + 1;
+    let r = Milp.solve ~options:milp_options ~objective:(dir, terms) model in
+    match r.Milp.status with
+    | Milp.Optimal | Milp.Limit | Milp.Lp_failure ->
+        (* [bound] is a sound over-approximation in the query direction
+           even under Limit / Lp_failure *)
+        if Float.is_nan r.Milp.bound then None else Some r.Milp.bound
+    | Milp.Infeasible | Milp.Unbounded -> None
+  end
+
+(* A compiled-LP fast path for pure-LP encodings: compile once, then run
+   every min/max query against the same matrix. *)
+type engine = { run : Model.dir -> (Model.var * float) list -> float option }
+
+(* [shared_engine options model] compiles the model once and returns a
+   factory of engines over the shared read-only matrix, one per worker,
+   each charging its own statistics record. *)
+let shared_engine milp_options model =
+  if Model.integer_vars model = [] then begin
+    let cp = Lp.Simplex.compile model in
+    let lo, hi = Lp.Simplex.default_bounds cp in
+    fun stats ->
+      { run =
+          (fun dir terms ->
+            stats.lp_solves <- stats.lp_solves + 1;
+            let sol =
+              Lp.Simplex.solve_compiled ~objective:(dir, terms) cp ~lo ~hi
+            in
+            match sol.Lp.Simplex.status with
+            | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
+            | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+            | Lp.Simplex.Iteration_limit -> None) }
+  end
+  else
+    fun stats ->
+      { run = (fun dir terms -> query stats milp_options model dir terms) }
+
+(* Tighten [current] with a (max-query upper, min-query lower) pair,
+   falling back to [current] on query failure. *)
+let refreshed_interval current ~lo_query ~hi_query =
+  let lo = match lo_query with Some v -> v | None -> current.Interval.lo in
+  let hi = match hi_query with Some v -> v | None -> current.Interval.hi in
+  let lo = Float.max lo current.Interval.lo
+  and hi = Float.min hi current.Interval.hi in
+  if lo > hi then current else Interval.make lo hi
+
+(* Compose the affine rows of a window with no interior ReLUs into a
+   single row over the window inputs; exact interval evaluation then
+   beats any LP. [with_bias = false] composes the distance map. *)
+let compose_affine (view : Subnet.view) j ~with_bias =
+  let net = view.Subnet.net in
+  let strip row =
+    if with_bias then row else { row with Sparse_row.const = 0.0 }
+  in
+  let rec back k row =
+    (* [row] ranges over outputs of layer [first + k]; substitute until
+       it ranges over the window inputs *)
+    if k < 0 then row
+    else begin
+      let layer = Nn.Network.layer net (view.Subnet.first + k) in
+      let subst =
+        List.fold_left
+          (fun acc (id, coeff) ->
+            Sparse_row.add acc
+              (Sparse_row.scale coeff (strip (Nn.Layer.linear_row layer id))))
+          (Sparse_row.make [] row.Sparse_row.const)
+          row.Sparse_row.coeffs
+      in
+      back (k - 1) subst
+    end
+  in
+  let depth = Subnet.depth view in
+  let last_layer = Nn.Network.layer net view.Subnet.last in
+  let row = strip (Nn.Layer.linear_row last_layer j) in
+  back (depth - 2) row
+
+let eval_row_box row lookup =
+  List.fold_left
+    (fun acc (k, c) -> Interval.add acc (Interval.scale c (lookup k)))
+    (Interval.point row.Sparse_row.const)
+    row.Sparse_row.coeffs
+
+let window_has_interior_relu (view : Subnet.view) =
+  let depth = Subnet.depth view in
+  let rec go k =
+    if k >= depth - 1 then false
+    else
+      (Nn.Network.layer view.Subnet.net (view.Subnet.first + k)).Nn.Layer.relu
+      || go (k + 1)
+  in
+  go 0
+
+let interior_relu_neurons (view : Subnet.view) =
+  let depth = Subnet.depth view in
+  let acc = ref [] in
+  for k = 0 to depth - 2 do
+    let abs = view.Subnet.first + k in
+    if (Nn.Network.layer view.Subnet.net abs).Nn.Layer.relu then
+      Array.iter (fun j -> acc := (abs, j) :: !acc) view.Subnet.active.(k)
+  done;
+  List.rev !acc
+
+let refine_count rule candidates =
+  match rule with
+  | No_refine -> 0
+  | Count r -> r
+  | Fraction f ->
+      int_of_float (Float.round (f *. float_of_int (List.length candidates)))
+
+let certify ?(config = default_config) net ~input ~delta =
+  let t0 = Unix.gettimeofday () in
+  let stats = { lp_solves = 0; milp_solves = 0 } in
+  let bounds =
+    Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
+  in
+  Interval_prop.propagate net bounds;
+  if config.symbolic then Symbolic.propagate net bounds;
+  let n = Nn.Network.n_layers net in
+  for i = 0 to n - 1 do
+    let layer = Nn.Network.layer net i in
+    let m = Nn.Layer.out_dim layer in
+    let w = min (i + 1) config.window in
+    let all_targets = Array.init m Fun.id in
+    (* dense layers share one cone (and one encoded model) for the whole
+       layer; conv/pool layers get per-neuron cones to stay small *)
+    let groups =
+      match layer.Nn.Layer.kind with
+      | Nn.Layer.Dense _ | Nn.Layer.Normalize _ -> [ all_targets ]
+      | Nn.Layer.Conv2d _ | Nn.Layer.Avg_pool _ ->
+          Array.to_list (Array.map (fun j -> [| j |]) all_targets)
+    in
+    let process_group targets =
+      let view = Subnet.cone net ~last:i ~targets ~window:w in
+      (* --- y / dy ranges (LpRelaxY) --- *)
+      if not (window_has_interior_relu view) then
+        (* the whole window is affine: composed rows evaluated over the
+           input boxes are exact, no LP needed *)
+        Array.iter
+          (fun j ->
+            let vrow = compose_affine view j ~with_bias:true in
+            let drow = compose_affine view j ~with_bias:false in
+            let y =
+              eval_row_box vrow (fun id ->
+                  Encode.input_interval bounds view id)
+            in
+            let dy =
+              eval_row_box drow (fun id ->
+                  Encode.input_dist_interval bounds view id)
+            in
+            (match Interval.meet bounds.Bounds.y.(i).(j) y with
+             | Some iv -> bounds.Bounds.y.(i).(j) <- iv
+             | None -> ());
+            match Interval.meet bounds.Bounds.dy.(i).(j) dy with
+            | Some iv -> bounds.Bounds.dy.(i).(j) <- iv
+            | None -> ())
+          targets
+      else begin
+        let candidates = interior_relu_neurons view in
+        let r = refine_count config.refine candidates in
+        let refined = Refine.select bounds ~candidates ~r in
+        let enc = Encode.itne ~refined ~mode:config.mode ~bounds view in
+        (* compile once; workers share the read-only matrix (or model)
+           and merge their solve counts after the join *)
+        let engine_for = shared_engine config.milp_options enc.Encode.model in
+        let compute j =
+          let local = { lp_solves = 0; milp_solves = 0 } in
+          let engine = engine_for local in
+          let nv = Encode.itne_vars enc i j in
+          let y_hi = engine.run Model.Maximize [ (nv.Encode.y, 1.0) ] in
+          let y_lo = engine.run Model.Minimize [ (nv.Encode.y, 1.0) ] in
+          let dy_hi = engine.run Model.Maximize [ (nv.Encode.dy, 1.0) ] in
+          let dy_lo = engine.run Model.Minimize [ (nv.Encode.dy, 1.0) ] in
+          (j, y_lo, y_hi, dy_lo, dy_hi, local)
+        in
+        let results = parallel_map config.domains targets compute in
+        Array.iter
+          (fun (j, y_lo, y_hi, dy_lo, dy_hi, local) ->
+            stats.lp_solves <- stats.lp_solves + local.lp_solves;
+            stats.milp_solves <- stats.milp_solves + local.milp_solves;
+            bounds.Bounds.y.(i).(j) <-
+              refreshed_interval bounds.Bounds.y.(i).(j) ~lo_query:y_lo
+                ~hi_query:y_hi;
+            bounds.Bounds.dy.(i).(j) <-
+              refreshed_interval bounds.Bounds.dy.(i).(j) ~lo_query:dy_lo
+                ~hi_query:dy_hi)
+          results
+      end;
+      (* --- x / dx ranges (LpRelaxX) --- *)
+      if not layer.Nn.Layer.relu then
+        Array.iter
+          (fun j ->
+            bounds.Bounds.x.(i).(j) <- bounds.Bounds.y.(i).(j);
+            bounds.Bounds.dx.(i).(j) <- bounds.Bounds.dy.(i).(j))
+          targets
+      else begin
+        (* x = relu(y) is monotone: the interval transfer is exact given
+           the y range; apply it (and the distance transfer) first *)
+        Array.iter
+          (fun j ->
+            let y_iv = bounds.Bounds.y.(i).(j) in
+            let dy_iv = bounds.Bounds.dy.(i).(j) in
+            (match Interval.meet bounds.Bounds.x.(i).(j) (Interval.relu y_iv)
+             with
+             | Some iv -> bounds.Bounds.x.(i).(j) <- iv
+             | None -> ());
+            match
+              Interval.meet bounds.Bounds.dx.(i).(j)
+                (Interval.relu_dist ~y:y_iv ~dy:dy_iv)
+            with
+            | Some iv -> bounds.Bounds.dx.(i).(j) <- iv
+            | None -> ())
+          targets;
+        (* when the distance relation is informative, solve the LpRelaxX
+           problem with the target's own relation exact: correlations
+           between y_j and dy_j through the window can beat the box
+           transfer *)
+        let lp_targets =
+          Array.of_list
+            (List.filter
+               (fun j ->
+                 Refine.chord_score ~y:bounds.Bounds.y.(i).(j)
+                   ~dy:bounds.Bounds.dy.(i).(j)
+                 > 0.0)
+               (Array.to_list targets))
+        in
+        let compute j =
+          let local = { lp_solves = 0; milp_solves = 0 } in
+          let view_j = Subnet.cone net ~last:i ~targets:[| j |] ~window:w in
+          let candidates = interior_relu_neurons view_j in
+          let r = refine_count config.refine candidates in
+          let refined = Refine.select bounds ~candidates ~r in
+          let refined =
+            if config.exact_output_relation then (i, j) :: refined
+            else refined
+          in
+          let enc =
+            Encode.itne ~refined ~include_output_relu:true ~mode:config.mode
+              ~bounds view_j
+          in
+          let nv = Encode.itne_vars enc i j in
+          match nv.Encode.dx with
+          | None -> (j, None, None, local)
+          | Some dxv ->
+              let dx_hi =
+                query local config.milp_options enc.Encode.model
+                  Model.Maximize [ (dxv, 1.0) ]
+              in
+              let dx_lo =
+                query local config.milp_options enc.Encode.model
+                  Model.Minimize [ (dxv, 1.0) ]
+              in
+              (j, dx_lo, dx_hi, local)
+        in
+        let results = parallel_map config.domains lp_targets compute in
+        Array.iter
+          (fun (j, dx_lo, dx_hi, local) ->
+            stats.lp_solves <- stats.lp_solves + local.lp_solves;
+            stats.milp_solves <- stats.milp_solves + local.milp_solves;
+            bounds.Bounds.dx.(i).(j) <-
+              refreshed_interval bounds.Bounds.dx.(i).(j) ~lo_query:dx_lo
+                ~hi_query:dx_hi)
+          results
+      end
+    in
+    List.iter process_group groups
+  done;
+  let eps =
+    Array.map
+      (fun iv -> Interval.abs_max iv +. config.margin)
+      (Bounds.output_dist bounds net)
+  in
+  { eps; bounds; lp_solves = stats.lp_solves;
+    milp_solves = stats.milp_solves;
+    runtime = Unix.gettimeofday () -. t0 }
+
+let certify_box ?config net ~lo ~hi ~delta =
+  certify ?config net ~input:(Bounds.box_domain net ~lo ~hi) ~delta

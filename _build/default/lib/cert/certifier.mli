@@ -1,0 +1,63 @@
+(** Algorithm 1 of the paper: efficient global-robustness
+    over-approximation by ITNE + network decomposition + LP relaxation
+    + selective refinement.
+
+    Layer by layer, neuron by neuron, ranges of the pre-activation
+    [y], its twin distance [dy], the post-activation [x] and its
+    distance [dx] are computed by solving small relaxed sub-network
+    problems over a sliding window; earlier layers' ranges feed later
+    windows.  The result is a sound, deterministic over-approximation
+    [eps >= eps_exact] of the output variation bound for every network
+    output. *)
+
+type refine_rule =
+  | No_refine
+  | Count of int        (** refine the top-[r] neurons per sub-problem *)
+  | Fraction of float   (** refine this fraction of relaxable neurons *)
+
+type config = {
+  window : int;             (** sub-network depth [W] *)
+  refine : refine_rule;
+  milp_options : Milp.options;  (** for refined sub-problems *)
+  margin : float;           (** added to the reported epsilon for numerical
+                                soundness *)
+  mode : Encode.mode;       (** [Relaxed]: LPR (the paper's Algorithm 1);
+                                [Exact]: pure ITNE network decomposition
+                                with exact sub-MILPs *)
+  exact_output_relation : bool;
+      (** encode the target neuron's own distance relation exactly in
+          the LpRelaxX sub-problem (a 2-binary MILP); strictly tighter
+          than the pure chord relaxation at negligible cost.  Disable to
+          reproduce the paper's pure-LPR behaviour. *)
+  domains : int;
+      (** fan the independent per-neuron sub-problems of each layer out
+          over this many OCaml domains (the paper's future-work
+          parallelisation).  1 = sequential; results are identical for
+          any value. *)
+  symbolic : bool;
+      (** run the {!Symbolic} affine pre-pass before the layer sweep
+          (extension beyond the paper); every relaxation constant can
+          only tighten. *)
+}
+
+val default_config : config
+(** [window = 2], no refinement, relaxed mode, exact output relation,
+    margin 1e-6. *)
+
+type report = {
+  eps : float array;        (** per network output: certified bound on
+                                [|F(x')_j - F(x)_j|] *)
+  bounds : Bounds.t;        (** all intermediate ranges *)
+  lp_solves : int;
+  milp_solves : int;
+  runtime : float;          (** seconds *)
+}
+
+val certify :
+  ?config:config -> Nn.Network.t -> input:Interval.t array -> delta:float ->
+  report
+
+val certify_box :
+  ?config:config -> Nn.Network.t -> lo:float -> hi:float -> delta:float ->
+  report
+(** Convenience wrapper for a uniform input box. *)

@@ -1,0 +1,92 @@
+(** MILP/LP encodings of (sub-)networks.
+
+    Three encodings over a {!Subnet.view}:
+
+    - {!itne}: the paper's interleaving twin-network encoding — one
+      explicit copy ([y], [x]) plus distance variables ([dy], [dx]) per
+      neuron; the second copy is implicit.  ReLU relations (both the
+      copy-1 relation and the distance relation
+      [dx = relu(y + dy) - relu(y)]) are encoded exactly (big-M,
+      binaries) or relaxed (triangle Eq. 4 / chord Eq. 6 of the paper).
+    - {!btne}: the basic twin-network encoding of Katz et al. — two
+      explicit copies, optionally linked by input-distance variables.
+    - {!single}: one copy only, for local robustness / output-range
+      analysis.
+
+    All encodings take a {!Bounds.t} providing the interval constants
+    for big-M terms and relaxations; those intervals must be finite for
+    every encoded ReLU (run {!Interval_prop.propagate} first). *)
+
+type mode = Exact | Relaxed
+
+val input_interval : Bounds.t -> Subnet.view -> int -> Interval.t
+(** Value interval of a window-input neuron (the network input domain
+    when the window starts at layer 0). *)
+
+val input_dist_interval : Bounds.t -> Subnet.view -> int -> Interval.t
+
+type neuron_vars = {
+  y : Lp.Model.var;
+  dy : Lp.Model.var;
+  x : Lp.Model.var option;   (** present iff the neuron's ReLU was encoded *)
+  dx : Lp.Model.var option;
+}
+
+type itne_enc = {
+  model : Lp.Model.t;
+  view : Subnet.view;
+  vars : (int * int, neuron_vars) Hashtbl.t;  (** (absolute layer, neuron) *)
+}
+
+val itne :
+  ?refined:(int * int) list ->
+  ?include_output_relu:bool ->
+  mode:mode -> bounds:Bounds.t -> Subnet.view -> itne_enc
+(** [refined] lists (absolute layer, neuron) pairs whose relations are
+    encoded exactly even under [mode = Relaxed].
+    [include_output_relu] (default [false]) also encodes the ReLU of
+    the window's last layer, exposing [x]/[dx] for the targets. *)
+
+val itne_vars : itne_enc -> int -> int -> neuron_vars
+(** Variables of (absolute layer, neuron); raises [Not_found] if the
+    neuron is outside the view's cone. *)
+
+type copy_vars = { cy : Lp.Model.var; cx : Lp.Model.var option }
+
+type phase = Ph_active | Ph_inactive
+(** A ReLU whose phase has been fixed by case splitting: [Ph_active]
+    adds [x = y, y >= 0]; [Ph_inactive] adds [x = 0, y <= 0]. *)
+
+type btne_enc = {
+  model : Lp.Model.t;
+  view : Subnet.view;
+  copy_a : (int * int, copy_vars) Hashtbl.t;
+  copy_b : (int * int, copy_vars) Hashtbl.t;
+  input_a : (int * Lp.Model.var) list;  (** window-input neuron id -> var *)
+  input_b : (int * Lp.Model.var) list;
+}
+
+val btne :
+  ?phases_a:(int * int, phase) Hashtbl.t ->
+  ?phases_b:(int * int, phase) Hashtbl.t ->
+  link_input_dist:bool -> mode:mode -> bounds:Bounds.t -> Subnet.view ->
+  btne_enc
+(** Two explicit copies.  When [link_input_dist] is set, the copies'
+    window inputs are constrained to differ by at most the input
+    distance intervals of [bounds] (component-wise); otherwise the
+    copies are independent (as in decomposed BTNE windows, where the
+    distance information is lost). *)
+
+val btne_out_delta : btne_enc -> int -> (Lp.Model.var * float) list
+(** Objective terms for [x_b - x_a] (or [y_b - y_a] when the last layer
+    has no encoded ReLU) of target neuron [j] in the last layer. *)
+
+type single_enc = {
+  model : Lp.Model.t;
+  view : Subnet.view;
+  svars : (int * int, copy_vars) Hashtbl.t;
+}
+
+val single : mode:mode -> bounds:Bounds.t -> Subnet.view -> single_enc
+
+val single_vars : single_enc -> int -> int -> copy_vars

@@ -1,0 +1,73 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN";
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: [%g, %g]" lo hi);
+  { lo; hi }
+
+let point x = make x x
+
+let zero = { lo = 0.0; hi = 0.0 }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let width iv = iv.hi -. iv.lo
+
+let mid iv = 0.5 *. (iv.lo +. iv.hi)
+
+let contains iv x = iv.lo <= x && x <= iv.hi
+
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k >= 0.0 then { lo = k *. a.lo; hi = k *. a.hi }
+  else { lo = k *. a.hi; hi = k *. a.lo }
+
+let relu a = { lo = Float.max 0.0 a.lo; hi = Float.max 0.0 a.hi }
+
+let relu_dist ~y ~dy =
+  (* universal: dx has the sign of dy and |dx| <= |dy| *)
+  let universal = { lo = Float.min 0.0 dy.lo; hi = Float.max 0.0 dy.hi } in
+  if y.hi <= 0.0 then begin
+    (* copy 1 inactive: dx = relu(y + dy), monotone in both *)
+    let lo = Float.max 0.0 (y.lo +. dy.lo)
+    and hi = Float.max 0.0 (y.hi +. dy.hi) in
+    match meet universal { lo; hi } with
+    | Some iv -> iv
+    | None -> universal
+  end
+  else if y.lo >= 0.0 then begin
+    (* copy 1 active: dx = max(dy, -y) *)
+    let lo = Float.max dy.lo (-.y.hi) and hi = Float.max dy.hi (-.y.lo) in
+    match meet universal { lo; hi } with
+    | Some iv -> iv
+    | None -> universal
+  end
+  else universal
+
+let abs_max iv = Float.max (Float.abs iv.lo) (Float.abs iv.hi)
+
+let grow eps iv = { lo = iv.lo -. eps; hi = iv.hi +. eps }
+
+let is_finite iv =
+  iv.lo > neg_infinity && iv.hi < infinity
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.lo -. b.lo) <= eps && Float.abs (a.hi -. b.hi) <= eps
+
+let pp fmt iv = Format.fprintf fmt "[%g, %g]" iv.lo iv.hi
+
+let to_string iv = Format.asprintf "%a" pp iv

@@ -1,0 +1,58 @@
+(** Closed real intervals [\[lo, hi\]], possibly unbounded. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** Raises [Invalid_argument] if [lo > hi] or either is NaN. *)
+
+val point : float -> t
+
+val zero : t
+
+val top : t
+(** [(-inf, +inf)]. *)
+
+val width : t -> float
+
+val mid : t -> float
+
+val contains : t -> float -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] iff [a] is contained in [b]. *)
+
+val join : t -> t -> t
+(** Smallest interval containing both. *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when empty. *)
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val relu : t -> t
+(** Exact image of [max(0, .)]. *)
+
+val relu_dist : y:t -> dy:t -> t
+(** Sound enclosure of [relu(y + dy) - relu(y)] for [y] in [y], [dy] in
+    [dy]: the universal bound [\[min(0,dy.lo), max(0,dy.hi)\]] tightened
+    by the stable-neuron cases. *)
+
+val abs_max : t -> float
+(** [max |lo| |hi|]. *)
+
+val grow : float -> t -> t
+(** [grow eps iv] widens both ends by [eps] (soundness margin). *)
+
+val is_finite : t -> bool
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

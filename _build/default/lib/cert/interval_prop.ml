@@ -1,0 +1,46 @@
+module Sparse_row = Linalg.Sparse_row
+
+let tighten current fresh =
+  match Interval.meet current fresh with
+  | Some iv -> iv
+  | None -> fresh (* numerically disjoint: trust the fresh propagation *)
+
+let eval_row_interval row lookup =
+  List.fold_left
+    (fun acc (k, c) -> Interval.add acc (Interval.scale c (lookup k)))
+    (Interval.point row.Sparse_row.const)
+    row.Sparse_row.coeffs
+
+let propagate net bounds =
+  let n = Nn.Network.n_layers net in
+  for i = 0 to n - 1 do
+    let layer = Nn.Network.layer net i in
+    let m = Nn.Layer.out_dim layer in
+    for j = 0 to m - 1 do
+      let row = Nn.Layer.linear_row layer j in
+      let y = eval_row_interval row (Bounds.val_in bounds net i) in
+      let dy =
+        eval_row_interval
+          { row with Sparse_row.const = 0.0 }
+          (Bounds.dist_in bounds net i)
+      in
+      let y = tighten bounds.Bounds.y.(i).(j) y in
+      let dy = tighten bounds.Bounds.dy.(i).(j) dy in
+      bounds.Bounds.y.(i).(j) <- y;
+      bounds.Bounds.dy.(i).(j) <- dy;
+      let x, dx =
+        if layer.Nn.Layer.relu then
+          (Interval.relu y, Interval.relu_dist ~y ~dy)
+        else (y, dy)
+      in
+      bounds.Bounds.x.(i).(j) <- tighten bounds.Bounds.x.(i).(j) x;
+      bounds.Bounds.dx.(i).(j) <- tighten bounds.Bounds.dx.(i).(j) dx
+    done
+  done
+
+let certify net ~input ~delta =
+  let bounds =
+    Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
+  in
+  propagate net bounds;
+  Array.map Interval.abs_max (Bounds.output_dist bounds net)

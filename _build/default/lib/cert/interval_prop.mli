@@ -1,0 +1,16 @@
+(** Interval bound propagation for the twin-network.
+
+    The cheapest sound analysis: pushes value intervals and distance
+    intervals through every layer.  Used to initialise {!Bounds.t}
+    (providing big-M constants and relaxation ranges) and as the
+    weakest baseline in ablations. *)
+
+val propagate : Nn.Network.t -> Bounds.t -> unit
+(** Fills all [y]/[x]/[dy]/[dx] intervals of [bounds] from its [input]
+    and [input_dist], layer by layer.  Existing intervals are
+    overwritten only if the propagated ones are tighter ([meet]). *)
+
+val certify : Nn.Network.t -> input:Interval.t array -> delta:float ->
+  float array
+(** Convenience: full interval-only global-robustness bound; returns
+    one epsilon per network output. *)

@@ -1,0 +1,28 @@
+(** Local robustness / output-range analysis around one input sample —
+    the single-copy problems of the paper's Fig. 4 (top).
+
+    Given a sample [x0] and perturbation bound [delta], computes the
+    range of each network output over
+    [{x' : ||x' - x0||_inf <= delta} inter domain]. *)
+
+type result = {
+  range : Interval.t array;  (** per output *)
+  runtime : float;
+}
+
+val exact :
+  ?milp_options:Milp.options -> ?domain:Interval.t array ->
+  Nn.Network.t -> x0:float array -> delta:float -> result
+(** Whole-network MILP (big-M ReLUs). *)
+
+val nd :
+  ?milp_options:Milp.options -> ?domain:Interval.t array -> window:int ->
+  Nn.Network.t -> x0:float array -> delta:float -> result
+(** Network decomposition: exact MILP per sliding sub-network window,
+    propagating boxes. *)
+
+val lpr :
+  ?domain:Interval.t array -> Nn.Network.t -> x0:float array ->
+  delta:float -> result
+(** Whole-network LP with triangle-relaxed ReLUs; ranges for the
+    relaxation constants come from interval propagation. *)

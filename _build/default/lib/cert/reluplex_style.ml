@@ -1,0 +1,154 @@
+module Model = Lp.Model
+
+type result = {
+  eps : float array;
+  per_output : Interval.t array;
+  exact : bool;
+  nodes : int;
+  runtime : float;
+}
+
+let split_tol = 1e-6
+
+(* Maximise [terms_of] over the exact twin-network semantics by lazy
+   ReLU splitting.  [eval_true xa xb] evaluates the same objective on a
+   real forward pass, providing feasible incumbents for pruning.
+   Returns (exact_max_or_upper_bound, completed). *)
+let maximise net bounds view ~max_nodes ~nodes ~terms_of ~eval_true =
+  let input_dim = Nn.Network.input_dim net in
+  let best = ref neg_infinity in
+  let completed = ref true in
+  let mk_input assoc (sol : Lp.Simplex.solution) =
+    let x =
+      Array.init input_dim (fun k -> Interval.mid bounds.Bounds.input.(k))
+    in
+    List.iter (fun (id, v) -> x.(id) <- sol.Lp.Simplex.x.(v)) assoc;
+    x
+  in
+  let rec explore phases_a phases_b =
+    if !nodes >= max_nodes then completed := false
+    else begin
+      incr nodes;
+      let enc =
+        Encode.btne ~phases_a ~phases_b ~link_input_dist:true
+          ~mode:Encode.Relaxed ~bounds view
+      in
+      Model.set_objective enc.Encode.model Model.Maximize (terms_of enc);
+      let sol = Lp.Simplex.solve enc.Encode.model in
+      match sol.Lp.Simplex.status with
+      | Lp.Simplex.Infeasible -> ()
+      | Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit ->
+          completed := false
+      | Lp.Simplex.Optimal ->
+          if sol.Lp.Simplex.obj > !best +. split_tol then begin
+            (* feasible incumbent: the relaxation optimiser's input pair
+               satisfies the input-distance constraints, so the true
+               forward evaluation is achievable *)
+            let xa = mk_input enc.Encode.input_a sol in
+            let xb = mk_input enc.Encode.input_b sol in
+            let incumbent = eval_true xa xb in
+            if incumbent > !best then best := incumbent;
+            if sol.Lp.Simplex.obj > !best +. split_tol then begin
+              (* violation-driven split *)
+              let worst = ref None and worst_v = ref split_tol in
+              let scan table =
+                Hashtbl.iter
+                  (fun key (cv : Encode.copy_vars) ->
+                    match cv.Encode.cx with
+                    | None -> ()
+                    | Some xv ->
+                        let yv = sol.Lp.Simplex.x.(cv.Encode.cy) in
+                        let xval = sol.Lp.Simplex.x.(xv) in
+                        let v = Float.abs (xval -. Float.max 0.0 yv) in
+                        if v > !worst_v then begin
+                          worst_v := v;
+                          worst := Some (key, table == enc.Encode.copy_a)
+                        end)
+                  table
+              in
+              scan enc.Encode.copy_a;
+              scan enc.Encode.copy_b;
+              match !worst with
+              | None ->
+                  (* the relaxation optimiser satisfies every ReLU: the
+                     node is solved to optimality *)
+                  if sol.Lp.Simplex.obj > !best then
+                    best := sol.Lp.Simplex.obj
+              | Some (key, in_a) ->
+                  let extend phases phase =
+                    let t = Hashtbl.copy phases in
+                    Hashtbl.replace t key phase;
+                    t
+                  in
+                  if in_a then begin
+                    explore (extend phases_a Encode.Ph_inactive) phases_b;
+                    explore (extend phases_a Encode.Ph_active) phases_b
+                  end
+                  else begin
+                    explore phases_a (extend phases_b Encode.Ph_inactive);
+                    explore phases_a (extend phases_b Encode.Ph_active)
+                  end
+            end
+          end
+    end
+  in
+  explore (Hashtbl.create 8) (Hashtbl.create 8);
+  (!best, !completed)
+
+let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
+  let t0 = Unix.gettimeofday () in
+  let bounds =
+    if presolve then begin
+      (* tightened per-neuron ranges sharpen the triangle relaxations,
+         shrinking the split tree (see Exact.prepare) *)
+      let config =
+        { Certifier.default_config with Certifier.margin = 0.0 }
+      in
+      (Certifier.certify ~config net ~input ~delta).Certifier.bounds
+    end
+    else begin
+      let bounds =
+        Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
+      in
+      Interval_prop.propagate net bounds;
+      bounds
+    end
+  in
+  let n = Nn.Network.n_layers net in
+  let out_dim = Nn.Network.output_dim net in
+  let targets = Array.init out_dim Fun.id in
+  let view = Subnet.cone net ~last:(n - 1) ~targets ~window:n in
+  let nodes = ref 0 in
+  let all_exact = ref true in
+  let per_output =
+    Array.init out_dim (fun j ->
+        let terms_of sign enc =
+          List.map (fun (v, c) -> (v, sign *. c)) (Encode.btne_out_delta enc j)
+        in
+        let eval_true sign xa xb =
+          let fa = Nn.Network.forward net xa
+          and fb = Nn.Network.forward net xb in
+          sign *. (fb.(j) -. fa.(j))
+        in
+        let hi, ok1 =
+          maximise net bounds view ~max_nodes ~nodes ~terms_of:(terms_of 1.0)
+            ~eval_true:(eval_true 1.0)
+        in
+        let neg_lo, ok2 =
+          maximise net bounds view ~max_nodes ~nodes
+            ~terms_of:(terms_of (-1.0)) ~eval_true:(eval_true (-1.0))
+        in
+        if not (ok1 && ok2) then all_exact := false;
+        let lo = -.neg_lo in
+        if Float.is_finite lo && Float.is_finite hi && lo <= hi then
+          Interval.make lo hi
+        else begin
+          all_exact := false;
+          Interval.top
+        end)
+  in
+  { eps = Array.map Interval.abs_max per_output;
+    per_output;
+    exact = !all_exact;
+    nodes = !nodes;
+    runtime = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,22 @@
+(** Exact global robustness by lazy ReLU case-splitting over the basic
+    twin-network encoding — the [t_R] baseline of Table I.
+
+    Like Reluplex/Planet, ReLUs start relaxed (triangle LP); the solver
+    repeatedly solves the relaxation, evaluates the true network at the
+    relaxation's optimiser to obtain feasible incumbents, and splits the
+    most violated ReLU into its active/inactive phases.  Exhaustive, so
+    exact, and exponential in the number of unstable ReLUs. *)
+
+type result = {
+  eps : float array;
+  per_output : Interval.t array;
+  exact : bool;        (** search completed within the node budget *)
+  nodes : int;         (** LP relaxations solved *)
+  runtime : float;
+}
+
+val global :
+  ?max_nodes:int -> ?presolve:bool -> Nn.Network.t ->
+  input:Interval.t array -> delta:float -> result
+(** [presolve] (default true): tighten ReLU ranges with a relaxed
+    Algorithm-1 pass before splitting. *)

@@ -1,0 +1,159 @@
+module Sparse_row = Linalg.Sparse_row
+
+type affine = { coeffs : float array; const : float }
+
+let zero_affine dim = { coeffs = Array.make dim 0.0; const = 0.0 }
+
+let eval_range a box =
+  let lo = ref a.const and hi = ref a.const in
+  Array.iteri
+    (fun k c ->
+      if c > 0.0 then begin
+        lo := !lo +. (c *. box.(k).Interval.lo);
+        hi := !hi +. (c *. box.(k).Interval.hi)
+      end
+      else if c < 0.0 then begin
+        lo := !lo +. (c *. box.(k).Interval.hi);
+        hi := !hi +. (c *. box.(k).Interval.lo)
+      end)
+    a.coeffs;
+  Interval.make !lo !hi
+
+(* bounds on one neuron: affine lower/upper forms *)
+type nb = { lo : affine; hi : affine }
+
+let point_nb dim k =
+  let c = Array.make dim 0.0 in
+  c.(k) <- 1.0;
+  let a = { coeffs = c; const = 0.0 } in
+  { lo = a; hi = { a with coeffs = Array.copy c } }
+
+let const_nb dim v =
+  { lo = { coeffs = Array.make dim 0.0; const = v };
+    hi = { coeffs = Array.make dim 0.0; const = v } }
+
+(* [affine_combine row prev pick] builds the affine bound of
+   [row . prev]: positive coefficients take the operand's own-direction
+   bound, negative ones the opposite. *)
+let row_bounds dim row (prev : nb array) ~with_bias =
+  let lo = Array.make dim 0.0 and hi = Array.make dim 0.0 in
+  let lo_c = ref (if with_bias then row.Sparse_row.const else 0.0) in
+  let hi_c = ref !lo_c in
+  List.iter
+    (fun (k, c) ->
+      let p = prev.(k) in
+      let from_lo, from_hi = if c >= 0.0 then (p.lo, p.hi) else (p.hi, p.lo) in
+      for d = 0 to dim - 1 do
+        lo.(d) <- lo.(d) +. (c *. from_lo.coeffs.(d));
+        hi.(d) <- hi.(d) +. (c *. from_hi.coeffs.(d))
+      done;
+      lo_c := !lo_c +. (c *. from_lo.const);
+      hi_c := !hi_c +. (c *. from_hi.const))
+    row.Sparse_row.coeffs;
+  { lo = { coeffs = lo; const = !lo_c }; hi = { coeffs = hi; const = !hi_c } }
+
+let scale_shift_affine s t a =
+  { coeffs = Array.map (fun c -> s *. c) a.coeffs; const = (s *. a.const) +. t }
+
+(* triangle relaxation of x = relu(y) given y's affine bounds and its
+   concrete range [a, b] *)
+let relu_nb dim (y : nb) (iv : Interval.t) =
+  let a = iv.Interval.lo and b = iv.Interval.hi in
+  if b <= 0.0 then const_nb dim 0.0
+  else if a >= 0.0 then y
+  else begin
+    (* upper: x <= b (y - a) / (b - a); lower: x >= lambda y with the
+       DeepPoly area rule *)
+    let s = b /. (b -. a) in
+    let hi = scale_shift_affine s (-.s *. a) y.hi in
+    let lo =
+      if b >= -.a then y.lo else zero_affine dim
+    in
+    { lo; hi }
+  end
+
+(* chord relaxation of dx = relu(y + dy) - relu(y) given dy's affine
+   bounds (over the distance inputs), dy's concrete range [c, d] and
+   y's concrete range *)
+let relu_dist_nb dim (dy : nb) ~(y_iv : Interval.t) ~(dy_iv : Interval.t) =
+  let a = y_iv.Interval.lo and b = y_iv.Interval.hi in
+  let c = dy_iv.Interval.lo and d = dy_iv.Interval.hi in
+  if b <= 0.0 && b +. d <= 0.0 then const_nb dim 0.0
+  else if a >= 0.0 && a +. c >= 0.0 then dy
+  else begin
+    let l = Float.min 0.0 c and u = Float.max 0.0 d in
+    if u -. l < 1e-12 then const_nb dim 0.0
+    else begin
+      (* dx <= u (dy - l) / (u - l): increasing in dy;
+         dx >= l (u - dy) / (u - l): also increasing in dy *)
+      let su = u /. (u -. l) in
+      let sl = -.l /. (u -. l) in
+      let hi = scale_shift_affine su (-.su *. l) dy.hi in
+      let lo = scale_shift_affine sl (l *. u /. (u -. l)) dy.lo in
+      { lo; hi }
+    end
+  end
+
+let meet_store store fresh =
+  match Interval.meet store fresh with Some iv -> iv | None -> store
+
+let propagate net (bounds : Bounds.t) =
+  let m0 = Nn.Network.input_dim net in
+  let n = Nn.Network.n_layers net in
+  (* value forms over the input box; distance forms over the
+     perturbation box *)
+  let vals = ref (Array.init m0 (fun k -> point_nb m0 k)) in
+  let dists = ref (Array.init m0 (fun k -> point_nb m0 k)) in
+  for i = 0 to n - 1 do
+    let layer = Nn.Network.layer net i in
+    let m = Nn.Layer.out_dim layer in
+    let next_vals = Array.make m (const_nb m0 0.0) in
+    let next_dists = Array.make m (const_nb m0 0.0) in
+    (* concretise a pair of affine bounds over a box:
+       min_z value >= min_z lo_form and max_z value <= max_z hi_form *)
+    let concretise (b : nb) box =
+      Interval.make
+        (eval_range b.lo box).Interval.lo
+        (eval_range b.hi box).Interval.hi
+    in
+    for j = 0 to m - 1 do
+      let row = Nn.Layer.linear_row layer j in
+      let y_nb = row_bounds m0 row !vals ~with_bias:true in
+      let dy_nb = row_bounds m0 row !dists ~with_bias:false in
+      let y_iv =
+        meet_store bounds.Bounds.y.(i).(j)
+          (concretise y_nb bounds.Bounds.input)
+      in
+      let dy_iv =
+        meet_store bounds.Bounds.dy.(i).(j)
+          (concretise dy_nb bounds.Bounds.input_dist)
+      in
+      bounds.Bounds.y.(i).(j) <- y_iv;
+      bounds.Bounds.dy.(i).(j) <- dy_iv;
+      if layer.Nn.Layer.relu then begin
+        next_vals.(j) <- relu_nb m0 y_nb y_iv;
+        next_dists.(j) <- relu_dist_nb m0 dy_nb ~y_iv ~dy_iv;
+        bounds.Bounds.x.(i).(j) <-
+          meet_store bounds.Bounds.x.(i).(j) (Interval.relu y_iv);
+        bounds.Bounds.dx.(i).(j) <-
+          meet_store bounds.Bounds.dx.(i).(j)
+            (Interval.relu_dist ~y:y_iv ~dy:dy_iv)
+      end
+      else begin
+        next_vals.(j) <- y_nb;
+        next_dists.(j) <- dy_nb;
+        bounds.Bounds.x.(i).(j) <- y_iv;
+        bounds.Bounds.dx.(i).(j) <- dy_iv
+      end
+    done;
+    vals := next_vals;
+    dists := next_dists
+  done
+
+let certify net ~input ~delta =
+  let bounds =
+    Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
+  in
+  Interval_prop.propagate net bounds;
+  propagate net bounds;
+  Array.map Interval.abs_max (Bounds.output_dist bounds net)

@@ -1,0 +1,34 @@
+(** Symbolic (affine) bound propagation for the twin network —
+    a DeepPoly/CROWN-style analysis extended with distance variables.
+
+    Every neuron's pre-activation [y] and twin distance [dy] get affine
+    lower/upper bounds over the network input box (respectively the
+    input-perturbation box).  ReLUs are relaxed per neuron with the
+    classical triangle bounds; ReLU *distance* relations with the
+    paper's chord bounds (Eq. 6).  Concretising the affine forms over
+    the boxes yields per-neuron intervals that are never looser — and
+    usually much tighter — than plain interval propagation, at
+    [O(neurons * input_dim)] memory.
+
+    This is an optional extension beyond the paper (its reference [5]
+    line of work); the certifier can use it as a pre-pass
+    ({!Certifier.config.symbolic}) to sharpen every relaxation
+    constant. *)
+
+type affine = {
+  coeffs : float array;  (** over the network-input dimensions *)
+  const : float;
+}
+
+val eval_range : affine -> Interval.t array -> Interval.t
+(** Exact range of the affine form over a box. *)
+
+val propagate : Nn.Network.t -> Bounds.t -> unit
+(** Tightens every interval of [bounds] in place (by meet), exactly
+    like {!Interval_prop.propagate} but with affine reasoning.  The
+    input and input-distance boxes of [bounds] define the analysis
+    domain. *)
+
+val certify : Nn.Network.t -> input:Interval.t array -> delta:float ->
+  float array
+(** Convenience: symbolic-only global-robustness bound per output. *)

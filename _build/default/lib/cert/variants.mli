@@ -1,0 +1,39 @@
+(** The four global-robustness technique variants compared in the
+    paper's Fig. 4: network decomposition (ND) and LP relaxation (LPR)
+    under both the basic (BTNE) and interleaving (ITNE) twin-network
+    encodings.
+
+    All return the interval of the output distance
+    [dx_j = F(x')_j - F(x)_j] per output; the certified epsilon is its
+    {!Interval.abs_max}. *)
+
+type result = {
+  delta_out : Interval.t array;
+  runtime : float;
+}
+
+val btne_nd :
+  ?milp_options:Milp.options -> window:int -> Nn.Network.t ->
+  input:Interval.t array -> delta:float -> result
+(** Per-copy boxes propagated by exact window MILPs; the twin distance
+    survives only if the final window reaches the input — otherwise the
+    two copies are unlinked in the final window (the paper's
+    "distance information is lost"). *)
+
+val btne_lpr :
+  Nn.Network.t -> input:Interval.t array -> delta:float -> result
+(** Whole-network two-copy LP with triangle relaxations; the copies are
+    linked only at the input layer. *)
+
+val itne_nd :
+  ?milp_options:Milp.options -> window:int -> Nn.Network.t ->
+  input:Interval.t array -> delta:float -> result
+(** ITNE decomposition with exact sub-network MILPs: value ranges and
+    distance ranges both propagate window to window. *)
+
+val itne_lpr :
+  Nn.Network.t -> input:Interval.t array -> delta:float -> result
+(** Whole-network ITNE LP: triangle relaxation for the explicit copy
+    and chord relaxation (Eq. 6) for every distance relation, with all
+    relaxation constants from interval propagation — the paper's pure
+    LPR column. *)

@@ -1,0 +1,1 @@
+lib/control/acc.ml: Array Cert Float Linalg List Lti

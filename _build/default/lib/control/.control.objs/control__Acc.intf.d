@@ -1,0 +1,1 @@
+lib/control/acc.mli: Cert Linalg Lti

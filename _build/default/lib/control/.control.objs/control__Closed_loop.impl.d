@@ -1,0 +1,1 @@
+lib/control/closed_loop.ml: Acc Array Attack Cert Data Float Lti Nn Random

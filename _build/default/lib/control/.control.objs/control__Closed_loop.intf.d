@@ -1,0 +1,1 @@
+lib/control/closed_loop.mli: Acc Nn

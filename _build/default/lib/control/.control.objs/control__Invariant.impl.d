@@ -1,0 +1,1 @@
+lib/control/invariant.ml: Acc Array Cert Float Linalg List Lp Lti

@@ -1,0 +1,1 @@
+lib/control/invariant.mli: Acc Linalg

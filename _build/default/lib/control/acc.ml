@@ -1,0 +1,68 @@
+module Mat = Linalg.Mat
+
+type params = {
+  k_gain : float array;
+  d_safe : Cert.Interval.t;
+  v_safe : Cert.Interval.t;
+  v_ref : Cert.Interval.t;
+  w_d : float;
+  w_v : float;
+  d_nominal : float;
+  v_nominal : float;
+}
+
+let default_params =
+  {
+    k_gain = [| 0.3617; -0.8582 |];
+    d_safe = Cert.Interval.make 0.5 1.9;
+    v_safe = Cert.Interval.make 0.1 0.7;
+    v_ref = Cert.Interval.make 0.2 0.6;
+    w_d = 5e-4;
+    w_v = 3e-5;
+    d_nominal = 1.2;
+    v_nominal = 0.4;
+  }
+
+let system p =
+  {
+    Lti.a = Mat.of_arrays [| [| 1.0; -0.1 |]; [| 0.0; 1.0 |] |];
+    b = Mat.of_arrays [| [| -0.005 |]; [| 0.1 |] |];
+    e = Mat.of_arrays [| [| -0.1 |]; [| 0.0 |] |];
+    k = Mat.of_arrays [| p.k_gain |];
+  }
+
+let safe_box p =
+  let half iv nominal =
+    Float.min
+      (nominal -. iv.Cert.Interval.lo)
+      (iv.Cert.Interval.hi -. nominal)
+  in
+  (half p.d_safe p.d_nominal, half p.v_safe p.v_nominal)
+
+let disturbance_vertices p ~dd_max =
+  let sys = system p in
+  let bk = Mat.mul sys.Lti.b sys.Lti.k in
+  let w1_max =
+    Float.max
+      (Float.abs (p.v_nominal -. p.v_ref.Cert.Interval.lo))
+      (Float.abs (p.v_nominal -. p.v_ref.Cert.Interval.hi))
+  in
+  let signs = [ -1.0; 1.0 ] in
+  List.concat_map
+    (fun s_dd ->
+      List.concat_map
+        (fun s_w1 ->
+          List.concat_map
+            (fun s_wd ->
+              List.map
+                (fun s_wv ->
+                  let est = Mat.mul_vec bk [| s_dd *. dd_max; 0.0 |] in
+                  let ext =
+                    Mat.mul_vec sys.Lti.e [| s_w1 *. w1_max |]
+                  in
+                  [| est.(0) +. ext.(0) +. (s_wd *. p.w_d);
+                     est.(1) +. ext.(1) +. (s_wv *. p.w_v) |])
+                signs)
+            signs)
+        signs)
+    signs

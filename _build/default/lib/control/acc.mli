@@ -1,0 +1,38 @@
+(** The paper's advanced-cruise-control case study: an ego vehicle
+    follows a reference vehicle using a camera-based distance estimate.
+
+    State [x = [d - 1.2; v_e - 0.4]] (normalised distance and ego
+    speed), dynamics
+
+    {[ x+ = [1 -0.1; 0 1] x + [-0.005; 0.1] u + E w1 + w2 ]}
+
+    with feedback [u = K xhat], [K = [0.3617 -0.8582]].
+
+    Note on the disturbance: the paper prints [E = [1; 0]] with
+    [w1 = 0.4 - v_r] in [-0.2, 0.2], but with a 100 ms sampling period
+    the distance can only change by [0.1 * (v_r - v_e)] per step, so we
+    use the physically consistent [E = [-0.1; 0]] (see DESIGN.md). *)
+
+type params = {
+  k_gain : float array;        (** feedback gain, length 2 *)
+  d_safe : Cert.Interval.t;    (** safe distance range *)
+  v_safe : Cert.Interval.t;    (** safe ego-speed range *)
+  v_ref : Cert.Interval.t;     (** reference-vehicle speed range *)
+  w_d : float;                 (** model-inaccuracy bound on distance *)
+  w_v : float;                 (** model-inaccuracy bound on speed *)
+  d_nominal : float;           (** 1.2 *)
+  v_nominal : float;           (** 0.4 *)
+}
+
+val default_params : params
+
+val system : params -> Lti.t
+
+val safe_box : params -> float * float
+(** Half-widths of the safe set in normalised coordinates:
+    [(0.7, 0.3)] for the defaults. *)
+
+val disturbance_vertices : params -> dd_max:float -> Linalg.Vec.t list
+(** All extreme values of the per-step additive disturbance
+    [B K [dd; 0] + E w1 + w2] for [|dd| <= dd_max] and the params'
+    disturbance bounds. *)

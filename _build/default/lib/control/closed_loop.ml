@@ -1,0 +1,102 @@
+type perturbation = No_attack | Fgsm of float
+
+type config = {
+  episodes : int;
+  steps : int;
+  seed : int;
+  perturbation : perturbation;
+  image_h : int;
+  image_w : int;
+  image_noise : float;
+  dd_bound : float;
+}
+
+let default_config =
+  { episodes = 50; steps = 100; seed = 7; perturbation = No_attack;
+    image_h = 24; image_w = 48; image_noise = 0.02; dd_bound = 0.14 }
+
+type outcome = {
+  episodes : int;
+  unsafe_episodes : int;
+  max_est_err : float;
+  err_exceedances : int;
+  steps_total : int;
+}
+
+let pixel_domain n = Array.make n (Cert.Interval.make 0.0 1.0)
+
+let simulate params net config =
+  let sys = Acc.system params in
+  let rng = Random.State.make [| config.seed; 0xc10 |] in
+  let n_pixels = 3 * config.image_h * config.image_w in
+  if Nn.Network.input_dim net <> n_pixels then
+    invalid_arg "Closed_loop.simulate: network input size";
+  let domain = pixel_domain n_pixels in
+  let unsafe = ref 0 and max_err = ref 0.0 and exceed = ref 0 in
+  let steps_total = ref 0 in
+  for _ep = 1 to config.episodes do
+    (* start near the nominal point *)
+    let d =
+      ref (params.Acc.d_nominal +. (Random.State.float rng 0.4 -. 0.2))
+    in
+    let v =
+      ref (params.Acc.v_nominal +. (Random.State.float rng 0.1 -. 0.05))
+    in
+    let v_ref =
+      ref
+        (params.Acc.v_ref.Cert.Interval.lo
+         +. Random.State.float rng (Cert.Interval.width params.Acc.v_ref))
+    in
+    let episode_unsafe = ref false in
+    for _step = 1 to config.steps do
+      incr steps_total;
+      (* perception *)
+      let image =
+        Data.Camera.render ~rng ~h:config.image_h ~w:config.image_w ~d:!d
+          ~noise:config.image_noise
+      in
+      let image =
+        match config.perturbation with
+        | No_attack -> image
+        | Fgsm delta ->
+            let clean_est = (Nn.Network.forward net image).(0) in
+            let true_target = Data.Camera.target_of_distance !d in
+            (* push the estimate further from the truth *)
+            let sign = if clean_est >= true_target then 1.0 else -1.0 in
+            Attack.Fgsm.against_output ~domain ~sign net ~x:image ~delta
+              ~j:0
+      in
+      let d_hat =
+        Data.Camera.distance_of_target (Nn.Network.forward net image).(0)
+      in
+      let err = d_hat -. !d in
+      if Float.abs err > !max_err then max_err := Float.abs err;
+      if Float.abs err > config.dd_bound then incr exceed;
+      (* control and dynamics *)
+      let x = [| !d -. params.Acc.d_nominal; !v -. params.Acc.v_nominal |] in
+      let est_err = [| err; 0.0 |] in
+      let w1 = [| params.Acc.v_nominal -. !v_ref |] in
+      let w2 =
+        [| params.Acc.w_d *. (Random.State.float rng 2.0 -. 1.0);
+           params.Acc.w_v *. (Random.State.float rng 2.0 -. 1.0) |]
+      in
+      let x' = Lti.step sys ~x ~est_err ~w1 ~w2 in
+      d := x'.(0) +. params.Acc.d_nominal;
+      v := x'.(1) +. params.Acc.v_nominal;
+      (* reference vehicle random walk *)
+      let vr =
+        !v_ref +. (0.02 *. (Random.State.float rng 2.0 -. 1.0))
+      in
+      v_ref :=
+        Float.max params.Acc.v_ref.Cert.Interval.lo
+          (Float.min params.Acc.v_ref.Cert.Interval.hi vr);
+      if
+        (not (Cert.Interval.contains params.Acc.d_safe !d))
+        || not (Cert.Interval.contains params.Acc.v_safe !v)
+      then episode_unsafe := true
+    done;
+    if !episode_unsafe then incr unsafe
+  done;
+  { episodes = config.episodes; unsafe_episodes = !unsafe;
+    max_est_err = !max_err; err_exceedances = !exceed;
+    steps_total = !steps_total }

@@ -1,0 +1,37 @@
+(** Closed-loop simulation of the ACC system with a perception DNN in
+    the loop — the paper's Webots deployment experiment.
+
+    Each episode: the ego vehicle starts near the nominal point; every
+    100 ms step renders a camera image of the lead vehicle at the true
+    distance, optionally applies an FGSM perturbation with budget
+    [delta] to the image, feeds it to the distance-estimation network,
+    and closes the loop with the state-feedback controller while the
+    reference vehicle's speed drifts randomly. *)
+
+type perturbation = No_attack | Fgsm of float
+
+type config = {
+  episodes : int;
+  steps : int;             (** steps per episode *)
+  seed : int;
+  perturbation : perturbation;
+  image_h : int;
+  image_w : int;
+  image_noise : float;
+  dd_bound : float;        (** estimation-error bound to monitor,
+                               e.g. the verified 0.14 *)
+}
+
+val default_config : config
+
+type outcome = {
+  episodes : int;
+  unsafe_episodes : int;   (** episodes leaving the safe set *)
+  max_est_err : float;     (** largest |dhat - d| observed *)
+  err_exceedances : int;   (** steps where |dhat - d| > dd_bound *)
+  steps_total : int;
+}
+
+val simulate : Acc.params -> Nn.Network.t -> config -> outcome
+(** The network must map an image of [3 * image_h * image_w] pixels to
+    a single output, the normalised distance [d - 1.2]. *)

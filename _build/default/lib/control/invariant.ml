@@ -1,0 +1,230 @@
+module Mat = Linalg.Mat
+
+type mpi_result = {
+  iterations : int;
+  n_constraints : int;
+  converged : bool;
+  nonempty : bool;
+  contains_nominal : bool;
+  safe : bool;
+  constraints : (float array * float) list;
+}
+
+type ellipsoid = {
+  p : Mat.t;
+  gamma : float;
+  m : float;
+  level : float;
+  extent : float * float;
+  safe : bool;
+}
+
+(* Solve a small dense linear system by Gaussian elimination with
+   partial pivoting. *)
+let solve_linear a b =
+  let n = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for i = col + 1 to n - 1 do
+      if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
+    done;
+    if Float.abs a.(!piv).(col) < 1e-12 then
+      failwith "Invariant: singular linear system (is Acl Schur-stable?)";
+    if !piv <> col then begin
+      let t = a.(col) in a.(col) <- a.(!piv); a.(!piv) <- t;
+      let t = b.(col) in b.(col) <- b.(!piv); b.(!piv) <- t
+    end;
+    for i = col + 1 to n - 1 do
+      let f = a.(i).(col) /. a.(col).(col) in
+      for k = col to n - 1 do
+        a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k))
+      done;
+      b.(i) <- b.(i) -. (f *. b.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (a.(i).(k) *. x.(k))
+    done;
+    x.(i) <- !acc /. a.(i).(i)
+  done;
+  x
+
+let lyapunov_2x2 acl =
+  let a = Mat.get acl 0 0 and b = Mat.get acl 0 1 in
+  let c = Mat.get acl 1 0 and d = Mat.get acl 1 1 in
+  let sys =
+    [| [| (a *. a) -. 1.0; 2.0 *. a *. c; c *. c |];
+       [| a *. b; (a *. d) +. (b *. c) -. 1.0; c *. d |];
+       [| b *. b; 2.0 *. b *. d; (d *. d) -. 1.0 |] |]
+  in
+  let rhs = [| -1.0; 0.0; -1.0 |] in
+  let p = solve_linear sys rhs in
+  Mat.of_arrays [| [| p.(0); p.(1) |]; [| p.(1); p.(2) |] |]
+
+let pnorm p x =
+  let px = Mat.mul_vec p x in
+  sqrt (Float.max 0.0 (Linalg.Vec.dot x px))
+
+let contraction p acl =
+  let m = Mat.mul (Mat.mul (Mat.transpose acl) p) acl in
+  let p11 = Mat.get p 0 0 and p12 = Mat.get p 0 1 and p22 = Mat.get p 1 1 in
+  let m11 = Mat.get m 0 0 and m12 = Mat.get m 0 1 and m22 = Mat.get m 1 1 in
+  let qa = (p11 *. p22) -. (p12 *. p12) in
+  let qb = -.((p11 *. m22) +. (p22 *. m11) -. (2.0 *. p12 *. m12)) in
+  let qc = (m11 *. m22) -. (m12 *. m12) in
+  let disc = Float.max 0.0 ((qb *. qb) -. (4.0 *. qa *. qc)) in
+  let lambda_max = ((-.qb) +. sqrt disc) /. (2.0 *. qa) in
+  sqrt (Float.max 0.0 lambda_max)
+
+(* Support function of the per-step disturbance set along direction r:
+   the disturbance is BK [dd; 0] + E w1 + w2 over independent symmetric
+   intervals, so the support decomposes into absolute values. *)
+let disturbance_support params ~dd_max r =
+  let sys = Acc.system params in
+  let bk = Mat.mul sys.Lti.b sys.Lti.k in
+  let w1_max =
+    let p = params in
+    Float.max
+      (Float.abs (p.Acc.v_nominal -. p.Acc.v_ref.Cert.Interval.lo))
+      (Float.abs (p.Acc.v_nominal -. p.Acc.v_ref.Cert.Interval.hi))
+  in
+  let bk_dd = (r.(0) *. Mat.get bk 0 0) +. (r.(1) *. Mat.get bk 1 0) in
+  let e_w1 = (r.(0) *. Mat.get sys.Lti.e 0 0)
+             +. (r.(1) *. Mat.get sys.Lti.e 1 0) in
+  (Float.abs bk_dd *. dd_max)
+  +. (Float.abs e_w1 *. w1_max)
+  +. (Float.abs r.(0) *. params.Acc.w_d)
+  +. (Float.abs r.(1) *. params.Acc.w_v)
+
+(* Is [row . x <= rhs] implied by the constraint list?  Decided by
+   maximising [row . x] over the constraints with the LP solver. *)
+let redundant constraints ~box (row, rhs) =
+  let model = Lp.Model.create () in
+  let s1, s2 = box in
+  let x1 = Lp.Model.add_var ~lo:(-.s1) ~hi:s1 model in
+  let x2 = Lp.Model.add_var ~lo:(-.s2) ~hi:s2 model in
+  List.iter
+    (fun (r, h) ->
+      Lp.Model.add_constr model [ (x1, r.(0)); (x2, r.(1)) ] Lp.Model.Le h)
+    constraints;
+  Lp.Model.set_objective model Lp.Model.Maximize
+    [ (x1, row.(0)); (x2, row.(1)) ];
+  let sol = Lp.Simplex.solve model in
+  match sol.Lp.Simplex.status with
+  | Lp.Simplex.Optimal -> sol.Lp.Simplex.obj <= rhs +. 1e-9
+  | Lp.Simplex.Infeasible -> true (* empty set: everything is implied *)
+  | Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit -> false
+
+let feasible constraints ~box =
+  let model = Lp.Model.create () in
+  let s1, s2 = box in
+  let x1 = Lp.Model.add_var ~lo:(-.s1) ~hi:s1 model in
+  let x2 = Lp.Model.add_var ~lo:(-.s2) ~hi:s2 model in
+  List.iter
+    (fun (r, h) ->
+      Lp.Model.add_constr model [ (x1, r.(0)); (x2, r.(1)) ] Lp.Model.Le h)
+    constraints;
+  Lp.Model.set_objective model Lp.Model.Minimize [];
+  (Lp.Simplex.solve model).Lp.Simplex.status = Lp.Simplex.Optimal
+
+let mpi_analysis ?(max_iter = 400) params ~dd_max =
+  let sys = Acc.system params in
+  let acl = Lti.closed_loop_a sys in
+  let s1, s2 = Acc.safe_box params in
+  let box = (s1, s2) in
+  let base_rows =
+    [ ([| 1.0; 0.0 |], s1); ([| -1.0; 0.0 |], s1);
+      ([| 0.0; 1.0 |], s2); ([| 0.0; -1.0 |], s2) ]
+  in
+  (* state per base row: current direction r_k = r0 Acl^k and the
+     accumulated disturbance support gamma_k *)
+  let state =
+    ref (List.map (fun (r, h) -> (r, h, 0.0)) base_rows)
+  in
+  let constraints = ref (List.map (fun (r, h) -> (r, h)) base_rows) in
+  let converged = ref false in
+  let iterations = ref 0 in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    (* advance every tracked direction one step: r <- r Acl,
+       gamma <- gamma + support(previous r) *)
+    let next =
+      List.map
+        (fun (r, h, gamma) ->
+          let gamma' = gamma +. disturbance_support params ~dd_max r in
+          let r' =
+            [| (r.(0) *. Mat.get acl 0 0) +. (r.(1) *. Mat.get acl 1 0);
+               (r.(0) *. Mat.get acl 0 1) +. (r.(1) *. Mat.get acl 1 1) |]
+          in
+          (r', h, gamma'))
+        !state
+    in
+    state := next;
+    let fresh =
+      List.filter_map
+        (fun (r, h, gamma) ->
+          let rhs = h -. gamma in
+          if redundant !constraints ~box (r, rhs) then None
+          else Some (r, rhs))
+        next
+    in
+    if fresh = [] then converged := true
+    else constraints := !constraints @ fresh
+  done;
+  let nonempty = feasible !constraints ~box in
+  let contains_nominal =
+    List.for_all (fun (_, h) -> h >= -1e-9) !constraints
+  in
+  { iterations = !iterations;
+    n_constraints = List.length !constraints;
+    converged = !converged;
+    nonempty;
+    contains_nominal;
+    safe = !converged && nonempty && contains_nominal;
+    constraints = !constraints }
+
+let max_safe_estimation_error ?(tol = 1e-3) params =
+  if not (mpi_analysis params ~dd_max:0.0).safe then 0.0
+  else begin
+    let lo = ref 0.0 and hi = ref 1.0 in
+    while (mpi_analysis params ~dd_max:!hi).safe && !hi < 64.0 do
+      hi := !hi *. 2.0
+    done;
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if (mpi_analysis params ~dd_max:mid).safe then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let analyse_ellipsoid params ~dd_max =
+  let sys = Acc.system params in
+  let acl = Lti.closed_loop_a sys in
+  let p = lyapunov_2x2 acl in
+  let gamma = contraction p acl in
+  let m =
+    List.fold_left
+      (fun acc d -> Float.max acc (pnorm p d))
+      0.0
+      (Acc.disturbance_vertices params ~dd_max)
+  in
+  let level =
+    if gamma >= 1.0 then infinity
+    else begin
+      let r = m /. (1.0 -. gamma) in
+      r *. r
+    end
+  in
+  let det = (Mat.get p 0 0 *. Mat.get p 1 1) -. (Mat.get p 0 1 ** 2.0) in
+  let inv11 = Mat.get p 1 1 /. det and inv22 = Mat.get p 0 0 /. det in
+  let extent =
+    ( sqrt (Float.max 0.0 (level *. inv11)),
+      sqrt (Float.max 0.0 (level *. inv22)) )
+  in
+  let s1, s2 = Acc.safe_box params in
+  let e1, e2 = extent in
+  { p; gamma; m; level; extent; safe = e1 <= s1 && e2 <= s2 }

@@ -1,0 +1,14 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = { a : Mat.t; b : Mat.t; e : Mat.t; k : Mat.t }
+
+let closed_loop_a sys = Mat.add sys.a (Mat.mul sys.b sys.k)
+
+let step sys ~x ~est_err ~w1 ~w2 =
+  let xhat = Vec.add x est_err in
+  let u = Mat.mul_vec sys.k xhat in
+  let x' = Mat.mul_vec sys.a x in
+  let bu = Mat.mul_vec sys.b u in
+  let ew = Mat.mul_vec sys.e w1 in
+  Vec.add (Vec.add (Vec.add x' bu) ew) w2

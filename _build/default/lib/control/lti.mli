@@ -1,0 +1,19 @@
+(** Discrete-time linear time-invariant systems
+    [x(k+1) = A x(k) + B u(k) + E w1(k) + w2(k)]
+    with state feedback [u = K xhat] on an estimated state. *)
+
+type t = {
+  a : Linalg.Mat.t;
+  b : Linalg.Mat.t;        (** n x m input matrix *)
+  e : Linalg.Mat.t;        (** n x p external-disturbance matrix *)
+  k : Linalg.Mat.t;        (** m x n feedback gain *)
+}
+
+val closed_loop_a : t -> Linalg.Mat.t
+(** [A + B K]. *)
+
+val step :
+  t -> x:Linalg.Vec.t -> est_err:Linalg.Vec.t -> w1:Linalg.Vec.t ->
+  w2:Linalg.Vec.t -> Linalg.Vec.t
+(** One step with [xhat = x + est_err]:
+    [x' = (A + BK) x + BK est_err + E w1 + w2]. *)

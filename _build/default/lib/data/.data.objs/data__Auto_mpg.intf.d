@@ -1,0 +1,1 @@
+lib/data/auto_mpg.mli: Dataset

@@ -1,0 +1,1 @@
+lib/data/camera.ml: Array Dataset Float Random

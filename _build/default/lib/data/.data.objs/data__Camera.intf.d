@@ -1,0 +1,1 @@
+lib/data/camera.mli: Dataset Random

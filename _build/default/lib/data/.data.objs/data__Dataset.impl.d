@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Float Fun Linalg Random

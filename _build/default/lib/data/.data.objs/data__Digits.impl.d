@@ -1,0 +1,1 @@
+lib/data/digits.ml: Array Dataset Float List Printf Random

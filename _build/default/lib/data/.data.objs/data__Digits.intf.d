@@ -1,0 +1,1 @@
+lib/data/digits.mli: Dataset Random

@@ -1,0 +1,76 @@
+let d_min = 0.5
+let d_max = 1.9
+
+let target_of_distance d = d -. 1.2
+
+let distance_of_target t = t +. 1.2
+
+let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
+
+let render ~rng ~h ~w ~d ~noise =
+  let img = Array.make (3 * h * w) 0.0 in
+  let fh = float_of_int h and fw = float_of_int w in
+  let horizon = 0.42 in
+  (* apparent size from distance: calibrated so the car fills ~55% of
+     the width at d_min and ~18% at d_max *)
+  let apparent = 0.28 /. (d +. 0.02) in
+  let car_w = Float.min 0.9 (2.0 *. apparent) in
+  let car_h = 0.8 *. apparent in
+  let lateral = (Random.State.float rng 0.12) -. 0.06 in
+  let cx = 0.5 +. lateral in
+  (* farther cars sit closer to the horizon *)
+  let car_bottom = horizon +. (0.5 -. horizon) *. (1.25 *. apparent +. 0.25) in
+  let car_top = car_bottom -. car_h in
+  let body_r = 0.75 +. Random.State.float rng 0.1 in
+  let set c py px v =
+    let idx = (c * h * w) + (py * w) + px in
+    img.(idx) <- v
+  in
+  for py = 0 to h - 1 do
+    let fy = (float_of_int py +. 0.5) /. fh in
+    for px = 0 to w - 1 do
+      let fx = (float_of_int px +. 0.5) /. fw in
+      (* background: sky above the horizon, road below *)
+      let r, g, b =
+        if fy < horizon then (0.55, 0.7, 0.9)
+        else begin
+          let depth = (fy -. horizon) /. (1.0 -. horizon) in
+          let road = 0.3 +. (0.15 *. depth) in
+          (* dashed centre lane marking, converging at the horizon *)
+          let lane_half = 0.01 +. (0.02 *. depth) in
+          let on_lane =
+            Float.abs (fx -. 0.5) < lane_half
+            && Float.rem (depth *. 8.0) 2.0 < 1.2
+          in
+          if on_lane then (0.85, 0.85, 0.8) else (road, road, road +. 0.02)
+        end
+      in
+      (* lead vehicle body *)
+      let r, g, b =
+        if fy >= car_top && fy <= car_bottom
+           && Float.abs (fx -. cx) <= car_w /. 2.0
+        then begin
+          let within_y = (fy -. car_top) /. Float.max 1e-6 car_h in
+          if within_y > 0.75 then (0.15, 0.15, 0.18) (* bumper shadow *)
+          else if within_y < 0.3 then (0.2, 0.25, 0.35) (* rear window *)
+          else (body_r, 0.1, 0.12) (* red body *)
+        end
+        else (r, g, b)
+      in
+      let jitter () = noise *. ((2.0 *. Random.State.float rng 1.0) -. 1.0) in
+      set 0 py px (clamp01 (r +. jitter ()));
+      set 1 py px (clamp01 (g +. jitter ()));
+      set 2 py px (clamp01 (b +. jitter ()))
+    done
+  done;
+  img
+
+let generate ?(noise = 0.02) ~h ~w ~n ~seed () =
+  let rng = Random.State.make [| seed; 0xacc |] in
+  let xs = Array.make n [||] and ys = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let d = d_min +. Random.State.float rng (d_max -. d_min) in
+    xs.(i) <- render ~rng ~h ~w ~d ~noise;
+    ys.(i) <- [| target_of_distance d |]
+  done;
+  { Dataset.xs; ys }

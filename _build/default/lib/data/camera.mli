@@ -1,0 +1,32 @@
+(** Synthetic front-camera renderer for the ACC case study — the
+    stand-in for the paper's Webots simulation.
+
+    Renders an [3 x h x w] RGB image (channel-major, values in [0,1])
+    of a lead vehicle seen from the ego vehicle at longitudinal
+    distance [d].  Perspective is approximated by size-from-distance:
+    the lead vehicle's apparent width/height and its vertical position
+    scale with [1/d].  Road, sky, lane markings, per-sample lateral
+    jitter and pixel noise make the regression non-trivial, exactly the
+    role the Webots images play for the paper's distance-estimation
+    DNN. *)
+
+val d_min : float
+(** 0.5 — the closest distance in the safe operating range. *)
+
+val d_max : float
+(** 1.9 — the farthest. *)
+
+val render :
+  rng:Random.State.t -> h:int -> w:int -> d:float -> noise:float ->
+  float array
+(** One [3*h*w] image. *)
+
+val generate :
+  ?noise:float -> h:int -> w:int -> n:int -> seed:int -> unit -> Dataset.t
+(** Samples [d] uniformly in [\[d_min, d_max\]]; the target is the
+    normalised distance [(d - 1.2)] (the paper's state coordinate).
+    Default [noise = 0.02]. *)
+
+val target_of_distance : float -> float
+
+val distance_of_target : float -> float

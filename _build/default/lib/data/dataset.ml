@@ -1,0 +1,36 @@
+type t = { xs : float array array; ys : float array array }
+
+let length t = Array.length t.xs
+
+let split t ~train_fraction =
+  let n = length t in
+  let k =
+    max 1 (min (n - 1) (int_of_float (train_fraction *. float_of_int n)))
+  in
+  ( { xs = Array.sub t.xs 0 k; ys = Array.sub t.ys 0 k },
+    { xs = Array.sub t.xs k (n - k); ys = Array.sub t.ys k (n - k) } )
+
+let one_hot n k =
+  let v = Array.make n 0.0 in
+  v.(k) <- 1.0;
+  v
+
+let labels t = Array.map Linalg.Vec.argmax t.ys
+
+let shuffle ~seed t =
+  let rng = Random.State.make [| seed |] in
+  let n = length t in
+  let order = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  { xs = Array.map (fun i -> t.xs.(i)) order;
+    ys = Array.map (fun i -> t.ys.(i)) order }
+
+let feature_range t k =
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x.(k), Float.max hi x.(k)))
+    (infinity, neg_infinity) t.xs

@@ -1,0 +1,22 @@
+(** Common dataset representation and utilities. *)
+
+type t = {
+  xs : float array array;   (** one input vector per sample *)
+  ys : float array array;   (** one target vector per sample *)
+}
+
+val length : t -> int
+
+val split : t -> train_fraction:float -> t * t
+(** Deterministic prefix split (generators already shuffle). *)
+
+val one_hot : int -> int -> float array
+(** [one_hot n k] is the [n]-dim indicator of class [k]. *)
+
+val labels : t -> int array
+(** Argmax of each target vector (classification datasets). *)
+
+val shuffle : seed:int -> t -> t
+
+val feature_range : t -> int -> float * float
+(** (min, max) of feature [k] across samples. *)

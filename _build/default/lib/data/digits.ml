@@ -1,0 +1,81 @@
+(* Seven-segment layout:
+      _a_
+     f| |b
+      -g-
+     e| |c
+      _d_
+   Each digit lights a subset of segments; segments are drawn as
+   rectangles in a normalised [0,1]^2 box and rasterised with jitter. *)
+
+let segments_of_digit = function
+  | 0 -> [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ]
+  | 1 -> [ 'b'; 'c' ]
+  | 2 -> [ 'a'; 'b'; 'g'; 'e'; 'd' ]
+  | 3 -> [ 'a'; 'b'; 'g'; 'c'; 'd' ]
+  | 4 -> [ 'f'; 'g'; 'b'; 'c' ]
+  | 5 -> [ 'a'; 'f'; 'g'; 'c'; 'd' ]
+  | 6 -> [ 'a'; 'f'; 'g'; 'e'; 'c'; 'd' ]
+  | 7 -> [ 'a'; 'b'; 'c' ]
+  | 8 -> [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g' ]
+  | 9 -> [ 'a'; 'b'; 'c'; 'd'; 'f'; 'g' ]
+  | d -> invalid_arg (Printf.sprintf "Digits: digit %d" d)
+
+(* segment -> (x0, y0, x1, y1) in the unit box, y growing downward *)
+let segment_box = function
+  | 'a' -> (0.15, 0.05, 0.85, 0.18)
+  | 'b' -> (0.72, 0.10, 0.90, 0.52)
+  | 'c' -> (0.72, 0.48, 0.90, 0.90)
+  | 'd' -> (0.15, 0.82, 0.85, 0.95)
+  | 'e' -> (0.10, 0.48, 0.28, 0.90)
+  | 'f' -> (0.10, 0.10, 0.28, 0.52)
+  | 'g' -> (0.15, 0.44, 0.85, 0.56)
+  | c -> invalid_arg (Printf.sprintf "Digits: segment %c" c)
+
+let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
+
+let render ~rng ~h ~w ~digit ~noise =
+  let img = Array.make (h * w) 0.0 in
+  let segs = segments_of_digit digit in
+  (* per-sample geometric jitter *)
+  let scale = 0.85 +. Random.State.float rng 0.25 in
+  let ox = (Random.State.float rng 0.2) -. 0.1 in
+  let oy = (Random.State.float rng 0.2) -. 0.1 in
+  let soft = 0.06 +. Random.State.float rng 0.06 in
+  List.iter
+    (fun seg ->
+      let x0, y0, x1, y1 = segment_box seg in
+      let tx v = ((v -. 0.5) *. scale) +. 0.5 +. ox in
+      let ty v = ((v -. 0.5) *. scale) +. 0.5 +. oy in
+      let x0 = tx x0 and x1 = tx x1 and y0 = ty y0 and y1 = ty y1 in
+      for py = 0 to h - 1 do
+        for px = 0 to w - 1 do
+          let fx = (float_of_int px +. 0.5) /. float_of_int w in
+          let fy = (float_of_int py +. 0.5) /. float_of_int h in
+          (* soft rectangle: distance outside the box, smoothed *)
+          let dx =
+            Float.max 0.0 (Float.max (x0 -. fx) (fx -. x1))
+          in
+          let dy =
+            Float.max 0.0 (Float.max (y0 -. fy) (fy -. y1))
+          in
+          let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+          let v = clamp01 (1.0 -. (d /. soft)) in
+          let idx = (py * w) + px in
+          img.(idx) <- Float.max img.(idx) v
+        done
+      done)
+    segs;
+  Array.map
+    (fun v ->
+      clamp01 (v +. (noise *. ((2.0 *. Random.State.float rng 1.0) -. 1.0))))
+    img
+
+let generate ?(noise = 0.05) ~h ~w ~n ~seed () =
+  let rng = Random.State.make [| seed; 0x4d4e |] in
+  let xs = Array.make n [||] and ys = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let digit = i mod 10 in
+    xs.(i) <- render ~rng ~h ~w ~digit ~noise;
+    ys.(i) <- Dataset.one_hot 10 digit
+  done;
+  Dataset.shuffle ~seed:(seed + 1) { Dataset.xs; ys }

@@ -1,0 +1,17 @@
+(** Procedural MNIST stand-in: seven-segment-style digit images.
+
+    Renders digits 0-9 as anti-aliased segment strokes on an [h] x [w]
+    grayscale canvas with per-sample position/scale jitter, stroke
+    thickness variation and pixel noise, then normalises to [0, 1].
+    Classification networks of the paper's MNIST shapes train to high
+    accuracy on it while the certification pipeline sees the same kind
+    of input domain ([0,1]^(h*w) pixel box). *)
+
+val render :
+  rng:Random.State.t -> h:int -> w:int -> digit:int -> noise:float ->
+  float array
+(** One [h*w] image (row-major, single channel). *)
+
+val generate :
+  ?noise:float -> h:int -> w:int -> n:int -> seed:int -> unit -> Dataset.t
+(** Balanced classes, one-hot targets.  Default [noise = 0.05]. *)

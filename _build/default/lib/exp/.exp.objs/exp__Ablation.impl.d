@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Array Cert Float Format List Milp Models Nn Random

@@ -1,0 +1,1 @@
+lib/exp/case_study.ml: Array Cert Control Data Float Format List Models Nn

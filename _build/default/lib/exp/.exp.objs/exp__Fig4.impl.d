@@ -1,0 +1,1 @@
+lib/exp/fig4.ml: Array Cert Format Linalg List Nn

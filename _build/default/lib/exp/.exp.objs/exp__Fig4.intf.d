@@ -1,0 +1,1 @@
+lib/exp/fig4.mli: Cert Format Nn

@@ -1,0 +1,1 @@
+lib/exp/models.ml: Data Filename List Nn Option Random Sys

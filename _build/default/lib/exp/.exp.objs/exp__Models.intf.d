@@ -1,0 +1,1 @@
+lib/exp/models.mli: Data Nn

@@ -1,0 +1,1 @@
+lib/exp/table1.ml: Array Attack Cert Data Format List Milp Models Nn

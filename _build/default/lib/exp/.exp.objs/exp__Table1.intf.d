@@ -1,0 +1,1 @@
+lib/exp/table1.mli: Cert Format Models

@@ -1,0 +1,87 @@
+type certification = {
+  dd1 : float;
+  dd2 : float;
+  dd_total : float;
+  dd_safe : float;
+  verified_safe : bool;
+  cert_runtime : float;
+}
+
+let default_config =
+  { Cert.Certifier.default_config with
+    Cert.Certifier.window = 2;
+    refine = Cert.Certifier.Count 4 }
+
+let certify ?(config = default_config) ?(delta = 2.0 /. 255.0)
+    (trained : Models.trained) =
+  let net = trained.Models.net in
+  (* worst model inaccuracy over the held-out set *)
+  let dd1 =
+    Array.fold_left Float.max 0.0
+      (Array.mapi
+         (fun i x ->
+           let pred = (Nn.Network.forward net x).(0) in
+           Float.abs (pred -. trained.Models.dataset.Data.Dataset.ys.(i).(0)))
+         trained.Models.dataset.Data.Dataset.xs)
+  in
+  let report = Cert.Certifier.certify_box ~config net ~lo:0.0 ~hi:1.0 ~delta in
+  let dd2 = report.Cert.Certifier.eps.(0) in
+  let dd_safe =
+    Control.Invariant.max_safe_estimation_error Control.Acc.default_params
+  in
+  let dd_total = dd1 +. dd2 in
+  { dd1; dd2; dd_total; dd_safe;
+    verified_safe = dd_total <= dd_safe;
+    cert_runtime = report.Cert.Certifier.runtime }
+
+type sweep_point = {
+  delta_attack : float;
+  unsafe_fraction : float;
+  exceed_fraction : float;
+  max_est_err : float;
+}
+
+let fgsm_sweep ?(episodes = 30) ?(steps = 80) ~h ~w ~dd_bound ~deltas params
+    (trained : Models.trained) =
+  List.map
+    (fun delta ->
+      let config =
+        { Control.Closed_loop.default_config with
+          Control.Closed_loop.episodes;
+          steps;
+          image_h = h;
+          image_w = w;
+          dd_bound;
+          perturbation =
+            (if delta <= 0.0 then Control.Closed_loop.No_attack
+             else Control.Closed_loop.Fgsm delta) }
+      in
+      let o = Control.Closed_loop.simulate params trained.Models.net config in
+      { delta_attack = delta;
+        unsafe_fraction =
+          float_of_int o.Control.Closed_loop.unsafe_episodes
+          /. float_of_int (max 1 o.Control.Closed_loop.episodes);
+        exceed_fraction =
+          float_of_int o.Control.Closed_loop.err_exceedances
+          /. float_of_int (max 1 o.Control.Closed_loop.steps_total);
+        max_est_err = o.Control.Closed_loop.max_est_err })
+    deltas
+
+let print_certification fmt c =
+  Format.fprintf fmt
+    "@[<v>DNN model inaccuracy      |dd1| <= %.4f@,\
+     certified output variation |dd2| <= %.4f  (%.1fs)@,\
+     total estimation error    |dd|  <= %.4f@,\
+     invariant-set safe bound          %.4f@,\
+     verdict: %s@]@."
+    c.dd1 c.dd2 c.cert_runtime c.dd_total c.dd_safe
+    (if c.verified_safe then "SAFE (certified)" else "NOT verified safe")
+
+let print_sweep fmt points =
+  Format.fprintf fmt "%-12s %-14s %-16s %-12s@." "delta" "unsafe-eps"
+    "err>bound steps" "max |err|";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-12.4f %-14.2f %-16.4f %-12.4f@." p.delta_attack
+        p.unsafe_fraction p.exceed_fraction p.max_est_err)
+    points

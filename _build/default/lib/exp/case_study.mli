@@ -1,0 +1,39 @@
+(** The control-safety case study (Section III-B): certify the global
+    robustness of the camera-based distance estimator, combine it with
+    the model-inaccuracy bound, verify closed-loop safety by invariant
+    set, then stress the loop with FGSM in simulation. *)
+
+type certification = {
+  dd1 : float;        (** worst model inaccuracy over the dataset *)
+  dd2 : float;        (** certified output variation bound (ours) *)
+  dd_total : float;   (** dd1 + dd2 *)
+  dd_safe : float;    (** largest estimation error verified safe *)
+  verified_safe : bool;  (** dd_total <= dd_safe *)
+  cert_runtime : float;
+}
+
+val default_config : Cert.Certifier.config
+(** Window 2, 16 refined neurons per sub-problem. *)
+
+val certify :
+  ?config:Cert.Certifier.config -> ?delta:float -> Models.trained ->
+  certification
+(** Default [delta = 2/255], {!default_config}. *)
+
+type sweep_point = {
+  delta_attack : float;
+  unsafe_fraction : float;
+  exceed_fraction : float;  (** steps where |dhat - d| > dd_safe *)
+  max_est_err : float;
+}
+
+val fgsm_sweep :
+  ?episodes:int -> ?steps:int -> h:int -> w:int -> dd_bound:float ->
+  deltas:float list -> Control.Acc.params -> Models.trained ->
+  sweep_point list
+(** Closed-loop simulations under FGSM with each attack budget —
+    the paper's 2/255, 5/255, 10/255 sweep. *)
+
+val print_certification : Format.formatter -> certification -> unit
+
+val print_sweep : Format.formatter -> sweep_point list -> unit

@@ -1,0 +1,73 @@
+let example_network () =
+  let w1 = Linalg.Mat.of_arrays [| [| 1.0; 0.5 |]; [| -0.5; 1.0 |] |] in
+  let w2 = Linalg.Mat.of_arrays [| [| 1.0; -1.0 |] |] in
+  Nn.Network.make
+    [ Nn.Layer.dense ~relu:true ~weight:w1 ~bias:[| 0.0; 0.0 |] ();
+      Nn.Layer.dense ~relu:true ~weight:w2 ~bias:[| 0.0 |] () ]
+
+type entry = {
+  name : string;
+  computed : Cert.Interval.t;
+  paper : Cert.Interval.t option;
+}
+
+let run () =
+  let net = example_network () in
+  let delta = 0.1 in
+  let domain = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+  let x0 = [| 0.0; 0.0 |] in
+  let iv = Cert.Interval.make in
+  let local_exact = (Cert.Local.exact net ~x0 ~delta).Cert.Local.range.(0) in
+  let local_nd =
+    (Cert.Local.nd ~window:1 net ~x0 ~delta).Cert.Local.range.(0)
+  in
+  let local_lpr = (Cert.Local.lpr net ~x0 ~delta).Cert.Local.range.(0) in
+  let g_exact =
+    (Cert.Exact.global_btne net ~input:domain ~delta).Cert.Exact.per_output.(0)
+  in
+  let btne_nd =
+    (Cert.Variants.btne_nd ~window:1 net ~input:domain ~delta)
+      .Cert.Variants.delta_out.(0)
+  in
+  let btne_lpr =
+    (Cert.Variants.btne_lpr net ~input:domain ~delta)
+      .Cert.Variants.delta_out.(0)
+  in
+  let itne_nd =
+    (Cert.Variants.itne_nd ~window:1 net ~input:domain ~delta)
+      .Cert.Variants.delta_out.(0)
+  in
+  let itne_lpr =
+    (Cert.Variants.itne_lpr net ~input:domain ~delta)
+      .Cert.Variants.delta_out.(0)
+  in
+  let algo1 = Cert.Certifier.certify net ~input:domain ~delta in
+  let e = algo1.Cert.Certifier.eps.(0) in
+  [ { name = "local exact"; computed = local_exact;
+      paper = Some (iv 0.0 0.125) };
+    { name = "local ND (W=1)"; computed = local_nd;
+      paper = Some (iv 0.0 0.15) };
+    { name = "local LPR"; computed = local_lpr;
+      paper = Some (iv 0.0 0.144) };
+    { name = "global exact"; computed = g_exact;
+      paper = Some (iv (-0.2) 0.2) };
+    { name = "global BTNE-ND (W=1)"; computed = btne_nd;
+      paper = Some (iv (-1.5) 1.5) };
+    { name = "global BTNE-LPR"; computed = btne_lpr;
+      paper = Some (iv (-2.85) 1.5) };
+    { name = "global ITNE-ND (W=1)"; computed = itne_nd;
+      paper = Some (iv (-0.3) 0.3) };
+    { name = "global ITNE-LPR"; computed = itne_lpr;
+      paper = Some (iv (-0.275) 0.275) };
+    { name = "Algorithm 1 (W=2)"; computed = iv (-.e) e; paper = None } ]
+
+let print fmt entries =
+  Format.fprintf fmt "%-22s %-20s %-20s@." "technique" "computed" "paper";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-22s %-20s %-20s@." e.name
+        (Cert.Interval.to_string e.computed)
+        (match e.paper with
+         | Some p -> Cert.Interval.to_string p
+         | None -> "-"))
+    entries

@@ -1,0 +1,20 @@
+(** The paper's illustrating example (Fig. 1 network, Fig. 4 table):
+    every local and global certification technique on the 2-2-1
+    network, with the paper's reference values for comparison. *)
+
+val example_network : unit -> Nn.Network.t
+(** The Fig. 1 network: weights [[1 0.5; -0.5 1]] then [[1 -1]], zero
+    bias, ReLU on both layers. *)
+
+type entry = {
+  name : string;
+  computed : Cert.Interval.t;
+  paper : Cert.Interval.t option;  (** the value printed in Fig. 4 *)
+}
+
+val run : unit -> entry list
+(** All rows: local exact/ND/LPR and global exact, BTNE-ND, BTNE-LPR,
+    ITNE-ND, ITNE-LPR plus Algorithm 1, with [delta = 0.1],
+    domain [\[-1,1\]^2], sample [x0 = 0]. *)
+
+val print : Format.formatter -> entry list -> unit

@@ -1,0 +1,152 @@
+type trained = {
+  id : string;
+  net : Nn.Network.t;
+  test_metric : float;
+  dataset : Data.Dataset.t;
+}
+
+let cache_dir = ref "artifacts"
+
+let cache_path id = Filename.concat !cache_dir (id ^ ".net")
+
+let ensure_cache_dir () =
+  if not (Sys.file_exists !cache_dir) then Sys.mkdir !cache_dir 0o755
+
+let with_cache ~id ~train_fn ~metric_fn ~dataset =
+  ensure_cache_dir ();
+  let path = cache_path id in
+  let net =
+    if Sys.file_exists path then Nn.Io.load path
+    else begin
+      let net = train_fn () in
+      Nn.Io.save net path;
+      net
+    end
+  in
+  { id; net; test_metric = metric_fn net; dataset }
+
+let auto_mpg_net ?(seed = 11) ~id ~sizes () =
+  let h1, h2 = sizes in
+  let ds = Data.Auto_mpg.generate ~n:400 ~seed () in
+  let train, test = Data.Dataset.split ds ~train_fraction:0.8 in
+  let train_fn () =
+    let rng = Random.State.make [| seed; h1; h2 |] in
+    let net =
+      Nn.Network.make
+        [ Nn.Layer.dense_random ~relu:true ~rng ~in_dim:Data.Auto_mpg.n_features
+            ~out_dim:h1 ();
+          Nn.Layer.dense_random ~relu:true ~rng ~in_dim:h1 ~out_dim:h2 ();
+          Nn.Layer.dense_random ~rng ~in_dim:h2 ~out_dim:1 () ]
+    in
+    let config =
+      { Nn.Train.loss = Nn.Train.Mse; optimizer = Nn.Train.adam ();
+        epochs = 80; batch_size = 32; seed }
+    in
+    Nn.Train.fit config net ~xs:train.Data.Dataset.xs
+      ~ys:train.Data.Dataset.ys;
+    net
+  in
+  let metric_fn net =
+    Nn.Train.mean_loss Nn.Train.Mse net ~xs:test.Data.Dataset.xs
+      ~ys:test.Data.Dataset.ys
+  in
+  with_cache ~id ~train_fn ~metric_fn ~dataset:test
+
+let digits_net ?(seed = 23) ~id ~conv_layers ~image () =
+  if conv_layers < 1 || conv_layers > 3 then
+    invalid_arg "Models.digits_net: conv_layers in 1..3";
+  let ds = Data.Digits.generate ~h:image ~w:image ~n:800 ~seed () in
+  let train, test = Data.Dataset.split ds ~train_fraction:0.8 in
+  let train_fn () =
+    let rng = Random.State.make [| seed; conv_layers; image |] in
+    let shape0 = { Nn.Layer.c = 1; h = image; w = image } in
+    let conv ~relu in_shape out_chans stride =
+      Nn.Layer.conv2d_random ~relu ~rng ~in_shape ~out_chans ~kh:3 ~kw:3
+        ~stride ~pad:1 ()
+    in
+    let layers = ref [] in
+    let shape = ref shape0 in
+    for l = 1 to conv_layers do
+      let out_chans = 2 + (2 * l) in
+      let stride = if l = 1 then 2 else if l = 2 then 2 else 1 in
+      let layer = conv ~relu:true !shape out_chans stride in
+      layers := layer :: !layers;
+      (match Nn.Layer.out_shape layer with
+       | Some s -> shape := s
+       | None -> assert false)
+    done;
+    let flat = Nn.Layer.shape_size !shape in
+    let fc_hidden = 24 in
+    layers :=
+      Nn.Layer.dense_random ~rng ~in_dim:fc_hidden ~out_dim:10 ()
+      :: Nn.Layer.dense_random ~relu:true ~rng ~in_dim:flat
+           ~out_dim:fc_hidden ()
+      :: !layers;
+    let net = Nn.Network.make (List.rev !layers) in
+    let config =
+      { Nn.Train.loss = Nn.Train.Softmax_ce; optimizer = Nn.Train.adam ();
+        epochs = 25; batch_size = 32; seed }
+    in
+    Nn.Train.fit config net ~xs:train.Data.Dataset.xs
+      ~ys:train.Data.Dataset.ys;
+    net
+  in
+  let metric_fn net =
+    Nn.Train.accuracy net ~xs:test.Data.Dataset.xs
+      ~labels:(Data.Dataset.labels test)
+  in
+  with_cache ~id ~train_fn ~metric_fn ~dataset:test
+
+let camera_net ?(seed = 31) ~id ~h ~w () =
+  let ds = Data.Camera.generate ~h ~w ~n:500 ~seed () in
+  let train, test = Data.Dataset.split ds ~train_fraction:0.8 in
+  let train_fn () =
+    let rng = Random.State.make [| seed; h; w |] in
+    let s0 = { Nn.Layer.c = 3; h; w } in
+    let c1 =
+      Nn.Layer.conv2d_random ~relu:true ~rng ~in_shape:s0 ~out_chans:4 ~kh:3
+        ~kw:3 ~stride:2 ~pad:1 ()
+    in
+    let s1 = Option.get (Nn.Layer.out_shape c1) in
+    let c2 =
+      Nn.Layer.conv2d_random ~relu:true ~rng ~in_shape:s1 ~out_chans:6 ~kh:3
+        ~kw:3 ~stride:2 ~pad:1 ()
+    in
+    let s2 = Option.get (Nn.Layer.out_shape c2) in
+    let c3 =
+      Nn.Layer.conv2d_random ~relu:true ~rng ~in_shape:s2 ~out_chans:8 ~kh:3
+        ~kw:3 ~stride:2 ~pad:1 ()
+    in
+    let s3 = Option.get (Nn.Layer.out_shape c3) in
+    let flat = Nn.Layer.shape_size s3 in
+    let net =
+      Nn.Network.make
+        [ c1; c2; c3;
+          Nn.Layer.dense_random ~relu:true ~rng ~in_dim:flat ~out_dim:16 ();
+          Nn.Layer.dense_random ~rng ~in_dim:16 ~out_dim:1 () ]
+    in
+    let config =
+      { Nn.Train.loss = Nn.Train.Mse; optimizer = Nn.Train.adam ();
+        epochs = 40; batch_size = 16; seed }
+    in
+    Nn.Train.fit config net ~xs:train.Data.Dataset.xs
+      ~ys:train.Data.Dataset.ys;
+    net
+  in
+  let metric_fn net =
+    Nn.Train.mean_loss Nn.Train.Mse net ~xs:test.Data.Dataset.xs
+      ~ys:test.Data.Dataset.ys
+  in
+  with_cache ~id ~train_fn ~metric_fn ~dataset:test
+
+let table1_small () =
+  [ auto_mpg_net ~id:"dnn1" ~sizes:(4, 4) ();
+    auto_mpg_net ~id:"dnn2" ~sizes:(8, 4) ();
+    auto_mpg_net ~id:"dnn3" ~sizes:(8, 8) ();
+    auto_mpg_net ~id:"dnn4" ~sizes:(16, 16) ();
+    auto_mpg_net ~id:"dnn5" ~sizes:(32, 32) () ]
+
+let table1_large () =
+  [ digits_net ~id:"dnn6" ~conv_layers:1 ~image:12 ();
+    digits_net ~id:"dnn7" ~conv_layers:2 ~image:12 ();
+    digits_net ~id:"dnn8" ~conv_layers:3 ~image:14 () ]

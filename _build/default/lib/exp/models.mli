@@ -1,0 +1,37 @@
+(** The networks of the paper's Table I and case study, trained on the
+    synthetic datasets and cached on disk.
+
+    Sizes are scaled down from the paper (documented per model in
+    EXPERIMENTS.md) so the full benchmark suite completes on a laptop;
+    the architecture *shapes* (2 FC hidden layers for Auto MPG, 1-3
+    conv layers + 1 FC for MNIST-style, 3 conv + 2 FC for the camera
+    net) match the paper. *)
+
+type trained = {
+  id : string;
+  net : Nn.Network.t;
+  test_metric : float;     (** MSE for regression, accuracy for digits *)
+  dataset : Data.Dataset.t; (** held-out test set, for PGD sweeps *)
+}
+
+val cache_dir : string ref
+(** Where trained networks are stored (default ["artifacts"]). *)
+
+val auto_mpg_net : ?seed:int -> id:string -> sizes:int * int -> unit -> trained
+(** Regression net: 7 -> h1 (relu) -> h2 (relu) -> 1. *)
+
+val digits_net :
+  ?seed:int -> id:string -> conv_layers:int -> image:int -> unit -> trained
+(** Classifier on [image x image] digits with [conv_layers] (1..3)
+    convolutional layers followed by one FC hidden layer and a 10-way
+    output. *)
+
+val camera_net : ?seed:int -> id:string -> h:int -> w:int -> unit -> trained
+(** Distance regressor on [3 x h x w] camera images: 3 conv + 2 FC as
+    in the case study. *)
+
+val table1_small : unit -> trained list
+(** DNN-1 .. DNN-5 analogues (Auto MPG, growing width). *)
+
+val table1_large : unit -> trained list
+(** DNN-6 .. DNN-8 analogues (conv nets on digits). *)

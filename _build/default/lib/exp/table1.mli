@@ -1,0 +1,38 @@
+(** The Table I experiment: certification time and bounds across
+    methods (Reluplex-style exact, twin-MILP exact, PGD
+    under-approximation, our Algorithm 1) for a family of networks. *)
+
+type method_result = {
+  time : float;
+  eps : float array;
+  complete : bool;    (** solved exactly / within budget *)
+}
+
+type row = {
+  id : string;
+  arch : string;
+  neurons : int;          (** hidden neurons, as in the paper's column *)
+  reluplex : method_result option;
+  milp : method_result option;
+  ours : method_result;
+  under : method_result;  (** PGD dataset sweep *)
+}
+
+val run :
+  ?with_exact:bool ->
+  ?reluplex_nodes:int ->
+  ?milp_time:float ->
+  ?pgd_samples:int ->
+  config:Cert.Certifier.config ->
+  delta:float ->
+  Models.trained ->
+  row
+(** [with_exact] (default true) also runs the two exact baselines. *)
+
+val auto_mpg_config : Cert.Certifier.config
+(** W = 2, refine half — the paper's Auto MPG setting. *)
+
+val digits_config : Cert.Certifier.config
+(** W = 3, refine 30 per sub-problem — the paper's MNIST setting. *)
+
+val print : Format.formatter -> row list -> unit

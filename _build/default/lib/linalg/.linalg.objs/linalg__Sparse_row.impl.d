@@ -1,0 +1,1 @@
+lib/linalg/sparse_row.ml: Array Format List

@@ -1,0 +1,126 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dims";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.0
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let copy m = { m with data = Array.copy m.data }
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Mat.of_arrays: ragged rows")
+      rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j)
+          <- c.data.((i * c.cols) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mul_vec a x =
+  if a.cols <> Array.length x then
+    invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      let base = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let tmul_vec a x =
+  if a.rows <> Array.length x then
+    invalid_arg "Mat.tmul_vec: dimension mismatch";
+  let y = Array.make a.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then begin
+      let base = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. a.data.(base + j))
+      done
+    end
+  done;
+  y
+
+let lift2 name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: dimension mismatch" name);
+  { a with data = Array.init (Array.length a.data)
+                    (fun i -> f a.data.(i) b.data.(i)) }
+
+let add a b = lift2 "add" ( +. ) a b
+
+let sub a b = lift2 "sub" ( -. ) a b
+
+let scale k m = { m with data = Array.map (fun v -> k *. v) m.data }
+
+let map f m = { m with data = Array.map f m.data }
+
+let swap_rows m i j =
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let t = get m i k in
+      set m i k (get m j k);
+      set m j k t
+    done
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false)
+        a.data;
+      !ok)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf fmt "@]"

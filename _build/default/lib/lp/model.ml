@@ -1,0 +1,138 @@
+type var = int
+
+type sense = Le | Ge | Eq
+
+type dir = Minimize | Maximize
+
+type constr = { row : (var * float) list; sense : sense; rhs : float }
+
+type var_info = {
+  name : string;
+  mutable lo : float;
+  mutable hi : float;
+  integer : bool;
+}
+
+type t = {
+  mutable vars : var_info array;
+  mutable n_vars : int;
+  mutable constrs_rev : constr list;
+  mutable n_constrs : int;
+  mutable obj_dir : dir;
+  mutable obj_const : float;
+  mutable obj : (var * float) list;
+}
+
+let create () =
+  {
+    vars = Array.make 16 { name = ""; lo = 0.0; hi = 0.0; integer = false };
+    n_vars = 0;
+    constrs_rev = [];
+    n_constrs = 0;
+    obj_dir = Minimize;
+    obj_const = 0.0;
+    obj = [];
+  }
+
+let check_bounds lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Model: NaN bound";
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Model: empty bound range [%g, %g]" lo hi)
+
+let grow t =
+  if t.n_vars = Array.length t.vars then begin
+    let bigger =
+      Array.make (2 * Array.length t.vars)
+        { name = ""; lo = 0.0; hi = 0.0; integer = false }
+    in
+    Array.blit t.vars 0 bigger 0 t.n_vars;
+    t.vars <- bigger
+  end
+
+let add_var ?name ?(integer = false) ~lo ~hi t =
+  check_bounds lo hi;
+  grow t;
+  let id = t.n_vars in
+  let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  t.vars.(id) <- { name; lo; hi; integer };
+  t.n_vars <- id + 1;
+  id
+
+let add_vars ?(prefix = "v") ~n ~lo ~hi t =
+  Array.init n (fun i ->
+      add_var ~name:(Printf.sprintf "%s%d" prefix i) ~lo ~hi t)
+
+let check_var t j =
+  if j < 0 || j >= t.n_vars then
+    invalid_arg (Printf.sprintf "Model: unknown variable %d" j)
+
+let add_constr t row sense rhs =
+  List.iter (fun (j, _) -> check_var t j) row;
+  if Float.is_nan rhs then invalid_arg "Model.add_constr: NaN rhs";
+  t.constrs_rev <- { row; sense; rhs } :: t.constrs_rev;
+  t.n_constrs <- t.n_constrs + 1
+
+let set_objective t dir ?(const = 0.0) obj =
+  List.iter (fun (j, _) -> check_var t j) obj;
+  t.obj_dir <- dir;
+  t.obj_const <- const;
+  t.obj <- obj
+
+let set_bounds t j ~lo ~hi =
+  check_var t j;
+  check_bounds lo hi;
+  t.vars.(j).lo <- lo;
+  t.vars.(j).hi <- hi
+
+let n_vars t = t.n_vars
+
+let n_constrs t = t.n_constrs
+
+let var_lo t j = check_var t j; t.vars.(j).lo
+
+let var_hi t j = check_var t j; t.vars.(j).hi
+
+let var_name t j = check_var t j; t.vars.(j).name
+
+let is_integer t j = check_var t j; t.vars.(j).integer
+
+let integer_vars t =
+  let rec collect j acc =
+    if j < 0 then acc
+    else collect (j - 1) (if t.vars.(j).integer then j :: acc else acc)
+  in
+  collect (t.n_vars - 1) []
+
+let constrs t = Array.of_list (List.rev t.constrs_rev)
+
+let objective t = (t.obj_dir, t.obj_const, t.obj)
+
+let pp_sense fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp_row t fmt row =
+  if row = [] then Format.pp_print_string fmt "0"
+  else
+    List.iteri
+      (fun k (j, c) ->
+        if k > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%g*%s" c t.vars.(j).name)
+      row
+
+let pp fmt t =
+  let dir = match t.obj_dir with Minimize -> "min" | Maximize -> "max" in
+  Format.fprintf fmt "@[<v>%s %a + %g@," dir (pp_row t) t.obj t.obj_const;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %a %a %g@," (pp_row t) c.row pp_sense c.sense
+        c.rhs)
+    (List.rev t.constrs_rev);
+  for j = 0 to t.n_vars - 1 do
+    let v = t.vars.(j) in
+    Format.fprintf fmt "  %g <= %s <= %g%s@," v.lo v.name v.hi
+      (if v.integer then " (int)" else "")
+  done;
+  Format.fprintf fmt "@]"

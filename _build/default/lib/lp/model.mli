@@ -1,0 +1,66 @@
+(** Linear-program model builder.
+
+    A model is a mutable collection of bounded variables, linear
+    constraints and one linear objective.  Build it imperatively, then
+    hand it to {!Simplex.solve} (pure LP) or {!module:Milp} (with
+    integrality marks).
+
+    Variables are identified by dense integer indices in creation
+    order.  Bounds may be infinite ([neg_infinity] / [infinity]). *)
+
+type var = int
+
+type sense = Le | Ge | Eq
+
+type dir = Minimize | Maximize
+
+type constr = {
+  row : (var * float) list;  (** sparse coefficients *)
+  sense : sense;
+  rhs : float;
+}
+
+type t
+
+val create : unit -> t
+
+val add_var : ?name:string -> ?integer:bool -> lo:float -> hi:float -> t -> var
+(** Adds a variable with bounds [\[lo, hi\]].  [integer] marks it for
+    branch & bound (ignored by the pure LP solver).  Raises
+    [Invalid_argument] if [lo > hi] or either bound is NaN. *)
+
+val add_vars : ?prefix:string -> n:int -> lo:float -> hi:float -> t -> var array
+(** [n] fresh variables sharing the same bounds. *)
+
+val add_constr : t -> (var * float) list -> sense -> float -> unit
+(** [add_constr t row sense rhs] adds [row {<=,>=,=} rhs].  Raises
+    [Invalid_argument] on unknown variable indices. *)
+
+val set_objective : t -> dir -> ?const:float -> (var * float) list -> unit
+
+val set_bounds : t -> var -> lo:float -> hi:float -> unit
+(** Overwrite a variable's bounds. *)
+
+val n_vars : t -> int
+
+val n_constrs : t -> int
+
+val var_lo : t -> var -> float
+
+val var_hi : t -> var -> float
+
+val var_name : t -> var -> string
+
+val is_integer : t -> var -> bool
+
+val integer_vars : t -> var list
+(** Indices marked integer, ascending. *)
+
+val constrs : t -> constr array
+(** Snapshot of the constraints (do not mutate the rows). *)
+
+val objective : t -> dir * float * (var * float) list
+(** Direction, constant term, sparse coefficients. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, for debugging and tests. *)

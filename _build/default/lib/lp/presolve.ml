@@ -1,0 +1,106 @@
+type result = { rounds : int; tightenings : int; infeasible : bool }
+
+(* Minimum and maximum activity of a row excluding variable [skip],
+   over the current bounds.  Infinite bounds yield infinite activity. *)
+let partial_activity model row ~skip =
+  List.fold_left
+    (fun (amin, amax) (j, c) ->
+      if j = skip then (amin, amax)
+      else begin
+        let lo = Model.var_lo model j and hi = Model.var_hi model j in
+        if c >= 0.0 then (amin +. (c *. lo), amax +. (c *. hi))
+        else (amin +. (c *. hi), amax +. (c *. lo))
+      end)
+    (0.0, 0.0) row
+
+let tighten ?(max_rounds = 10) ?(min_gain = 1e-9) model =
+  let constrs = Model.constrs model in
+  let tightenings = ref 0 in
+  let infeasible = ref false in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && (not !infeasible) && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    Array.iter
+      (fun (c : Model.constr) ->
+        if not !infeasible then begin
+          (* interpret the row as lower/upper limits on its value *)
+          let row_hi =
+            match c.Model.sense with
+            | Model.Le | Model.Eq -> Some c.Model.rhs
+            | Model.Ge -> None
+          in
+          let row_lo =
+            match c.Model.sense with
+            | Model.Ge | Model.Eq -> Some c.Model.rhs
+            | Model.Le -> None
+          in
+          List.iter
+            (fun (j, coeff) ->
+              if Float.abs coeff > 1e-12 && not !infeasible then begin
+                let amin, amax = partial_activity model c.Model.row ~skip:j in
+                let lo = Model.var_lo model j and hi = Model.var_hi model j in
+                (* coeff * x_j <= row_hi - amin  and
+                   coeff * x_j >= row_lo - amax *)
+                let new_hi_from ub = (ub -. amin) /. coeff in
+                let new_lo_from lb = (lb -. amax) /. coeff in
+                let cand_hi, cand_lo =
+                  if coeff > 0.0 then
+                    ( (match row_hi with
+                       | Some ub when Float.is_finite amin ->
+                           Some (new_hi_from ub)
+                       | Some _ | None -> None),
+                      match row_lo with
+                      | Some lb when Float.is_finite amax ->
+                          Some (new_lo_from lb)
+                      | Some _ | None -> None )
+                  else
+                    ( (match row_lo with
+                       | Some lb when Float.is_finite amax ->
+                           Some (new_lo_from lb)
+                       | Some _ | None -> None),
+                      match row_hi with
+                      | Some ub when Float.is_finite amin ->
+                          Some (new_hi_from ub)
+                      | Some _ | None -> None )
+                in
+                let lo' =
+                  match cand_lo with
+                  | Some v when v > lo +. min_gain ->
+                      incr tightenings;
+                      changed := true;
+                      v
+                  | Some _ | None -> lo
+                in
+                let hi' =
+                  match cand_hi with
+                  | Some v when v < hi -. min_gain ->
+                      incr tightenings;
+                      changed := true;
+                      v
+                  | Some _ | None -> hi
+                in
+                (* integer rounding *)
+                let lo', hi' =
+                  if Model.is_integer model j then begin
+                    let rlo = Float.ceil (lo' -. 1e-9) in
+                    let rhi = Float.floor (hi' +. 1e-9) in
+                    if rlo > lo' +. min_gain || rhi < hi' -. min_gain then begin
+                      incr tightenings;
+                      changed := true
+                    end;
+                    (rlo, rhi)
+                  end
+                  else (lo', hi')
+                in
+                if lo' > hi' +. 1e-9 then infeasible := true
+                else
+                  Model.set_bounds model j ~lo:lo'
+                    ~hi:(Float.max lo' hi')
+              end)
+            c.Model.row
+        end)
+      constrs
+  done;
+  { rounds = !rounds; tightenings = !tightenings; infeasible = !infeasible }

@@ -1,0 +1,25 @@
+(** LP/MILP presolve: iterated bound tightening.
+
+    For every constraint [sum a_j x_j {<=,=,>=} b], the row's activity
+    bounds over the current variable boxes imply tighter bounds on each
+    participating variable; iterating to a fixed point shrinks the box
+    (and with it, any big-M constant derived from it) without changing
+    the feasible set.  Integer-marked variables are additionally
+    rounded inward.
+
+    This is the classical "domain propagation" used by every production
+    MILP solver; here it is opt-in and mutates the model's bounds in
+    place. *)
+
+type result = {
+  rounds : int;          (** propagation sweeps until fixpoint/limit *)
+  tightenings : int;     (** individual bound improvements *)
+  infeasible : bool;     (** a variable's box became empty: the model
+                             (with integrality) has no solution *)
+}
+
+val tighten : ?max_rounds:int -> ?min_gain:float -> Model.t -> result
+(** [tighten model] propagates until no bound improves by more than
+    [min_gain] (default 1e-9) or [max_rounds] (default 10) sweeps.
+    On [infeasible = true] the model's bounds are left in their
+    (contradictory) state; callers should treat the model as unsat. *)

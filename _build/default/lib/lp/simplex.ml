@@ -1,0 +1,513 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = { status : status; obj : float; x : float array }
+
+type compiled = {
+  m : int;                                   (* constraint rows *)
+  n : int;                                   (* structural variables *)
+  cols : (int array * float array) array;    (* n structural + m slack columns *)
+  b : float array;
+  c : float array;                           (* minimisation costs, length n *)
+  obj_const : float;
+  negate : bool;                             (* original direction was Maximize *)
+  slack_lo : float array;
+  slack_hi : float array;
+  model_lo : float array;
+  model_hi : float array;
+}
+
+let feas_tol = 1e-7
+let opt_tol = 1e-7
+let pivot_tol = 1e-9
+let refactor_period = 100
+
+let compile model =
+  let n = Model.n_vars model in
+  let constrs = Model.constrs model in
+  let m = Array.length constrs in
+  let b = Array.map (fun (c : Model.constr) -> c.rhs) constrs in
+  (* gather structural columns *)
+  let buckets = Array.make n [] in
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      List.iter (fun (j, v) -> buckets.(j) <- (i, v) :: buckets.(j)) c.row)
+    constrs;
+  let structural_col j =
+    (* merge duplicate row entries, ascending row order *)
+    let entries = List.sort (fun (a, _) (b, _) -> compare a b) buckets.(j) in
+    let rec merge = function
+      | (i, a) :: (i', b) :: rest when i = i' -> merge ((i, a +. b) :: rest)
+      | (i, a) :: rest -> if a = 0.0 then merge rest else (i, a) :: merge rest
+      | [] -> []
+    in
+    let entries = merge entries in
+    (Array.of_list (List.map fst entries),
+     Array.of_list (List.map snd entries))
+  in
+  let cols =
+    Array.init (n + m) (fun j ->
+        if j < n then structural_col j else ([| j - n |], [| 1.0 |]))
+  in
+  let slack_lo = Array.make m 0.0 and slack_hi = Array.make m 0.0 in
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      match c.sense with
+      | Model.Le -> slack_lo.(i) <- 0.0; slack_hi.(i) <- infinity
+      | Model.Ge -> slack_lo.(i) <- neg_infinity; slack_hi.(i) <- 0.0
+      | Model.Eq -> slack_lo.(i) <- 0.0; slack_hi.(i) <- 0.0)
+    constrs;
+  let dir, obj_const, obj = Model.objective model in
+  let negate = dir = Model.Maximize in
+  let c = Array.make n 0.0 in
+  List.iter
+    (fun (j, v) -> c.(j) <- c.(j) +. (if negate then -.v else v))
+    obj;
+  let model_lo = Array.init n (Model.var_lo model) in
+  let model_hi = Array.init n (Model.var_hi model) in
+  { m; n; cols; b; c; obj_const; negate; slack_lo; slack_hi;
+    model_lo; model_hi }
+
+let n_struct cp = cp.n
+
+let default_bounds cp = (Array.copy cp.model_lo, Array.copy cp.model_hi)
+
+(* Variable status. *)
+type vstat = At_lower | At_upper | Free_zero | Basic
+
+(* Mutable solver state.  Variables are indexed 0..nt-1 where
+   [0, n)        structural,
+   [n, n+m)      slacks,
+   [n+m, nt)     artificials (phase 1 only; fixed to 0 afterwards). *)
+type state = {
+  cp : compiled;
+  nt : int;
+  all_cols : (int array * float array) array;
+  lo : float array;
+  hi : float array;
+  stat : vstat array;
+  value : float array;        (* nonbasic values; basics live in xb *)
+  basis : int array;          (* length m, var in each row *)
+  pos : int array;            (* var -> basic row, or -1 *)
+  binv : float array array;   (* m x m dense basis inverse *)
+  xb : float array;           (* basic variable values *)
+  y : float array;            (* scratch: entering column in basis coords *)
+  pi : float array;           (* scratch: simplex multipliers *)
+  mutable pivots : int;
+}
+
+let ftran st col =
+  let m = st.cp.m in
+  Array.fill st.y 0 m 0.0;
+  let idx, vals = col in
+  for k = 0 to Array.length idx - 1 do
+    let r = idx.(k) and v = vals.(k) in
+    let binv = st.binv in
+    for i = 0 to m - 1 do
+      st.y.(i) <- st.y.(i) +. (binv.(i).(r) *. v)
+    done
+  done
+
+(* pi = cB^T B^-1 for the given full cost vector *)
+let compute_pi st cost =
+  let m = st.cp.m in
+  Array.fill st.pi 0 m 0.0;
+  for i = 0 to m - 1 do
+    let cb = cost.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let row = st.binv.(i) in
+      for k = 0 to m - 1 do
+        st.pi.(k) <- st.pi.(k) +. (cb *. row.(k))
+      done
+    end
+  done
+
+let reduced_cost st cost j =
+  let idx, vals = st.all_cols.(j) in
+  let acc = ref cost.(j) in
+  for k = 0 to Array.length idx - 1 do
+    acc := !acc -. (st.pi.(idx.(k)) *. vals.(k))
+  done;
+  !acc
+
+(* Rebuild the basis inverse by Gauss-Jordan with partial pivoting and
+   recompute basic values.  Returns false if the basis is singular. *)
+let refactor st =
+  let m = st.cp.m in
+  if m = 0 then true
+  else begin
+    (* assemble B and identity side by side; eliminate in place *)
+    let bmat = Array.make_matrix m m 0.0 in
+    for col = 0 to m - 1 do
+      let idx, vals = st.all_cols.(st.basis.(col)) in
+      for k = 0 to Array.length idx - 1 do
+        bmat.(idx.(k)).(col) <- vals.(k)
+      done
+    done;
+    let inv = Array.init m (fun i ->
+        Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+    let singular = ref false in
+    (for col = 0 to m - 1 do
+       if not !singular then begin
+         (* partial pivot *)
+         let piv = ref col in
+         for i = col + 1 to m - 1 do
+           if Float.abs bmat.(i).(col) > Float.abs bmat.(!piv).(col) then
+             piv := i
+         done;
+         if Float.abs bmat.(!piv).(col) < 1e-12 then singular := true
+         else begin
+           if !piv <> col then begin
+             let t = bmat.(col) in bmat.(col) <- bmat.(!piv); bmat.(!piv) <- t;
+             let t = inv.(col) in inv.(col) <- inv.(!piv); inv.(!piv) <- t
+           end;
+           let d = 1.0 /. bmat.(col).(col) in
+           for k = 0 to m - 1 do
+             bmat.(col).(k) <- bmat.(col).(k) *. d;
+             inv.(col).(k) <- inv.(col).(k) *. d
+           done;
+           for i = 0 to m - 1 do
+             if i <> col then begin
+               let f = bmat.(i).(col) in
+               if f <> 0.0 then begin
+                 for k = 0 to m - 1 do
+                   bmat.(i).(k) <- bmat.(i).(k) -. (f *. bmat.(col).(k));
+                   inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+                 done
+               end
+             end
+           done
+         end
+       end
+     done);
+    if !singular then false
+    else begin
+      for i = 0 to m - 1 do
+        Array.blit inv.(i) 0 st.binv.(i) 0 m
+      done;
+      (* xb = binv * (b - N x_N) *)
+      let r = Array.copy st.cp.b in
+      for j = 0 to st.nt - 1 do
+        if st.stat.(j) <> Basic && st.value.(j) <> 0.0 then begin
+          let idx, vals = st.all_cols.(j) in
+          for k = 0 to Array.length idx - 1 do
+            r.(idx.(k)) <- r.(idx.(k)) -. (vals.(k) *. st.value.(j))
+          done
+        end
+      done;
+      for i = 0 to m - 1 do
+        let acc = ref 0.0 in
+        let row = st.binv.(i) in
+        for k = 0 to m - 1 do
+          acc := !acc +. (row.(k) *. r.(k))
+        done;
+        st.xb.(i) <- !acc
+      done;
+      true
+    end
+  end
+
+(* One phase of bounded-variable simplex, minimising [cost].  Returns
+   [`Optimal], [`Unbounded] or [`Iteration_limit]. *)
+let run_phase st cost max_iter =
+  let m = st.cp.m in
+  let iter = ref 0 in
+  let result = ref None in
+  let bland_threshold = max 2000 (20 * (m + st.nt)) in
+  while !result = None do
+    if !iter >= max_iter then result := Some `Iteration_limit
+    else begin
+      incr iter;
+      if st.pivots > 0 && st.pivots mod refactor_period = 0 then
+        ignore (refactor st);
+      compute_pi st cost;
+      (* --- pricing --- *)
+      let use_bland = !iter > bland_threshold in
+      let best = ref (-1) and best_score = ref 0.0 and best_sigma = ref 1.0 in
+      (try
+         for j = 0 to st.nt - 1 do
+           (match st.stat.(j) with
+            | Basic -> ()
+            | At_lower | At_upper | Free_zero ->
+                if st.lo.(j) < st.hi.(j) then begin
+                  let d = reduced_cost st cost j in
+                  let score, sigma =
+                    match st.stat.(j) with
+                    | At_lower -> if d < -.opt_tol then (-.d, 1.0) else (0.0, 0.0)
+                    | At_upper -> if d > opt_tol then (d, -1.0) else (0.0, 0.0)
+                    | Free_zero ->
+                        if d < -.opt_tol then (-.d, 1.0)
+                        else if d > opt_tol then (d, -1.0)
+                        else (0.0, 0.0)
+                    | Basic -> (0.0, 0.0)
+                  in
+                  if score > !best_score then begin
+                    best := j; best_score := score; best_sigma := sigma;
+                    if use_bland then raise Exit
+                  end
+                end)
+         done
+       with Exit -> ());
+      if !best < 0 then result := Some `Optimal
+      else begin
+        let j = !best and sigma = !best_sigma in
+        ftran st st.all_cols.(j);
+        (* --- ratio test --- *)
+        let own_range = st.hi.(j) -. st.lo.(j) in
+        let t_best = ref own_range and leave = ref (-1) in
+        for i = 0 to m - 1 do
+          let d = -.sigma *. st.y.(i) in
+          let bi = st.basis.(i) in
+          if d < -.pivot_tol && st.lo.(bi) > neg_infinity then begin
+            let t = Float.max 0.0 ((st.xb.(i) -. st.lo.(bi)) /. -.d) in
+            if t < !t_best -. 1e-12
+               || (t <= !t_best +. 1e-12 && !leave >= 0
+                   && Float.abs st.y.(i) > Float.abs st.y.(!leave))
+            then begin t_best := t; leave := i end
+          end
+          else if d > pivot_tol && st.hi.(bi) < infinity then begin
+            let t = Float.max 0.0 ((st.hi.(bi) -. st.xb.(i)) /. d) in
+            if t < !t_best -. 1e-12
+               || (t <= !t_best +. 1e-12 && !leave >= 0
+                   && Float.abs st.y.(i) > Float.abs st.y.(!leave))
+            then begin t_best := t; leave := i end
+          end
+        done;
+        if Float.is_nan !t_best || !t_best = infinity then
+          result := Some `Unbounded
+        else begin
+          let t = !t_best in
+          (* move basics *)
+          for i = 0 to m - 1 do
+            st.xb.(i) <- st.xb.(i) +. (-.sigma *. st.y.(i) *. t)
+          done;
+          let start =
+            match st.stat.(j) with
+            | At_lower -> st.lo.(j)
+            | At_upper -> st.hi.(j)
+            | Free_zero -> 0.0
+            | Basic -> assert false
+          in
+          let new_val = start +. (sigma *. t) in
+          if !leave < 0 then begin
+            (* bound flip: entering variable hits its own other bound *)
+            st.value.(j) <- new_val;
+            st.stat.(j) <- (if sigma > 0.0 then At_upper else At_lower)
+          end
+          else begin
+            let r = !leave in
+            let leaving = st.basis.(r) in
+            let d_r = -.sigma *. st.y.(r) in
+            st.stat.(leaving) <- (if d_r < 0.0 then At_lower else At_upper);
+            st.value.(leaving) <-
+              (if d_r < 0.0 then st.lo.(leaving) else st.hi.(leaving));
+            st.pos.(leaving) <- -1;
+            st.basis.(r) <- j;
+            st.pos.(j) <- r;
+            st.stat.(j) <- Basic;
+            st.value.(j) <- 0.0;
+            st.xb.(r) <- new_val;
+            (* binv pivot update *)
+            let yr = st.y.(r) in
+            let inv_r = st.binv.(r) in
+            let pr = 1.0 /. yr in
+            for k = 0 to m - 1 do
+              inv_r.(k) <- inv_r.(k) *. pr
+            done;
+            for i = 0 to m - 1 do
+              if i <> r then begin
+                let f = st.y.(i) in
+                if f <> 0.0 then begin
+                  let row = st.binv.(i) in
+                  for k = 0 to m - 1 do
+                    row.(k) <- row.(k) -. (f *. inv_r.(k))
+                  done
+                end
+              end
+            done;
+            st.pivots <- st.pivots + 1
+          end
+        end
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let objective_value st cost =
+  let acc = ref 0.0 in
+  for j = 0 to st.nt - 1 do
+    if st.stat.(j) <> Basic && st.value.(j) <> 0.0 then
+      acc := !acc +. (cost.(j) *. st.value.(j))
+  done;
+  for i = 0 to st.cp.m - 1 do
+    acc := !acc +. (cost.(st.basis.(i)) *. st.xb.(i))
+  done;
+  !acc
+
+let extract_x st =
+  Array.init st.cp.n (fun j ->
+      if st.stat.(j) = Basic then st.xb.(st.pos.(j)) else st.value.(j))
+
+let solve_compiled ?max_iter ?objective cp ~lo ~hi =
+  let cp =
+    match objective with
+    | None -> cp
+    | Some (dir, terms) ->
+        let negate = dir = Model.Maximize in
+        let c = Array.make cp.n 0.0 in
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= cp.n then
+              invalid_arg "Simplex.solve_compiled: objective variable";
+            c.(j) <- c.(j) +. (if negate then -.v else v))
+          terms;
+        { cp with c; negate; obj_const = 0.0 }
+  in
+  let m = cp.m and n = cp.n in
+  if Array.length lo <> n || Array.length hi <> n then
+    invalid_arg "Simplex.solve_compiled: bounds length mismatch";
+  let max_iter =
+    match max_iter with Some k -> k | None -> 20000 + (60 * (m + n))
+  in
+  let fail_bounds = ref false in
+  Array.iteri (fun j l -> if l > hi.(j) then fail_bounds := true) lo;
+  if !fail_bounds then
+    { status = Infeasible; obj = nan; x = Array.make n nan }
+  else begin
+    (* initial nonbasic placement for structural and slack variables;
+       slacks start basic, artificials patch infeasible rows *)
+    let nt0 = n + m in
+    let lo_all = Array.make nt0 0.0 and hi_all = Array.make nt0 0.0 in
+    Array.blit lo 0 lo_all 0 n;
+    Array.blit hi 0 hi_all 0 n;
+    Array.blit cp.slack_lo 0 lo_all n m;
+    Array.blit cp.slack_hi 0 hi_all n m;
+    let stat = Array.make nt0 At_lower in
+    let value = Array.make nt0 0.0 in
+    for j = 0 to n - 1 do
+      if lo_all.(j) > neg_infinity then begin
+        (* prefer the bound closer to zero for a gentler start *)
+        if hi_all.(j) < infinity
+           && Float.abs hi_all.(j) < Float.abs lo_all.(j)
+        then begin stat.(j) <- At_upper; value.(j) <- hi_all.(j) end
+        else begin stat.(j) <- At_lower; value.(j) <- lo_all.(j) end
+      end
+      else if hi_all.(j) < infinity then begin
+        stat.(j) <- At_upper; value.(j) <- hi_all.(j)
+      end
+      else begin stat.(j) <- Free_zero; value.(j) <- 0.0 end
+    done;
+    (* slack basic values with identity basis *)
+    let slack_val = Array.copy cp.b in
+    for j = 0 to n - 1 do
+      if value.(j) <> 0.0 then begin
+        let idx, vals = cp.cols.(j) in
+        for k = 0 to Array.length idx - 1 do
+          slack_val.(idx.(k)) <- slack_val.(idx.(k)) -. (vals.(k) *. value.(j))
+        done
+      end
+    done;
+    (* rows whose slack violates its bounds need an artificial *)
+    let artificials = ref [] in
+    for i = 0 to m - 1 do
+      let s = slack_val.(i) in
+      if s < cp.slack_lo.(i) -. feas_tol || s > cp.slack_hi.(i) +. feas_tol
+      then artificials := i :: !artificials
+    done;
+    let art_rows = Array.of_list (List.rev !artificials) in
+    let n_art = Array.length art_rows in
+    let nt = nt0 + n_art in
+    let all_cols =
+      Array.init nt (fun j ->
+          if j < nt0 then cp.cols.(j)
+          else begin
+            let i = art_rows.(j - nt0) in
+            let s = slack_val.(i) in
+            let clamped =
+              Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s)
+            in
+            let sign = if s -. clamped >= 0.0 then 1.0 else -1.0 in
+            ([| i |], [| sign |])
+          end)
+    in
+    let lo_full = Array.make nt 0.0 and hi_full = Array.make nt infinity in
+    Array.blit lo_all 0 lo_full 0 nt0;
+    Array.blit hi_all 0 hi_full 0 nt0;
+    let stat_full = Array.make nt At_lower in
+    Array.blit stat 0 stat_full 0 nt0;
+    let value_full = Array.make nt 0.0 in
+    Array.blit value 0 value_full 0 nt0;
+    (* basis: slack per row, replaced by the artificial where infeasible;
+       the displaced slack goes nonbasic at its nearest bound *)
+    let basis = Array.init m (fun i -> n + i) in
+    Array.iteri
+      (fun k i ->
+        basis.(i) <- nt0 + k;
+        let s = slack_val.(i) in
+        let clamped = Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s) in
+        stat_full.(n + i) <-
+          (if clamped = cp.slack_lo.(i) then At_lower else At_upper);
+        value_full.(n + i) <- clamped)
+      art_rows;
+    let pos = Array.make nt (-1) in
+    Array.iteri (fun i j -> pos.(j) <- i; stat_full.(j) <- Basic) basis;
+    let st =
+      { cp; nt; all_cols; lo = lo_full; hi = hi_full; stat = stat_full;
+        value = value_full; basis; pos;
+        binv = Array.make_matrix m m 0.0;
+        xb = Array.make m 0.0; y = Array.make m 0.0; pi = Array.make m 0.0;
+        pivots = 0 }
+    in
+    if not (refactor st) then
+      { status = Infeasible; obj = nan; x = Array.make n nan }
+    else begin
+      let cost_full = Array.make nt 0.0 in
+      let finish_infeasible () =
+        { status = Infeasible; obj = nan; x = extract_x st }
+      in
+      let phase2 () =
+        Array.fill cost_full 0 nt 0.0;
+        Array.blit cp.c 0 cost_full 0 n;
+        match run_phase st cost_full max_iter with
+        | `Optimal ->
+            ignore (refactor st);
+            let raw = objective_value st cost_full +.
+                      (if cp.negate then -.cp.obj_const else cp.obj_const) in
+            let obj = if cp.negate then -.raw else raw in
+            { status = Optimal; obj; x = extract_x st }
+        | `Unbounded -> { status = Unbounded; obj = nan; x = extract_x st }
+        | `Iteration_limit ->
+            { status = Iteration_limit; obj = nan; x = extract_x st }
+      in
+      if n_art = 0 then phase2 ()
+      else begin
+        for k = 0 to n_art - 1 do
+          cost_full.(nt0 + k) <- 1.0
+        done;
+        match run_phase st cost_full max_iter with
+        | `Unbounded ->
+            (* phase-1 objective is bounded below by 0: numerically impossible,
+               report infeasible conservatively *)
+            finish_infeasible ()
+        | `Iteration_limit ->
+            { status = Iteration_limit; obj = nan; x = extract_x st }
+        | `Optimal ->
+            let infeas = objective_value st cost_full in
+            if infeas > 1e-6 then finish_infeasible ()
+            else begin
+              (* pin artificials to zero for phase 2 *)
+              for k = 0 to n_art - 1 do
+                let j = nt0 + k in
+                st.lo.(j) <- 0.0;
+                st.hi.(j) <- 0.0;
+                if st.stat.(j) <> Basic then st.value.(j) <- 0.0
+              done;
+              phase2 ()
+            end
+      end
+    end
+  end
+
+let solve ?max_iter model =
+  let cp = compile model in
+  let lo, hi = default_bounds cp in
+  solve_compiled ?max_iter cp ~lo ~hi

@@ -1,0 +1,47 @@
+(** Bounded-variable primal simplex.
+
+    Two-phase revised simplex with an explicitly maintained dense basis
+    inverse, periodic refactorisation, Dantzig pricing with a Bland's-rule
+    fallback, and bound-flip pivots.  Designed for the moderate-size,
+    mostly-finitely-bounded LPs produced by robustness certification.
+
+    Integer marks on variables are ignored here; see {!module:Milp}. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type solution = {
+  status : status;
+  obj : float;      (** objective in the model's direction; meaningful only
+                        when [status = Optimal] *)
+  x : float array;  (** structural variable values, model index order *)
+}
+
+val solve : ?max_iter:int -> Model.t -> solution
+
+(** {1 Compiled form}
+
+    Branch & bound re-solves the same constraint matrix under different
+    bounds thousands of times; [compile] extracts the matrix once. *)
+
+type compiled
+
+val compile : Model.t -> compiled
+
+val n_struct : compiled -> int
+
+val default_bounds : compiled -> float array * float array
+(** Fresh copies of the model's structural bounds at [compile] time. *)
+
+val solve_compiled :
+  ?max_iter:int ->
+  ?objective:Model.dir * (int * float) list ->
+  compiled -> lo:float array -> hi:float array -> solution
+(** Solve with overridden structural bounds (arrays of length
+    [n_struct]).  [objective] replaces the model's objective (constant
+    term 0) — certification solves many min/max queries over one
+    encoded model.  The [compiled] value is not mutated and may be
+    shared. *)

@@ -1,0 +1,229 @@
+type status = Optimal | Infeasible | Unbounded | Limit | Lp_failure
+
+type result = {
+  status : status;
+  obj : float;
+  bound : float;
+  x : float array;
+  nodes : int;
+}
+
+type options = {
+  max_nodes : int;
+  time_limit : float;
+  int_tol : float;
+  gap_abs : float;
+}
+
+let default_options =
+  { max_nodes = 200_000; time_limit = infinity; int_tol = 1e-6;
+    gap_abs = 1e-8 }
+
+(* A search node: structural bounds plus the parent's LP value, used as a
+   priority key (minimisation key: smaller is more promising). *)
+type node = { lo : float array; hi : float array; key : float }
+
+(* Minimal binary min-heap over nodes keyed by [key]. *)
+module Heap = struct
+  type t = { mutable data : node array; mutable size : int }
+
+  let dummy = { lo = [||]; hi = [||]; key = 0.0 }
+
+  let create () = { data = Array.make 64 dummy; size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let min_key h = if h.size = 0 then infinity else h.data.(0).key
+
+  let push h n =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- n;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.data.(p).key > h.data.(!i).key then begin
+        let t = h.data.(p) in
+        h.data.(p) <- h.data.(!i);
+        h.data.(!i) <- t;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.data.(l).key < h.data.(!smallest).key then
+        smallest := l;
+      if r < h.size && h.data.(r).key < h.data.(!smallest).key then
+        smallest := r;
+      if !smallest <> !i then begin
+        let t = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- t;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+let solve ?(options = default_options) ?objective model =
+  let cp = Lp.Simplex.compile model in
+  let n = Lp.Simplex.n_struct cp in
+  let dir =
+    match objective with
+    | Some (d, _) -> d
+    | None -> let d, _, _ = Lp.Model.objective model in d
+  in
+  let maximize = dir = Lp.Model.Maximize in
+  (* internal key: minimisation; user values converted on output *)
+  let to_key obj = if maximize then -.obj else obj in
+  let of_key key = if maximize then -.key else key in
+  let ints = Array.of_list (Lp.Model.integer_vars model) in
+  let root_lo, root_hi = Lp.Simplex.default_bounds cp in
+  (* round integer bounds inward *)
+  Array.iter
+    (fun j ->
+      root_lo.(j) <- Float.ceil (root_lo.(j) -. options.int_tol);
+      root_hi.(j) <- Float.floor (root_hi.(j) +. options.int_tol))
+    ints;
+  let heap = Heap.create () in
+  Heap.push heap { lo = root_lo; hi = root_hi; key = neg_infinity };
+  let best_key = ref infinity in
+  let best_x = ref (Array.make n nan) in
+  let have_incumbent = ref false in
+  let nodes = ref 0 in
+  let lp_failed = ref false in
+  let unbounded = ref false in
+  let t0 = Unix.gettimeofday () in
+  let stopped = ref false in
+  (* Rounding heuristic: fix every integer to the nearest integer seen
+     in an LP solution and re-solve the continuous rest.  Success gives
+     a feasible incumbent, enabling best-bound pruning long before the
+     search reaches integral leaves. *)
+  let try_rounding node_lo node_hi (x : float array) =
+    let lo = Array.copy node_lo and hi = Array.copy node_hi in
+    let ok = ref true in
+    Array.iter
+      (fun j ->
+        let v = Float.round x.(j) in
+        let v = Float.max node_lo.(j) (Float.min node_hi.(j) v) in
+        if Float.is_nan v then ok := false
+        else begin
+          lo.(j) <- v;
+          hi.(j) <- v
+        end)
+      ints;
+    if !ok then begin
+      let sol = Lp.Simplex.solve_compiled ?objective cp ~lo ~hi in
+      match sol.Lp.Simplex.status with
+      | Lp.Simplex.Optimal ->
+          let key = to_key sol.Lp.Simplex.obj in
+          if key < !best_key -. options.gap_abs then begin
+            best_key := key;
+            best_x := Array.copy sol.Lp.Simplex.x;
+            have_incumbent := true
+          end
+      | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+      | Lp.Simplex.Iteration_limit -> ()
+    end
+  in
+  let heuristic_period = 20 in
+  (* the tightest proven bound must also account for pruned-but-unexplored
+     nodes; the heap min key covers those *)
+  while (not !stopped) && not (Heap.is_empty heap) do
+    if !nodes >= options.max_nodes
+       || Unix.gettimeofday () -. t0 > options.time_limit
+    then stopped := true
+    else begin
+      let node = Heap.pop heap in
+      if node.key >= !best_key -. options.gap_abs then
+        (* bound-dominated: with best-first order, everything remaining is
+           dominated too *)
+        stopped := true
+      else begin
+        incr nodes;
+        let sol =
+          Lp.Simplex.solve_compiled ?objective cp ~lo:node.lo ~hi:node.hi
+        in
+        match sol.status with
+        | Lp.Simplex.Infeasible -> ()
+        | Lp.Simplex.Unbounded ->
+            unbounded := true;
+            stopped := true
+        | Lp.Simplex.Iteration_limit ->
+            lp_failed := true;
+            stopped := true
+        | Lp.Simplex.Optimal ->
+            if !nodes mod heuristic_period = 1 then
+              try_rounding node.lo node.hi sol.x;
+            let key = to_key sol.obj in
+            if key < !best_key -. options.gap_abs then begin
+              (* most fractional integer *)
+              let branch_var = ref (-1) and branch_frac = ref 0.0 in
+              Array.iter
+                (fun j ->
+                  let v = sol.x.(j) in
+                  let f = Float.abs (v -. Float.round v) in
+                  if f > options.int_tol && f > !branch_frac then begin
+                    branch_var := j;
+                    branch_frac := f
+                  end)
+                ints;
+              if !branch_var < 0 then begin
+                (* integral: new incumbent *)
+                best_key := key;
+                best_x := Array.copy sol.x;
+                have_incumbent := true
+              end
+              else begin
+                let j = !branch_var in
+                let v = sol.x.(j) in
+                let down_hi = Array.copy node.hi in
+                down_hi.(j) <- Float.floor v;
+                let up_lo = Array.copy node.lo in
+                up_lo.(j) <- Float.ceil v;
+                if node.lo.(j) <= down_hi.(j) then
+                  Heap.push heap { lo = node.lo; hi = down_hi; key };
+                if up_lo.(j) <= node.hi.(j) then
+                  Heap.push heap { lo = up_lo; hi = node.hi; key }
+              end
+            end
+      end
+    end
+  done;
+  let heap_key = Heap.min_key heap in
+  let proven_key = Float.min !best_key heap_key in
+  let incumbent_obj = if !have_incumbent then of_key !best_key else nan in
+  if !unbounded then
+    { status = Unbounded; obj = nan; bound = of_key neg_infinity;
+      x = Array.make n nan; nodes = !nodes }
+  else if !lp_failed then
+    { status = Lp_failure; obj = incumbent_obj; bound = of_key proven_key;
+      x = !best_x; nodes = !nodes }
+  else if Heap.is_empty heap || heap_key >= !best_key -. options.gap_abs then begin
+    if !have_incumbent then
+      { status = Optimal; obj = of_key !best_key; bound = of_key !best_key;
+        x = !best_x; nodes = !nodes }
+    else
+      { status = Infeasible; obj = nan; bound = nan;
+        x = Array.make n nan; nodes = !nodes }
+  end
+  else
+    { status = Limit; obj = incumbent_obj; bound = of_key proven_key;
+      x = !best_x; nodes = !nodes }

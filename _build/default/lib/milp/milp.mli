@@ -1,0 +1,41 @@
+(** Mixed-integer linear programming by branch & bound.
+
+    Solves a {!Lp.Model.t} whose variables may carry the [integer] mark.
+    LP relaxations are solved with {!Lp.Simplex}; nodes are explored
+    best-bound-first; branching picks the most fractional integer.
+
+    Certification note: for a maximisation query, [bound] is always a
+    sound upper bound on the true optimum, even when the search stops
+    early on a node or time limit. *)
+
+type status =
+  | Optimal          (** incumbent proven optimal within tolerances *)
+  | Infeasible
+  | Unbounded        (** LP relaxation unbounded at the root *)
+  | Limit            (** node/time limit hit; [bound] still valid *)
+  | Lp_failure       (** an LP relaxation failed to solve; results unreliable *)
+
+type result = {
+  status : status;
+  obj : float;        (** incumbent objective (model direction); [nan] if none *)
+  bound : float;      (** proven bound on the optimum (model direction):
+                          upper bound when maximising, lower when minimising *)
+  x : float array;    (** incumbent point; all-[nan] if none *)
+  nodes : int;        (** LP relaxations solved *)
+}
+
+type options = {
+  max_nodes : int;
+  time_limit : float;     (** seconds; [infinity] = none *)
+  int_tol : float;        (** integrality tolerance *)
+  gap_abs : float;        (** stop when bound - incumbent below this *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options ->
+  ?objective:Lp.Model.dir * (int * float) list ->
+  Lp.Model.t -> result
+(** [objective] overrides the model's objective (constant term 0),
+    allowing one model to serve many bound queries. *)

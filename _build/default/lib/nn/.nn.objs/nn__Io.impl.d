@@ -1,0 +1,1 @@
+lib/nn/io.ml: Array Buffer Layer Linalg List Network Printf String

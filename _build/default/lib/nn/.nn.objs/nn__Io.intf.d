@@ -1,0 +1,1 @@
+lib/nn/io.mli: Network

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Array Float Layer Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Float Fun Grad Layer Linalg List Network Random

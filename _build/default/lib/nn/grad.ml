@@ -1,0 +1,38 @@
+type tape = {
+  pres : float array array;
+  posts : float array array;
+  input : float array;
+}
+
+let record net input =
+  let pres, posts = Network.forward_all net input in
+  { pres; posts; input }
+
+let relu_mask pre dy =
+  Array.mapi (fun i g -> if pre.(i) > 0.0 then g else 0.0) dy
+
+let backprop tape net ~dout ~on_layer =
+  let n = Network.n_layers net in
+  let dy = ref dout in
+  for i = n - 1 downto 0 do
+    let l = Network.layer net i in
+    (* gradient at the pre-activation *)
+    let dpre = if l.Layer.relu then relu_mask tape.pres.(i) !dy else !dy in
+    on_layer i l dpre;
+    dy := Layer.vjp_linear l dpre
+  done;
+  !dy
+
+let input_gradient net ~x ~dout =
+  let tape = record net x in
+  backprop tape net ~dout ~on_layer:(fun _ _ _ -> ())
+
+let output_gradient net ~x ~j =
+  let dout = Array.make (Network.output_dim net) 0.0 in
+  dout.(j) <- 1.0;
+  input_gradient net ~x ~dout
+
+let backprop_params net tape ~dout grads =
+  backprop tape net ~dout ~on_layer:(fun i l dpre ->
+      let x = if i = 0 then tape.input else tape.posts.(i - 1) in
+      Layer.accum_param_grads l ~x ~dy:dpre grads.(i))

@@ -1,0 +1,25 @@
+(** Backpropagation through a {!Network.t}. *)
+
+val input_gradient : Network.t -> x:float array -> dout:float array ->
+  float array
+(** Gradient of [dout . F(x)] with respect to [x] — the vector-Jacobian
+    product used by FGSM/PGD attacks. *)
+
+val output_gradient : Network.t -> x:float array -> j:int -> float array
+(** Gradient of output component [j] with respect to the input. *)
+
+type tape = {
+  pres : float array array;
+  posts : float array array;
+  input : float array;
+}
+
+val record : Network.t -> float array -> tape
+(** Forward pass keeping all intermediate values. *)
+
+val backprop_params :
+  Network.t -> tape -> dout:float array -> float array list array ->
+  float array
+(** Accumulates parameter gradients (one {!Layer.alloc_grad_arrays}
+    structure per layer) for loss gradient [dout] at the network output;
+    returns the input gradient as well. *)

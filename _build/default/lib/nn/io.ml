@@ -1,0 +1,129 @@
+module Mat = Linalg.Mat
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let floats_line arr = String.concat " " (Array.to_list (Array.map float_str arr))
+
+let relu_str relu = if relu then "relu" else "linear"
+
+let buf_layer buf (l : Layer.t) =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s;
+                                  Buffer.add_char buf '\n') fmt in
+  match l.Layer.kind with
+  | Layer.Dense { weight; bias } ->
+      add "dense %d %d %s" weight.Mat.cols weight.Mat.rows (relu_str l.relu);
+      add "%s" (floats_line bias);
+      for i = 0 to weight.Mat.rows - 1 do
+        add "%s" (floats_line (Mat.row weight i))
+      done
+  | Layer.Conv2d { in_shape; out_chans; kh; kw; stride; pad; weight; bias } ->
+      add "conv %d %d %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
+        in_shape.Layer.w out_chans kh kw stride pad (relu_str l.relu);
+      add "%s" (floats_line bias);
+      add "%s" (floats_line weight)
+  | Layer.Avg_pool { in_shape; kh; kw; stride } ->
+      add "avgpool %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
+        in_shape.Layer.w kh kw stride (relu_str l.relu)
+  | Layer.Normalize { mul; add = a } ->
+      add "normalize %d %s" (Array.length mul) (relu_str l.relu);
+      add "%s" (floats_line mul);
+      add "%s" (floats_line a)
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "grc-net 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "layers %d\n" (Network.n_layers net));
+  for i = 0 to Network.n_layers net - 1 do
+    buf_layer buf (Network.layer net i)
+  done;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let next_line cur =
+  let rec go () =
+    if cur.pos >= Array.length cur.lines then failwith "Nn.Io: unexpected EOF";
+    let l = String.trim cur.lines.(cur.pos) in
+    cur.pos <- cur.pos + 1;
+    if l = "" then go () else l
+  in
+  go ()
+
+let parse_floats line expected =
+  let parts =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+  in
+  if List.length parts <> expected then
+    failwith
+      (Printf.sprintf "Nn.Io: expected %d floats, got %d" expected
+         (List.length parts));
+  Array.of_list (List.map float_of_string parts)
+
+let parse_relu = function
+  | "relu" -> true
+  | "linear" -> false
+  | s -> failwith ("Nn.Io: bad activation " ^ s)
+
+let of_string s =
+  let cur = { lines = Array.of_list (String.split_on_char '\n' s); pos = 0 } in
+  (match String.split_on_char ' ' (next_line cur) with
+   | [ "grc-net"; "1" ] -> ()
+   | _ -> failwith "Nn.Io: bad header");
+  let n_layers =
+    match String.split_on_char ' ' (next_line cur) with
+    | [ "layers"; n ] -> int_of_string n
+    | _ -> failwith "Nn.Io: bad layer count"
+  in
+  let parse_layer () =
+    match String.split_on_char ' ' (next_line cur) with
+    | [ "dense"; ind; outd; act ] ->
+        let ind = int_of_string ind and outd = int_of_string outd in
+        let relu = parse_relu act in
+        let bias = parse_floats (next_line cur) outd in
+        let weight =
+          Mat.of_arrays
+            (Array.init outd (fun _ -> parse_floats (next_line cur) ind))
+        in
+        Layer.dense ~relu ~weight ~bias ()
+    | [ "conv"; c; h; w; oc; kh; kw; stride; pad; act ] ->
+        let c = int_of_string c and h = int_of_string h
+        and w = int_of_string w and oc = int_of_string oc
+        and kh = int_of_string kh and kw = int_of_string kw
+        and stride = int_of_string stride and pad = int_of_string pad in
+        let relu = parse_relu act in
+        let bias = parse_floats (next_line cur) oc in
+        let weight = parse_floats (next_line cur) (oc * c * kh * kw) in
+        Layer.conv2d ~relu ~in_shape:{ Layer.c; h; w } ~out_chans:oc ~kh ~kw
+          ~stride ~pad ~weight ~bias ()
+    | [ "avgpool"; c; h; w; kh; kw; stride; _act ] ->
+        Layer.avg_pool
+          ~in_shape:{ Layer.c = int_of_string c; h = int_of_string h;
+                      w = int_of_string w }
+          ~kh:(int_of_string kh) ~kw:(int_of_string kw)
+          ~stride:(int_of_string stride)
+    | [ "normalize"; n; act ] ->
+        let n = int_of_string n in
+        let relu = parse_relu act in
+        let mul = parse_floats (next_line cur) n in
+        let add = parse_floats (next_line cur) n in
+        let l = Layer.normalize ~mul ~add in
+        { l with Layer.relu }
+    | line -> failwith ("Nn.Io: bad layer header: " ^ String.concat " " line)
+  in
+  Network.make (List.init n_layers (fun _ -> parse_layer ()))
+
+let save net path =
+  let oc = open_out path in
+  (try output_string oc (to_string net)
+   with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s

@@ -1,0 +1,15 @@
+(** Plain-text (de)serialisation of networks.
+
+    Format: a header line [grc-net 1], a layer count, then one block per
+    layer.  Floats are printed with full precision ([%.17g]); files
+    round-trip exactly. *)
+
+val save : Network.t -> string -> unit
+(** [save net path] writes [net] to [path]. *)
+
+val load : string -> Network.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val to_string : Network.t -> string
+
+val of_string : string -> Network.t

@@ -1,0 +1,74 @@
+type t = { layers : Layer.t array }
+
+let make layers =
+  match layers with
+  | [] -> invalid_arg "Network.make: empty"
+  | first :: rest ->
+      let rec check prev = function
+        | [] -> ()
+        | l :: ls ->
+            if Layer.out_dim prev <> Layer.in_dim l then
+              invalid_arg
+                (Printf.sprintf
+                   "Network.make: layer dim mismatch (%d -> %d)"
+                   (Layer.out_dim prev) (Layer.in_dim l));
+            check l ls
+      in
+      check first rest;
+      { layers = Array.of_list layers }
+
+let n_layers t = Array.length t.layers
+
+let input_dim t = Layer.in_dim t.layers.(0)
+
+let output_dim t = Layer.out_dim t.layers.(Array.length t.layers - 1)
+
+let layer t i = t.layers.(i)
+
+let hidden_neuron_count t =
+  let n = Array.length t.layers in
+  let total = ref 0 in
+  for i = 0 to n - 2 do
+    total := !total + Layer.out_dim t.layers.(i)
+  done;
+  !total
+
+let forward t x = Array.fold_left (fun acc l -> Layer.forward l acc) x t.layers
+
+let forward_all t x =
+  let n = Array.length t.layers in
+  let pres = Array.make n [||] and posts = Array.make n [||] in
+  let cur = ref x in
+  for i = 0 to n - 1 do
+    let l = t.layers.(i) in
+    let y = Layer.forward_pre l !cur in
+    pres.(i) <- y;
+    let post = if l.Layer.relu then Array.map (Float.max 0.0) y else y in
+    posts.(i) <- post;
+    cur := post
+  done;
+  (pres, posts)
+
+let prefix t k =
+  if k < 1 || k > Array.length t.layers then
+    invalid_arg "Network.prefix: bad length";
+  { layers = Array.sub t.layers 0 k }
+
+let describe t =
+  let layer_str (l : Layer.t) =
+    let base =
+      match l.Layer.kind with
+      | Layer.Dense { weight; _ } ->
+          Printf.sprintf "fc(%d->%d)" weight.Linalg.Mat.cols
+            weight.Linalg.Mat.rows
+      | Layer.Conv2d { in_shape; out_chans; kh; kw; stride; pad; _ } ->
+          Printf.sprintf "conv(%dx%dx%d->%dc k%dx%d s%d p%d)"
+            in_shape.Layer.c in_shape.Layer.h in_shape.Layer.w out_chans kh
+            kw stride pad
+      | Layer.Avg_pool { kh; kw; stride; _ } ->
+          Printf.sprintf "avgpool(k%dx%d s%d)" kh kw stride
+      | Layer.Normalize _ -> "norm"
+    in
+    if l.Layer.relu then base ^ " relu" else base
+  in
+  String.concat "; " (List.map layer_str (Array.to_list t.layers))

@@ -1,0 +1,37 @@
+(** Feed-forward networks: a pipeline of {!Layer.t}.
+
+    The paper's networks are sequences of affine layers with optional
+    ReLU activations; the output layer is affine (no ReLU) for
+    regression and logits. *)
+
+type t = { layers : Layer.t array }
+
+val make : Layer.t list -> t
+(** Checks dimension compatibility between consecutive layers.
+    Raises [Invalid_argument] on mismatch or an empty list. *)
+
+val n_layers : t -> int
+
+val input_dim : t -> int
+
+val output_dim : t -> int
+
+val layer : t -> int -> Layer.t
+(** 0-based. *)
+
+val hidden_neuron_count : t -> int
+(** Total output neurons of all layers except the last — the "Neurons"
+    column of the paper's Table I. *)
+
+val forward : t -> float array -> float array
+
+val forward_all : t -> float array -> float array array * float array array
+(** [forward_all net x] is [(pres, posts)] where [pres.(i)] is layer
+    [i]'s pre-activation and [posts.(i)] its post-activation output.
+    [posts.(n-1)] is the network output. *)
+
+val prefix : t -> int -> t
+(** [prefix net k] keeps layers [0..k-1] ([1 <= k <= n_layers]). *)
+
+val describe : t -> string
+(** One-line architecture summary, e.g. ["fc(8->16) relu; fc(16->1)"]. *)

@@ -1,0 +1,35 @@
+(** Mini-batch training with SGD (momentum) or Adam. *)
+
+type loss =
+  | Mse            (** mean squared error, regression *)
+  | Softmax_ce     (** softmax + cross entropy; targets one-hot *)
+
+val loss_value_grad :
+  loss -> pred:float array -> target:float array -> float * float array
+(** Loss value and its gradient with respect to [pred]. *)
+
+type optimizer =
+  | Sgd of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+val adam : ?lr:float -> unit -> optimizer
+(** Adam with the usual defaults ([lr = 1e-3]). *)
+
+type config = {
+  loss : loss;
+  optimizer : optimizer;
+  epochs : int;
+  batch_size : int;
+  seed : int;             (** shuffling *)
+}
+
+val fit :
+  ?log:(epoch:int -> loss:float -> unit) ->
+  config -> Network.t -> xs:float array array -> ys:float array array -> unit
+(** Trains in place (layer parameter arrays are mutated). *)
+
+val mean_loss :
+  loss -> Network.t -> xs:float array array -> ys:float array array -> float
+
+val accuracy : Network.t -> xs:float array array -> labels:int array -> float
+(** Classification accuracy by argmax. *)

@@ -1,0 +1,1 @@
+scratch/cam_check.mli:

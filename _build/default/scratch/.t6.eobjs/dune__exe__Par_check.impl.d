@@ -1,0 +1,1 @@
+scratch/par_check.ml: Array Cert Nn Printf Random

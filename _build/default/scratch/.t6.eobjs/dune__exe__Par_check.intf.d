@@ -1,0 +1,1 @@
+scratch/par_check.mli:

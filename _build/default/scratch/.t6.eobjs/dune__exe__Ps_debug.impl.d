@@ -1,0 +1,1 @@
+scratch/ps_debug.ml: Array Float Format Lp Milp Printf Random

@@ -1,0 +1,1 @@
+scratch/ps_debug.mli:

@@ -1,0 +1,1 @@
+scratch/sym_check.ml: Array Cert Float Nn Printf Random

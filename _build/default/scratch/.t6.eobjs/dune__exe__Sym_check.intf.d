@@ -1,0 +1,1 @@
+scratch/sym_check.mli:

@@ -1,0 +1,1 @@
+scratch/t6.ml: Array Cert Exp Milp Printf Sys Unix

@@ -1,0 +1,1 @@
+scratch/t6.mli:

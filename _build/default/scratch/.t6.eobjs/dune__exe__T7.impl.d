@@ -1,0 +1,1 @@
+scratch/t7.ml: Array Cert Exp Milp Printf Sys Unix

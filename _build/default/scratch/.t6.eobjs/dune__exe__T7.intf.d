@@ -1,0 +1,1 @@
+scratch/t7.mli:

@@ -1,0 +1,13 @@
+let () =
+  let rng = Random.State.make [| 7 |] in
+  let hw = 24 * 48 in
+  let body_pixels d =
+    let img = Data.Camera.render ~rng ~h:24 ~w:48 ~d ~noise:0.0 in
+    let count = ref 0 in
+    for i = 0 to hw - 1 do
+      if img.(i) > 0.6 && img.(hw + i) < 0.3 then incr count
+    done;
+    !count
+  in
+  List.iter (fun d -> Printf.printf "d=%.2f body=%d\n" d (body_pixels d))
+    [0.5; 0.6; 0.8; 1.0; 1.2; 1.4; 1.6; 1.8; 1.9]

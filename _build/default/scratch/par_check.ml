@@ -1,0 +1,15 @@
+let () =
+  let rng = Random.State.make [| 55 |] in
+  let net = Nn.Network.make
+    [ Nn.Layer.dense_random ~relu:true ~rng ~in_dim:3 ~out_dim:10 ();
+      Nn.Layer.dense_random ~relu:true ~rng ~in_dim:10 ~out_dim:6 ();
+      Nn.Layer.dense_random ~rng ~in_dim:6 ~out_dim:2 () ] in
+  let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+  let run domains =
+    let config = { Cert.Certifier.default_config with Cert.Certifier.domains;
+                   refine = Cert.Certifier.Fraction 0.5 } in
+    (Cert.Certifier.certify ~config net ~input ~delta:0.05).Cert.Certifier.eps in
+  let seq = run 1 and par = run 3 in
+  Printf.printf "seq=[%.8f %.8f] par=[%.8f %.8f] equal=%b\n"
+    seq.(0) seq.(1) par.(0) par.(1)
+    (seq.(0) = par.(0) && seq.(1) = par.(1))

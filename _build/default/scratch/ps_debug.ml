@@ -1,0 +1,45 @@
+module Model = Lp.Model
+let () =
+  let found = ref false in
+  let seed0 = ref 0 in
+  (try
+    for seed = 0 to 300000 do
+      for n = 2 to 5 do
+        let rng = Random.State.make [| seed; 0x9e |] in
+        let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+        let build () =
+          let m = Model.create () in
+          let vars = Array.init n (fun _ -> Model.add_var ~integer:true ~lo:0.0 ~hi:3.0 m) in
+          let w = Array.init n (fun _ -> rf (-2.0) 2.0) in
+          Model.add_constr m (Array.to_list (Array.mapi (fun k v -> (v, w.(k))) vars)) Model.Le (rf 0.0 5.0);
+          let v = Array.init n (fun _ -> rf (-2.0) 2.0) in
+          Model.set_objective m Model.Maximize (Array.to_list (Array.mapi (fun k var -> (var, v.(k))) vars));
+          m
+        in
+        let m1 = build () and m2 = build () in
+        let r = Lp.Presolve.tighten m2 in
+        let s1 = Milp.solve m1 in
+        let ok =
+          if r.Lp.Presolve.infeasible then s1.Milp.status = Milp.Infeasible
+          else begin
+            let s2 = Milp.solve m2 in
+            match s1.Milp.status, s2.Milp.status with
+            | Milp.Optimal, Milp.Optimal -> Float.abs (s1.Milp.obj -. s2.Milp.obj) <= 1e-6
+            | Milp.Infeasible, Milp.Infeasible -> true
+            | _ -> false
+          end
+        in
+        if not ok then begin
+          found := true; seed0 := seed;
+          Printf.printf "FAIL seed=%d n=%d infeas=%b s1=%s obj1=%g\n" seed n r.Lp.Presolve.infeasible
+            (match s1.Milp.status with Milp.Optimal -> "opt" | Infeasible -> "inf" | _ -> "other") s1.Milp.obj;
+          let s2 = Milp.solve m2 in
+          Printf.printf "  s2=%s obj2=%g\n" (match s2.Milp.status with Milp.Optimal -> "opt" | Infeasible -> "inf" | _ -> "other") s2.Milp.obj;
+          Format.printf "m1:@.%a@." Model.pp m1;
+          Format.printf "m2 (post presolve):@.%a@." Model.pp m2;
+          raise Exit
+        end
+      done
+    done
+  with Exit -> ());
+  if not !found then print_endline "no failure found in 300k seeds"

@@ -1,0 +1,28 @@
+let () =
+  let rng = Random.State.make [| 42 |] in
+  let net = Nn.Network.make
+    [ Nn.Layer.dense_random ~relu:true ~rng ~in_dim:4 ~out_dim:12 ();
+      Nn.Layer.dense_random ~relu:true ~rng ~in_dim:12 ~out_dim:8 ();
+      Nn.Layer.dense_random ~rng ~in_dim:8 ~out_dim:1 () ] in
+  let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+  let delta = 0.05 in
+  let ibp = (Cert.Interval_prop.certify net ~input ~delta).(0) in
+  let sym = (Cert.Symbolic.certify net ~input ~delta).(0) in
+  let a1 = (Cert.Certifier.certify net ~input ~delta).Cert.Certifier.eps.(0) in
+  let a1s = (Cert.Certifier.certify
+               ~config:{ Cert.Certifier.default_config with Cert.Certifier.symbolic = true }
+               net ~input ~delta).Cert.Certifier.eps.(0) in
+  (* sampled lower bound on the true eps *)
+  let sampled = ref 0.0 in
+  for _ = 1 to 2000 do
+    let x = Array.init 4 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+    let x' = Array.map (fun v -> Float.max (-1.) (Float.min 1. (v +. delta *. (Random.State.float rng 2.0 -. 1.0)))) x in
+    let d = Float.abs ((Nn.Network.forward net x').(0) -. (Nn.Network.forward net x).(0)) in
+    if d > !sampled then sampled := d
+  done;
+  Printf.printf "ibp=%.5f sym=%.5f algo1=%.5f algo1+sym=%.5f sampled>=%.5f\n" ibp sym a1 a1s !sampled;
+  assert (sym <= ibp +. 1e-9);
+  assert (sym >= !sampled -. 1e-9);
+  assert (a1s >= !sampled -. 1e-9);
+  assert (a1s <= a1 +. 1e-9);
+  print_endline "symbolic OK"

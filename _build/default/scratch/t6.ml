@@ -1,0 +1,32 @@
+let time f = let t0 = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. t0)
+let () =
+  let which = Sys.argv.(1) in
+  match which with
+  | "dnn4-exact" ->
+    let t = Exp.Models.auto_mpg_net ~id:"dnn4" ~sizes:(16,16) () in
+    let net = t.Exp.Models.net in
+    let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+    let milp_options = { Milp.default_options with Milp.time_limit = 60.0 } in
+    let (r, dt) = time (fun () -> Cert.Exact.global_btne ~milp_options net ~input ~delta:0.001) in
+    Printf.printf "dnn4 exact: eps=%.5f time=%.1fs nodes=%d exact=%b\n" r.Cert.Exact.eps.(0) dt r.Cert.Exact.nodes r.Cert.Exact.exact
+  | "dnn4-reluplex" ->
+    let t = Exp.Models.auto_mpg_net ~id:"dnn4" ~sizes:(16,16) () in
+    let net = t.Exp.Models.net in
+    let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+    let (r, dt) = time (fun () -> Cert.Reluplex_style.global ~max_nodes:3000 net ~input ~delta:0.001) in
+    Printf.printf "dnn4 reluplex: eps=%.5f time=%.1fs nodes=%d exact=%b\n" r.Cert.Reluplex_style.eps.(0) dt r.Cert.Reluplex_style.nodes r.Cert.Reluplex_style.exact
+  | "dnn5-ours" ->
+    let t = Exp.Models.auto_mpg_net ~id:"dnn5" ~sizes:(32,32) () in
+    let net = t.Exp.Models.net in
+    let config = { Exp.Table1.auto_mpg_config with Cert.Certifier.milp_options = { Milp.default_options with Milp.max_nodes = 5000; time_limit = 10.0 } } in
+    let (r, dt) = time (fun () -> Cert.Certifier.certify_box ~config net ~lo:0.0 ~hi:1.0 ~delta:0.001) in
+    Printf.printf "dnn5 ours: eps=%.5f time=%.1fs lp=%d milp=%d\n" r.Cert.Certifier.eps.(0) dt r.Cert.Certifier.lp_solves r.Cert.Certifier.milp_solves
+  | "dnn3-exact" ->
+    let t = Exp.Models.auto_mpg_net ~id:"dnn3" ~sizes:(8,8) () in
+    let net = t.Exp.Models.net in
+    let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+    let (r, dt) = time (fun () -> Cert.Exact.global_btne net ~input ~delta:0.001) in
+    Printf.printf "dnn3 exact: eps=%.5f time=%.1fs nodes=%d\n" r.Cert.Exact.eps.(0) dt r.Cert.Exact.nodes;
+    let (r2, dt2) = time (fun () -> Cert.Reluplex_style.global ~max_nodes:100000 net ~input ~delta:0.001) in
+    Printf.printf "dnn3 reluplex: eps=%.5f time=%.1fs nodes=%d exact=%b\n" r2.Cert.Reluplex_style.eps.(0) dt2 r2.Cert.Reluplex_style.nodes r2.Cert.Reluplex_style.exact
+  | _ -> prerr_endline "?"

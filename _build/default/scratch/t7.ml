@@ -1,0 +1,42 @@
+let () =
+  let id = Sys.argv.(1) in
+  let sizes = match id with
+    | "dnn1" -> (4,4) | "dnn2" -> (8,4) | "dnn3" -> (8,8) | "dnn4" -> (16,16) | _ -> failwith "?" in
+  let t = Exp.Models.auto_mpg_net ~id ~sizes () in
+  let net = t.Exp.Models.net in
+  let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+  let milp_options = { Milp.default_options with Milp.time_limit = float_of_string Sys.argv.(2) } in
+  let t0 = Unix.gettimeofday () in
+  let r = Cert.Exact.global_btne ~milp_options net ~input ~delta:0.001 in
+  Printf.printf "%s exact: eps=%.5f bound-exact=%b time=%.1fs nodes=%d (%.0f nodes/s)\n"
+    id r.Cert.Exact.eps.(0) r.Cert.Exact.exact (Unix.gettimeofday () -. t0) r.Cert.Exact.nodes
+    (float_of_int r.Cert.Exact.nodes /. (Unix.gettimeofday () -. t0))
+
+let () =
+  if Array.length Sys.argv > 3 && Sys.argv.(3) = "itne" then begin
+    let id = Sys.argv.(1) in
+    let sizes = match id with
+      | "dnn1" -> (4,4) | "dnn2" -> (8,4) | "dnn3" -> (8,8) | "dnn4" -> (16,16) | _ -> failwith "?" in
+    let t = Exp.Models.auto_mpg_net ~id ~sizes () in
+    let net = t.Exp.Models.net in
+    let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+    let milp_options = { Milp.default_options with Milp.time_limit = float_of_string Sys.argv.(2) } in
+    let t0 = Unix.gettimeofday () in
+    let r = Cert.Exact.global_itne ~milp_options net ~input ~delta:0.001 in
+    Printf.printf "%s ITNE exact: eps=%.5f exact=%b time=%.1fs nodes=%d\n"
+      id r.Cert.Exact.eps.(0) r.Cert.Exact.exact (Unix.gettimeofday () -. t0) r.Cert.Exact.nodes
+  end
+
+let () =
+  if Array.length Sys.argv > 3 && Sys.argv.(3) = "reluplex" then begin
+    let id = Sys.argv.(1) in
+    let sizes = match id with
+      | "dnn1" -> (4,4) | "dnn2" -> (8,4) | "dnn3" -> (8,8) | "dnn4" -> (16,16) | _ -> failwith "?" in
+    let t = Exp.Models.auto_mpg_net ~id ~sizes () in
+    let net = t.Exp.Models.net in
+    let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+    let t0 = Unix.gettimeofday () in
+    let r = Cert.Reluplex_style.global ~max_nodes:(int_of_string Sys.argv.(2)) net ~input ~delta:0.001 in
+    Printf.printf "%s reluplex: eps=%.5f exact=%b time=%.1fs nodes=%d\n"
+      id r.Cert.Reluplex_style.eps.(0) r.Cert.Reluplex_style.exact (Unix.gettimeofday () -. t0) r.Cert.Reluplex_style.nodes
+  end

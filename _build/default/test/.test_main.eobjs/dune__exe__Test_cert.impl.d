@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest Array Cert Exp Float List Milp Nn Printf QCheck QCheck_alcotest Random

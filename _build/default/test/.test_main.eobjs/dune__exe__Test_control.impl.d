@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Control Float Linalg List Nn Random

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Data Float Fun Linalg List Random

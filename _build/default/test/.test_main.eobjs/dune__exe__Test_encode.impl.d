@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Cert Float Fun Hashtbl Linalg List Lp Milp Nn Option

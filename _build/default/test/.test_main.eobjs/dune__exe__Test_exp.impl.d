@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Cert Exp Filename Fun Linalg List Nn Printf Sys Unix

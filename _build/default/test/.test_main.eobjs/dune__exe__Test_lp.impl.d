@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format List Lp QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_attack Test_cert Test_control Test_data Test_encode Test_exp Test_linalg Test_lp Test_milp Test_nn Test_presolve

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun Linalg List Nn Option QCheck QCheck_alcotest Random String Sys

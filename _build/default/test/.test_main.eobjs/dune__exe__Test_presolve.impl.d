@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array Float Lp Milp QCheck QCheck_alcotest Random

@@ -1,0 +1,170 @@
+(* Tests for the synthetic dataset generators. *)
+
+let test_auto_mpg_shapes () =
+  let ds = Data.Auto_mpg.generate ~n:50 ~seed:1 () in
+  Alcotest.(check int) "n" 50 (Data.Dataset.length ds);
+  Array.iter
+    (fun x ->
+      Alcotest.(check int) "features" Data.Auto_mpg.n_features
+        (Array.length x);
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "in [0,1]" true (v >= 0.0 && v <= 1.0))
+        x)
+    ds.Data.Dataset.xs;
+  Array.iter
+    (fun y ->
+      Alcotest.(check int) "target dim" 1 (Array.length y);
+      Alcotest.(check bool) "target in [0,1]" true
+        (y.(0) >= 0.0 && y.(0) <= 1.0))
+    ds.Data.Dataset.ys
+
+let test_auto_mpg_deterministic () =
+  let a = Data.Auto_mpg.generate ~n:10 ~seed:5 () in
+  let b = Data.Auto_mpg.generate ~n:10 ~seed:5 () in
+  Alcotest.(check bool) "same" true
+    (Linalg.Vec.equal ~eps:0.0 a.Data.Dataset.xs.(3) b.Data.Dataset.xs.(3))
+
+let test_auto_mpg_seed_matters () =
+  let a = Data.Auto_mpg.generate ~n:10 ~seed:5 () in
+  let b = Data.Auto_mpg.generate ~n:10 ~seed:6 () in
+  Alcotest.(check bool) "different" false
+    (Linalg.Vec.equal ~eps:1e-12 a.Data.Dataset.xs.(0) b.Data.Dataset.xs.(0))
+
+let test_auto_mpg_weight_signal () =
+  (* heavier cars should have lower mpg on average *)
+  let ds = Data.Auto_mpg.generate ~n:500 ~seed:2 () in
+  let heavy, light =
+    Array.fold_left
+      (fun (h, l) i ->
+        let x = ds.Data.Dataset.xs.(i) and y = ds.Data.Dataset.ys.(i).(0) in
+        if x.(3) > 0.6 then (y :: h, l)
+        else if x.(3) < 0.4 then (h, y :: l)
+        else (h, l))
+      ([], [])
+      (Array.init 500 Fun.id)
+  in
+  let mean = function
+    | [] -> 0.5
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Alcotest.(check bool) "heavy < light mpg" true (mean heavy < mean light)
+
+let test_digits_shapes () =
+  let ds = Data.Digits.generate ~h:12 ~w:12 ~n:40 ~seed:3 () in
+  Alcotest.(check int) "n" 40 (Data.Dataset.length ds);
+  Array.iter
+    (fun x -> Alcotest.(check int) "pixels" 144 (Array.length x))
+    ds.Data.Dataset.xs;
+  Array.iter
+    (fun y ->
+      Alcotest.(check int) "classes" 10 (Array.length y);
+      Alcotest.(check bool) "one-hot" true
+        (Float.abs (Array.fold_left ( +. ) 0.0 y -. 1.0) < 1e-9))
+    ds.Data.Dataset.ys
+
+let test_digits_balanced () =
+  let ds = Data.Digits.generate ~h:10 ~w:10 ~n:100 ~seed:4 () in
+  let counts = Array.make 10 0 in
+  Array.iter
+    (fun l -> counts.(l) <- counts.(l) + 1)
+    (Data.Dataset.labels ds);
+  Array.iter (fun c -> Alcotest.(check int) "balanced" 10 c) counts
+
+let test_digits_distinguishable () =
+  (* different digits render differently: 1 is much sparser than 8 *)
+  let rng = Random.State.make [| 9 |] in
+  let mass d =
+    let img = Data.Digits.render ~rng ~h:14 ~w:14 ~digit:d ~noise:0.0 in
+    Array.fold_left ( +. ) 0.0 img
+  in
+  Alcotest.(check bool) "1 lighter than 8" true (mass 1 < mass 8)
+
+let test_digits_bad_digit () =
+  let rng = Random.State.make [| 1 |] in
+  Alcotest.check_raises "digit 10" (Invalid_argument "Digits: digit 10")
+    (fun () ->
+      ignore (Data.Digits.render ~rng ~h:8 ~w:8 ~digit:10 ~noise:0.0))
+
+let test_camera_shapes () =
+  let ds = Data.Camera.generate ~h:12 ~w:24 ~n:20 ~seed:5 () in
+  Array.iter
+    (fun x ->
+      Alcotest.(check int) "pixels" (3 * 12 * 24) (Array.length x);
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "pixel range" true (v >= 0.0 && v <= 1.0))
+        x)
+    ds.Data.Dataset.xs
+
+let test_camera_distance_signal () =
+  (* closer cars occupy more pixels: count red car-body pixels
+     (r high, g low distinguishes the body from sky/road/lane) *)
+  let rng = Random.State.make [| 7 |] in
+  let hw = 24 * 48 in
+  let body_pixels d =
+    let img = Data.Camera.render ~rng ~h:24 ~w:48 ~d ~noise:0.0 in
+    let count = ref 0 in
+    for i = 0 to hw - 1 do
+      if img.(i) > 0.6 && img.(hw + i) < 0.3 then incr count
+    done;
+    !count
+  in
+  let near = body_pixels 0.6 and far = body_pixels 1.6 in
+  Alcotest.(check bool) "near car covers more pixels" true (near > far);
+  Alcotest.(check bool) "far car still visible" true (far > 0)
+
+let test_camera_target_encoding () =
+  Alcotest.(check bool) "roundtrip" true
+    (Float.abs (Data.Camera.distance_of_target
+                  (Data.Camera.target_of_distance 1.5) -. 1.5) < 1e-12)
+
+let test_split () =
+  let ds = Data.Auto_mpg.generate ~n:100 ~seed:1 () in
+  let train, test = Data.Dataset.split ds ~train_fraction:0.8 in
+  Alcotest.(check int) "train" 80 (Data.Dataset.length train);
+  Alcotest.(check int) "test" 20 (Data.Dataset.length test)
+
+let test_shuffle_preserves () =
+  let ds = Data.Digits.generate ~h:8 ~w:8 ~n:30 ~seed:2 () in
+  let sh = Data.Dataset.shuffle ~seed:9 ds in
+  Alcotest.(check int) "length" 30 (Data.Dataset.length sh);
+  (* same multiset of labels *)
+  let sorted d = List.sort compare (Array.to_list (Data.Dataset.labels d)) in
+  Alcotest.(check (list int)) "labels" (sorted ds) (sorted sh)
+
+let test_one_hot () =
+  let v = Data.Dataset.one_hot 4 2 in
+  Alcotest.(check bool) "one_hot" true
+    (Linalg.Vec.equal ~eps:0.0 v [| 0.0; 0.0; 1.0; 0.0 |])
+
+let test_feature_range () =
+  let ds = Data.Auto_mpg.generate ~n:200 ~seed:8 () in
+  let lo, hi = Data.Dataset.feature_range ds 3 in
+  Alcotest.(check bool) "range ordered" true (lo <= hi);
+  Alcotest.(check bool) "range in [0,1]" true (lo >= 0.0 && hi <= 1.0)
+
+let suites =
+  [ ( "data:auto-mpg",
+      [ Alcotest.test_case "shapes" `Quick test_auto_mpg_shapes;
+        Alcotest.test_case "deterministic" `Quick test_auto_mpg_deterministic;
+        Alcotest.test_case "seed matters" `Quick test_auto_mpg_seed_matters;
+        Alcotest.test_case "weight signal" `Quick test_auto_mpg_weight_signal
+      ] );
+    ( "data:digits",
+      [ Alcotest.test_case "shapes" `Quick test_digits_shapes;
+        Alcotest.test_case "balanced classes" `Quick test_digits_balanced;
+        Alcotest.test_case "digits distinguishable" `Quick
+          test_digits_distinguishable;
+        Alcotest.test_case "bad digit" `Quick test_digits_bad_digit ] );
+    ( "data:camera",
+      [ Alcotest.test_case "shapes" `Quick test_camera_shapes;
+        Alcotest.test_case "distance signal" `Quick
+          test_camera_distance_signal;
+        Alcotest.test_case "target encoding" `Quick
+          test_camera_target_encoding ] );
+    ( "data:dataset",
+      [ Alcotest.test_case "split" `Quick test_split;
+        Alcotest.test_case "shuffle preserves" `Quick test_shuffle_preserves;
+        Alcotest.test_case "one_hot" `Quick test_one_hot;
+        Alcotest.test_case "feature range" `Quick test_feature_range ] ) ]

@@ -1,0 +1,378 @@
+(* Tests for the bounded-variable simplex solver, including a
+   property-based comparison against exhaustive vertex enumeration on
+   random 2-variable LPs. *)
+
+module Model = Lp.Model
+module Simplex = Lp.Simplex
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let status_str = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iteration-limit"
+
+let check_status msg expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected %s, got %s" msg (status_str expected)
+      (status_str actual)
+
+let check_obj msg expected (sol : Simplex.solution) =
+  check_status msg Simplex.Optimal sol.Simplex.status;
+  if not (feq expected sol.Simplex.obj) then
+    Alcotest.failf "%s: expected obj %.9g, got %.9g" msg expected
+      sol.Simplex.obj
+
+(* --- hand-crafted cases --- *)
+
+let test_basic_max () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:3.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:5.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 4.0;
+  Model.add_constr m [ (x, 1.0); (y, 3.0) ] Model.Le 6.0;
+  Model.set_objective m Model.Maximize [ (x, 3.0); (y, 2.0) ];
+  check_obj "max" 11.0 (Simplex.solve m)
+
+let test_basic_min () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 2.0) ] Model.Ge 4.0;
+  Model.add_constr m [ (x, 3.0); (y, 1.0) ] Model.Ge 6.0;
+  Model.set_objective m Model.Minimize [ (x, 1.0); (y, 1.0) ];
+  (* optimum at intersection x + 2y = 4, 3x + y = 6: x = 1.6, y = 1.2 *)
+  check_obj "min" 2.8 (Simplex.solve m)
+
+let test_equality () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Eq 5.0;
+  Model.set_objective m Model.Maximize [ (x, 2.0); (y, 1.0) ];
+  let sol = Simplex.solve m in
+  check_obj "eq" 10.0 sol;
+  Alcotest.(check bool) "x=5" true (feq sol.Simplex.x.(0) 5.0)
+
+let test_infeasible_bounds () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:3.0 m in
+  Model.add_constr m [ (x, 1.0) ] Model.Ge 5.0;
+  Model.set_objective m Model.Minimize [ (x, 1.0) ];
+  check_status "infeasible" Simplex.Infeasible (Simplex.solve m).Simplex.status
+
+let test_infeasible_constraints () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:neg_infinity ~hi:infinity m in
+  Model.add_constr m [ (x, 1.0) ] Model.Ge 2.0;
+  Model.add_constr m [ (x, 1.0) ] Model.Le 1.0;
+  Model.set_objective m Model.Minimize [ (x, 1.0) ];
+  check_status "infeasible2" Simplex.Infeasible
+    (Simplex.solve m).Simplex.status
+
+let test_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:infinity m in
+  Model.set_objective m Model.Maximize [ (x, 1.0) ];
+  check_status "unbounded" Simplex.Unbounded (Simplex.solve m).Simplex.status
+
+let test_free_vars () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:neg_infinity ~hi:infinity m in
+  let y = Model.add_var ~lo:neg_infinity ~hi:infinity m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 2.0;
+  Model.add_constr m [ (x, -1.0); (y, 1.0) ] Model.Le 2.0;
+  Model.add_constr m [ (y, 1.0) ] Model.Ge (-1.0);
+  Model.set_objective m Model.Maximize [ (y, 1.0) ];
+  check_obj "free" 2.0 (Simplex.solve m)
+
+let test_fixed_var () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:2.0 ~hi:2.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 5.0;
+  Model.set_objective m Model.Maximize [ (y, 1.0) ];
+  check_obj "fixed" 3.0 (Simplex.solve m)
+
+let test_no_constraints () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:(-1.0) ~hi:4.0 m in
+  Model.set_objective m Model.Maximize [ (x, 2.0) ];
+  check_obj "box only" 8.0 (Simplex.solve m)
+
+let test_negative_bounds () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:(-5.0) ~hi:(-1.0) m in
+  let y = Model.add_var ~lo:(-3.0) ~hi:3.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Ge (-4.0) ;
+  Model.set_objective m Model.Minimize [ (x, 1.0); (y, 2.0) ];
+  (* x + y >= -4, minimise x + 2y: push y down: y >= -4 - x;
+     best at x = -1, y = -3: obj = -7 *)
+  check_obj "neg bounds" (-7.0) (Simplex.solve m)
+
+let test_degenerate () =
+  (* many redundant constraints through one vertex *)
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 2.0;
+  Model.add_constr m [ (x, 2.0); (y, 2.0) ] Model.Le 4.0;
+  Model.add_constr m [ (x, 1.0) ] Model.Le 1.0;
+  Model.add_constr m [ (x, 1.0); (y, 2.0) ] Model.Le 3.0;
+  Model.set_objective m Model.Maximize [ (x, 1.0); (y, 1.0) ];
+  check_obj "degenerate" 2.0 (Simplex.solve m)
+
+let test_objective_constant () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:1.0 m in
+  Model.set_objective m Model.Maximize ~const:10.0 [ (x, 1.0) ];
+  check_obj "const" 11.0 (Simplex.solve m)
+
+let test_compiled_reuse () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 5.0;
+  Model.set_objective m Model.Maximize [ (x, 1.0) ];
+  let cp = Simplex.compile m in
+  let lo, hi = Simplex.default_bounds cp in
+  check_obj "default" 4.0 (Simplex.solve_compiled cp ~lo ~hi);
+  (* tighten x's bound without rebuilding *)
+  let hi2 = Array.copy hi in
+  hi2.(0) <- 2.0;
+  check_obj "tightened" 2.0 (Simplex.solve_compiled cp ~lo ~hi:hi2);
+  (* objective override *)
+  check_obj "override" 4.0
+    (Simplex.solve_compiled
+       ~objective:(Model.Maximize, [ (y, 1.0) ])
+       cp ~lo ~hi);
+  check_obj "override min" 0.0
+    (Simplex.solve_compiled
+       ~objective:(Model.Minimize, [ (y, 1.0) ])
+       cp ~lo ~hi)
+
+let test_feasibility_of_solution () =
+  (* returned x must satisfy all constraints *)
+  let m = Model.create () in
+  let v = Model.add_vars ~n:4 ~lo:(-2.0) ~hi:2.0 m in
+  Model.add_constr m [ (v.(0), 1.0); (v.(1), 1.0); (v.(2), 1.0) ] Model.Le 1.5;
+  Model.add_constr m [ (v.(1), 1.0); (v.(3), -1.0) ] Model.Ge (-0.5);
+  Model.add_constr m [ (v.(0), 1.0); (v.(3), 1.0) ] Model.Eq 1.0;
+  Model.set_objective m Model.Maximize
+    [ (v.(0), 1.0); (v.(1), 2.0); (v.(2), -1.0); (v.(3), 0.5) ];
+  let sol = Simplex.solve m in
+  check_status "feas status" Simplex.Optimal sol.Simplex.status;
+  let x = sol.Simplex.x in
+  let s1 = x.(0) +. x.(1) +. x.(2) in
+  let s2 = x.(1) -. x.(3) in
+  let s3 = x.(0) +. x.(3) in
+  Alcotest.(check bool) "c1" true (s1 <= 1.5 +. 1e-6);
+  Alcotest.(check bool) "c2" true (s2 >= -0.5 -. 1e-6);
+  Alcotest.(check bool) "c3" true (Float.abs (s3 -. 1.0) <= 1e-6)
+
+(* --- property: random 2-var LPs vs vertex enumeration --- *)
+
+(* For 2 variables with box bounds and Le constraints, the optimum (if
+   feasible/bounded) lies at the intersection of two active
+   constraints (including bounds).  Enumerate all pairs. *)
+let brute_force_2var ~lo ~hi ~constraints ~c =
+  (* lines: a1 x + a2 y = b, from constraints and bounds *)
+  let lines =
+    List.concat
+      [ List.map (fun (a1, a2, b) -> (a1, a2, b)) constraints;
+        [ (1.0, 0.0, lo.(0)); (1.0, 0.0, hi.(0)); (0.0, 1.0, lo.(1));
+          (0.0, 1.0, hi.(1)) ] ]
+  in
+  let feasible (x, y) =
+    x >= lo.(0) -. 1e-7 && x <= hi.(0) +. 1e-7 && y >= lo.(1) -. 1e-7
+    && y <= hi.(1) +. 1e-7
+    && List.for_all
+         (fun (a1, a2, b) -> (a1 *. x) +. (a2 *. y) <= b +. 1e-7)
+         constraints
+  in
+  let candidates = ref [] in
+  let n = List.length lines in
+  let arr = Array.of_list lines in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a1, a2, b1 = arr.(i) and a3, a4, b2 = arr.(j) in
+      let det = (a1 *. a4) -. (a2 *. a3) in
+      if Float.abs det > 1e-9 then begin
+        let x = ((b1 *. a4) -. (a2 *. b2)) /. det in
+        let y = ((a1 *. b2) -. (b1 *. a3)) /. det in
+        if feasible (x, y) then candidates := (x, y) :: !candidates
+      end
+    done
+  done;
+  match !candidates with
+  | [] -> None
+  | cands ->
+      Some
+        (List.fold_left
+           (fun acc (x, y) -> Float.max acc ((c.(0) *. x) +. (c.(1) *. y)))
+           neg_infinity cands)
+
+let random_lp_agrees =
+  let gen =
+    QCheck.Gen.(
+      let coeff = float_range (-3.0) 3.0 in
+      let constr = triple coeff coeff (float_range (-2.0) 6.0) in
+      triple (list_size (int_range 1 5) constr) (pair coeff coeff)
+        (pair (float_range (-4.0) 0.0) (float_range 0.5 4.0)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"2-var LP matches vertex enumeration"
+       (QCheck.make gen)
+       (fun (constraints, (c1, c2), (lo_v, hi_v)) ->
+         let lo = [| lo_v; lo_v |] and hi = [| hi_v; hi_v |] in
+         let m = Model.create () in
+         let x = Model.add_var ~lo:lo_v ~hi:hi_v m in
+         let y = Model.add_var ~lo:lo_v ~hi:hi_v m in
+         List.iter
+           (fun (a1, a2, b) ->
+             Model.add_constr m [ (x, a1); (y, a2) ] Model.Le b)
+           constraints;
+         Model.set_objective m Model.Maximize [ (x, c1); (y, c2) ];
+         let sol = Simplex.solve m in
+         let brute =
+           brute_force_2var ~lo ~hi ~constraints ~c:[| c1; c2 |]
+         in
+         match (sol.Simplex.status, brute) with
+         | Simplex.Optimal, Some expected ->
+             feq ~eps:1e-5 sol.Simplex.obj expected
+         | Simplex.Infeasible, None -> true
+         | Simplex.Optimal, None ->
+             (* brute force misses interior-only optima only when no
+                constraint is active, impossible for a linear objective
+                unless it is constant *)
+             Float.abs c1 < 1e-9 && Float.abs c2 < 1e-9
+         | Simplex.Infeasible, Some _ -> false
+         | (Simplex.Unbounded | Simplex.Iteration_limit), _ -> false))
+
+(* larger random LPs: the solution must be feasible and no sampled
+   feasible point may beat it *)
+let random_lp_sound =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 3 6)
+        (pair (int_range 2 6) (int_range 0 1000000)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"n-var LP optimal beats sampled points"
+       (QCheck.make gen)
+       (fun (n, (n_constr, seed)) ->
+         let rng = Random.State.make [| seed |] in
+         let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+         let m = Model.create () in
+         let vars =
+           Array.init n (fun _ -> Model.add_var ~lo:(-1.0) ~hi:1.0 m)
+         in
+         let constraints =
+           List.init n_constr (fun _ ->
+               let row =
+                 Array.to_list
+                   (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars)
+               in
+               (* rhs chosen so the origin is feasible *)
+               let rhs = rf 0.1 3.0 in
+               Model.add_constr m row Model.Le rhs;
+               (List.map snd row, rhs))
+         in
+         let c = Array.init n (fun _ -> rf (-2.0) 2.0) in
+         Model.set_objective m Model.Maximize
+           (Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars));
+         let sol = Simplex.solve m in
+         match sol.Simplex.status with
+         | Simplex.Optimal ->
+             let feasible x =
+               Array.for_all (fun v -> v >= -1.0 -. 1e-7 && v <= 1.0 +. 1e-7) x
+               && List.for_all
+                    (fun (coeffs, rhs) ->
+                      List.fold_left ( +. ) 0.0
+                        (List.mapi (fun i a -> a *. x.(i)) coeffs)
+                      <= rhs +. 1e-6)
+                    constraints
+             in
+             let obj x =
+               Array.fold_left ( +. ) 0.0 (Array.mapi (fun i v -> c.(i) *. v) x)
+             in
+             feasible sol.Simplex.x
+             && feq ~eps:1e-5 (obj sol.Simplex.x) sol.Simplex.obj
+             && (let ok = ref true in
+                 for _ = 1 to 200 do
+                   let x = Array.init n (fun _ -> rf (-1.0) 1.0) in
+                   if feasible x && obj x > sol.Simplex.obj +. 1e-5 then
+                     ok := false
+                 done;
+                 !ok)
+         | Simplex.Infeasible ->
+             (* origin is always feasible by construction *)
+             false
+         | Simplex.Unbounded | Simplex.Iteration_limit -> false))
+
+(* --- model validation --- *)
+
+let test_model_validation () =
+  let m = Model.create () in
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Model: empty bound range [2, 1]") (fun () ->
+      ignore (Model.add_var ~lo:2.0 ~hi:1.0 m));
+  Alcotest.check_raises "nan bound" (Invalid_argument "Model: NaN bound")
+    (fun () -> ignore (Model.add_var ~lo:nan ~hi:1.0 m));
+  let x = Model.add_var ~lo:0.0 ~hi:1.0 m in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Model: unknown variable 7") (fun () ->
+      Model.add_constr m [ (7, 1.0) ] Model.Le 0.0);
+  Alcotest.check_raises "nan rhs"
+    (Invalid_argument "Model.add_constr: NaN rhs") (fun () ->
+      Model.add_constr m [ (x, 1.0) ] Model.Le nan);
+  Model.set_bounds m x ~lo:(-2.0) ~hi:2.0;
+  Alcotest.(check bool) "set_bounds" true
+    (Model.var_lo m x = -2.0 && Model.var_hi m x = 2.0)
+
+let test_model_accessors () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"alpha" ~integer:true ~lo:0.0 ~hi:1.0 m in
+  let _y = Model.add_var ~lo:0.0 ~hi:1.0 m in
+  Alcotest.(check string) "name" "alpha" (Model.var_name m x);
+  Alcotest.(check bool) "integer mark" true (Model.is_integer m x);
+  Alcotest.(check (list int)) "integer vars" [ 0 ] (Model.integer_vars m);
+  Alcotest.(check int) "n_vars" 2 (Model.n_vars m);
+  Model.add_constr m [ (x, 1.0) ] Model.Ge 0.0;
+  Alcotest.(check int) "n_constrs" 1 (Model.n_constrs m);
+  (* pp smoke test *)
+  let s = Format.asprintf "%a" Model.pp m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions alpha" true (contains s "alpha")
+
+let suites =
+  [ ( "lp:model",
+      [ Alcotest.test_case "validation" `Quick test_model_validation;
+        Alcotest.test_case "accessors" `Quick test_model_accessors ] );
+    ( "lp:simplex",
+      [ Alcotest.test_case "basic max" `Quick test_basic_max;
+        Alcotest.test_case "basic min" `Quick test_basic_min;
+        Alcotest.test_case "equality" `Quick test_equality;
+        Alcotest.test_case "infeasible via bounds" `Quick
+          test_infeasible_bounds;
+        Alcotest.test_case "infeasible via constraints" `Quick
+          test_infeasible_constraints;
+        Alcotest.test_case "unbounded" `Quick test_unbounded;
+        Alcotest.test_case "free variables" `Quick test_free_vars;
+        Alcotest.test_case "fixed variable" `Quick test_fixed_var;
+        Alcotest.test_case "no constraints" `Quick test_no_constraints;
+        Alcotest.test_case "negative bounds" `Quick test_negative_bounds;
+        Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+        Alcotest.test_case "objective constant" `Quick
+          test_objective_constant;
+        Alcotest.test_case "compiled reuse + override" `Quick
+          test_compiled_reuse;
+        Alcotest.test_case "solution feasibility" `Quick
+          test_feasibility_of_solution;
+        random_lp_agrees;
+        random_lp_sound ] ) ]

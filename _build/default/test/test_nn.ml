@@ -1,0 +1,430 @@
+(* Tests for layers, networks, gradients (vs finite differences),
+   training, and serialisation. *)
+
+module Layer = Nn.Layer
+module Network = Nn.Network
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let rng0 () = Random.State.make [| 99 |]
+
+(* --- dense layers --- *)
+
+let test_dense_forward () =
+  let w = Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| -1.0; 0.5 |] |] in
+  let l = Layer.dense ~relu:true ~weight:w ~bias:[| 0.5; -0.25 |] () in
+  let y = Layer.forward_pre l [| 1.0; 1.0 |] in
+  Alcotest.(check bool) "pre0" true (feq y.(0) 3.5);
+  Alcotest.(check bool) "pre1" true (feq y.(1) (-0.75));
+  let x = Layer.forward l [| 1.0; 1.0 |] in
+  Alcotest.(check bool) "relu0" true (feq x.(0) 3.5);
+  Alcotest.(check bool) "relu1" true (feq x.(1) 0.0)
+
+let test_dense_dims () =
+  let l =
+    Layer.dense_random ~rng:(rng0 ()) ~in_dim:3 ~out_dim:5 ()
+  in
+  Alcotest.(check int) "in" 3 (Layer.in_dim l);
+  Alcotest.(check int) "out" 5 (Layer.out_dim l)
+
+(* --- linear_row must agree with forward_pre for every layer kind --- *)
+
+let check_rows_match name layer input =
+  let y = Layer.forward_pre layer input in
+  for j = 0 to Layer.out_dim layer - 1 do
+    let row = Layer.linear_row layer j in
+    let v = Linalg.Sparse_row.eval_vec row input in
+    if not (feq ~eps:1e-9 v y.(j)) then
+      Alcotest.failf "%s: row %d gives %.9g, forward gives %.9g" name j v
+        y.(j)
+  done
+
+let random_input rng n =
+  Array.init n (fun _ -> Random.State.float rng 2.0 -. 1.0)
+
+let test_rows_dense () =
+  let rng = rng0 () in
+  let l = Layer.dense_random ~rng ~in_dim:7 ~out_dim:4 () in
+  check_rows_match "dense" l (random_input rng 7)
+
+let test_rows_conv () =
+  let rng = rng0 () in
+  let in_shape = { Layer.c = 2; h = 6; w = 5 } in
+  let l =
+    Layer.conv2d_random ~rng ~in_shape ~out_chans:3 ~kh:3 ~kw:3 ~stride:2
+      ~pad:1 ()
+  in
+  check_rows_match "conv" l (random_input rng (Layer.shape_size in_shape))
+
+let test_rows_conv_nopad () =
+  let rng = rng0 () in
+  let in_shape = { Layer.c = 1; h = 5; w = 5 } in
+  let l =
+    Layer.conv2d_random ~rng ~in_shape ~out_chans:2 ~kh:2 ~kw:2 ~stride:1
+      ~pad:0 ()
+  in
+  check_rows_match "conv nopad" l (random_input rng 25)
+
+let test_rows_pool () =
+  let rng = rng0 () in
+  let in_shape = { Layer.c = 2; h = 4; w = 4 } in
+  let l = Layer.avg_pool ~in_shape ~kh:2 ~kw:2 ~stride:2 in
+  check_rows_match "pool" l (random_input rng 32)
+
+let test_rows_normalize () =
+  let rng = rng0 () in
+  let l =
+    Layer.normalize ~mul:[| 2.0; -1.0; 0.5 |] ~add:[| 0.1; 0.2; -0.3 |]
+  in
+  check_rows_match "normalize" l (random_input rng 3)
+
+(* --- conv shapes --- *)
+
+let test_conv_shape () =
+  let s =
+    Layer.conv_out_shape
+      ~in_shape:{ Layer.c = 3; h = 24; w = 48 }
+      ~out_chans:8 ~kh:3 ~kw:3 ~stride:2 ~pad:1
+  in
+  Alcotest.(check int) "c" 8 s.Layer.c;
+  Alcotest.(check int) "h" 12 s.Layer.h;
+  Alcotest.(check int) "w" 24 s.Layer.w
+
+let test_avg_pool_value () =
+  let l =
+    Layer.avg_pool ~in_shape:{ Layer.c = 1; h = 2; w = 2 } ~kh:2 ~kw:2
+      ~stride:2
+  in
+  let y = Layer.forward l [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check bool) "avg" true (feq y.(0) 2.5)
+
+(* --- vjp vs finite differences --- *)
+
+let finite_diff_vjp layer x dy =
+  (* d/dx_k of dy . linear(x) *)
+  let h = 1e-6 in
+  Array.init (Layer.in_dim layer) (fun k ->
+      let xp = Array.copy x and xm = Array.copy x in
+      xp.(k) <- xp.(k) +. h;
+      xm.(k) <- xm.(k) -. h;
+      let f z =
+        let y = Layer.forward_pre layer z in
+        let acc = ref 0.0 in
+        Array.iteri (fun i v -> acc := !acc +. (dy.(i) *. v)) y;
+        !acc
+      in
+      (f xp -. f xm) /. (2.0 *. h))
+
+let check_vjp name layer =
+  let rng = rng0 () in
+  let x = random_input rng (Layer.in_dim layer) in
+  let dy = random_input rng (Layer.out_dim layer) in
+  let got = Layer.vjp_linear layer dy in
+  let want = finite_diff_vjp layer x dy in
+  Array.iteri
+    (fun k w ->
+      if not (feq ~eps:1e-4 got.(k) w) then
+        Alcotest.failf "%s: vjp[%d] = %.6g, fd = %.6g" name k got.(k) w)
+    want
+
+let test_vjp_dense () =
+  check_vjp "dense" (Layer.dense_random ~rng:(rng0 ()) ~in_dim:5 ~out_dim:3 ())
+
+let test_vjp_conv () =
+  check_vjp "conv"
+    (Layer.conv2d_random ~rng:(rng0 ())
+       ~in_shape:{ Layer.c = 2; h = 5; w = 4 } ~out_chans:3 ~kh:3 ~kw:3
+       ~stride:2 ~pad:1 ())
+
+let test_vjp_pool () =
+  check_vjp "pool"
+    (Layer.avg_pool ~in_shape:{ Layer.c = 1; h = 4; w = 4 } ~kh:2 ~kw:2
+       ~stride:2)
+
+(* --- whole-network input gradient vs finite differences --- *)
+
+let small_net () =
+  let rng = rng0 () in
+  Network.make
+    [ Layer.dense_random ~relu:true ~rng ~in_dim:3 ~out_dim:6 ();
+      Layer.dense_random ~relu:true ~rng ~in_dim:6 ~out_dim:4 ();
+      Layer.dense_random ~rng ~in_dim:4 ~out_dim:2 () ]
+
+let test_network_gradient () =
+  let net = small_net () in
+  let rng = rng0 () in
+  let x = random_input rng 3 in
+  let g = Nn.Grad.output_gradient net ~x ~j:0 in
+  let h = 1e-6 in
+  for k = 0 to 2 do
+    let xp = Array.copy x and xm = Array.copy x in
+    xp.(k) <- xp.(k) +. h;
+    xm.(k) <- xm.(k) -. h;
+    let fd =
+      ((Network.forward net xp).(0) -. (Network.forward net xm).(0))
+      /. (2.0 *. h)
+    in
+    if not (feq ~eps:1e-4 g.(k) fd) then
+      Alcotest.failf "input grad[%d]: %.6g vs fd %.6g" k g.(k) fd
+  done
+
+let test_param_gradient () =
+  (* numerical check of dL/dW for the first dense layer *)
+  let net = small_net () in
+  let rng = rng0 () in
+  let x = random_input rng 3 in
+  let target = random_input rng 2 in
+  let loss () =
+    let pred = Network.forward net x in
+    let v, _ = Nn.Train.loss_value_grad Nn.Train.Mse ~pred ~target in
+    v
+  in
+  let grads =
+    Array.init (Network.n_layers net) (fun i ->
+        Layer.alloc_grad_arrays (Network.layer net i))
+  in
+  let tape = Nn.Grad.record net x in
+  let pred = tape.Nn.Grad.posts.(Network.n_layers net - 1) in
+  let _, dout = Nn.Train.loss_value_grad Nn.Train.Mse ~pred ~target in
+  ignore (Nn.Grad.backprop_params net tape ~dout grads);
+  let params = Layer.param_arrays (Network.layer net 0) in
+  let dw = List.hd grads.(0) in
+  let w = List.hd params in
+  let h = 1e-6 in
+  for k = 0 to min 5 (Array.length w - 1) do
+    let orig = w.(k) in
+    w.(k) <- orig +. h;
+    let lp = loss () in
+    w.(k) <- orig -. h;
+    let lm = loss () in
+    w.(k) <- orig;
+    let fd = (lp -. lm) /. (2.0 *. h) in
+    if not (feq ~eps:1e-3 dw.(k) fd) then
+      Alcotest.failf "param grad[%d]: %.6g vs fd %.6g" k dw.(k) fd
+  done
+
+(* --- network structure --- *)
+
+let test_network_mismatch () =
+  let rng = rng0 () in
+  let l1 = Layer.dense_random ~rng ~in_dim:3 ~out_dim:4 () in
+  let l2 = Layer.dense_random ~rng ~in_dim:5 ~out_dim:2 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Network.make: layer dim mismatch (4 -> 5)") (fun () ->
+      ignore (Network.make [ l1; l2 ]))
+
+let test_hidden_count () =
+  let net = small_net () in
+  Alcotest.(check int) "hidden" 10 (Network.hidden_neuron_count net)
+
+let test_prefix () =
+  let net = small_net () in
+  let p = Network.prefix net 2 in
+  Alcotest.(check int) "layers" 2 (Network.n_layers p);
+  Alcotest.(check int) "out" 4 (Network.output_dim p)
+
+let test_forward_all_consistent () =
+  let net = small_net () in
+  let rng = rng0 () in
+  let x = random_input rng 3 in
+  let _, posts = Network.forward_all net x in
+  let direct = Network.forward net x in
+  Alcotest.(check bool) "forward_all = forward" true
+    (Linalg.Vec.equal ~eps:1e-12 posts.(Network.n_layers net - 1) direct)
+
+(* --- training --- *)
+
+let test_training_reduces_loss () =
+  let rng = Random.State.make [| 3 |] in
+  (* learn y = relu(x0 - x1) approximately *)
+  let xs =
+    Array.init 200 (fun _ ->
+        [| Random.State.float rng 1.0; Random.State.float rng 1.0 |])
+  in
+  let ys = Array.map (fun x -> [| Float.max 0.0 (x.(0) -. x.(1)) |]) xs in
+  let net =
+    Network.make
+      [ Layer.dense_random ~relu:true ~rng ~in_dim:2 ~out_dim:8 ();
+        Layer.dense_random ~rng ~in_dim:8 ~out_dim:1 () ]
+  in
+  let before = Nn.Train.mean_loss Nn.Train.Mse net ~xs ~ys in
+  let config =
+    { Nn.Train.loss = Nn.Train.Mse; optimizer = Nn.Train.adam ();
+      epochs = 50; batch_size = 16; seed = 4 }
+  in
+  Nn.Train.fit config net ~xs ~ys;
+  let after = Nn.Train.mean_loss Nn.Train.Mse net ~xs ~ys in
+  if not (after < before /. 4.0) then
+    Alcotest.failf "training did not converge: %.5f -> %.5f" before after
+
+let test_sgd_momentum () =
+  let rng = Random.State.make [| 5 |] in
+  let xs = Array.init 100 (fun _ -> [| Random.State.float rng 1.0 |]) in
+  let ys = Array.map (fun x -> [| (2.0 *. x.(0)) -. 0.5 |]) xs in
+  let net =
+    Network.make [ Layer.dense_random ~rng ~in_dim:1 ~out_dim:1 () ]
+  in
+  let config =
+    { Nn.Train.loss = Nn.Train.Mse;
+      optimizer = Nn.Train.Sgd { lr = 0.1; momentum = 0.9 };
+      epochs = 60; batch_size = 10; seed = 6 }
+  in
+  Nn.Train.fit config net ~xs ~ys;
+  let after = Nn.Train.mean_loss Nn.Train.Mse net ~xs ~ys in
+  Alcotest.(check bool) "linear fit" true (after < 1e-3)
+
+let test_softmax_ce_grad () =
+  let pred = [| 1.0; 2.0; 0.5 |] in
+  let target = [| 0.0; 1.0; 0.0 |] in
+  let v, g = Nn.Train.loss_value_grad Nn.Train.Softmax_ce ~pred ~target in
+  Alcotest.(check bool) "positive loss" true (v > 0.0);
+  (* gradient sums to zero: softmax probs - one-hot *)
+  let s = Array.fold_left ( +. ) 0.0 g in
+  Alcotest.(check bool) "grad sums 0" true (feq ~eps:1e-9 s 0.0);
+  Alcotest.(check bool) "target grad negative" true (g.(1) < 0.0)
+
+(* --- io --- *)
+
+let test_io_roundtrip_dense () =
+  let net = small_net () in
+  let s = Nn.Io.to_string net in
+  let net2 = Nn.Io.of_string s in
+  let rng = rng0 () in
+  let x = random_input rng 3 in
+  Alcotest.(check bool) "roundtrip outputs" true
+    (Linalg.Vec.equal ~eps:0.0 (Network.forward net x)
+       (Network.forward net2 x))
+
+let test_io_roundtrip_conv () =
+  let rng = rng0 () in
+  let s0 = { Layer.c = 2; h = 6; w = 6 } in
+  let c1 =
+    Layer.conv2d_random ~relu:true ~rng ~in_shape:s0 ~out_chans:3 ~kh:3 ~kw:3
+      ~stride:2 ~pad:1 ()
+  in
+  let s1 = Option.get (Layer.out_shape c1) in
+  let pool = Layer.avg_pool ~in_shape:s1 ~kh:1 ~kw:1 ~stride:1 in
+  let flat = Layer.shape_size s1 in
+  let net =
+    Network.make
+      [ c1; pool;
+        Layer.normalize ~mul:(Array.make flat 0.5)
+          ~add:(Array.make flat 0.1);
+        Layer.dense_random ~rng ~in_dim:flat ~out_dim:2 () ]
+  in
+  let net2 = Nn.Io.of_string (Nn.Io.to_string net) in
+  let x = random_input rng (Layer.shape_size s0) in
+  Alcotest.(check bool) "conv roundtrip" true
+    (Linalg.Vec.equal ~eps:0.0 (Network.forward net x)
+       (Network.forward net2 x))
+
+let test_io_bad_header () =
+  Alcotest.check_raises "bad header" (Failure "Nn.Io: bad header") (fun () ->
+      ignore (Nn.Io.of_string "bogus\n"))
+
+let test_io_truncated () =
+  (try
+     ignore (Nn.Io.of_string "grc-net 1\nlayers 1\ndense 2 2 relu\n");
+     Alcotest.fail "expected failure on truncated file"
+   with Failure _ -> ())
+
+let test_io_wrong_float_count () =
+  (try
+     ignore
+       (Nn.Io.of_string
+          "grc-net 1\nlayers 1\ndense 2 1 linear\n1.0 2.0\n0.5 0.5\n");
+     Alcotest.fail "expected failure on float count"
+   with Failure _ -> ())
+
+let test_io_file_roundtrip () =
+  let net = small_net () in
+  let path = Filename.temp_file "grc-test" ".net" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nn.Io.save net path;
+      let net2 = Nn.Io.load path in
+      let x = [| 0.1; -0.5; 0.9 |] in
+      Alcotest.(check bool) "file roundtrip" true
+        (Linalg.Vec.equal ~eps:0.0 (Network.forward net x)
+           (Network.forward net2 x)))
+
+let test_describe () =
+  let net = small_net () in
+  let s = Network.describe net in
+  Alcotest.(check bool) "mentions fc" true
+    (String.length s > 0 && String.sub s 0 2 = "fc")
+
+(* property: linear_row matches forward on random conv configurations *)
+let conv_row_prop =
+  let gen =
+    QCheck.Gen.(
+      let small = int_range 1 3 in
+      tup6 small (int_range 3 7) (int_range 3 7) small (int_range 1 2)
+        (int_range 0 1))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"conv linear_row = forward_pre"
+       (QCheck.make gen)
+       (fun (c, h, w, oc, stride, pad) ->
+         let kh = min 3 h and kw = min 3 w in
+         let out_h = ((h + (2 * pad) - kh) / stride) + 1 in
+         let out_w = ((w + (2 * pad) - kw) / stride) + 1 in
+         if out_h <= 0 || out_w <= 0 then true
+         else begin
+           let rng = Random.State.make [| c; h; w; oc; stride; pad |] in
+           let in_shape = { Layer.c; h; w } in
+           let l =
+             Layer.conv2d_random ~rng ~in_shape ~out_chans:oc ~kh ~kw ~stride
+               ~pad ()
+           in
+           let x = random_input rng (Layer.shape_size in_shape) in
+           let y = Layer.forward_pre l x in
+           let ok = ref true in
+           for j = 0 to Layer.out_dim l - 1 do
+             let v = Linalg.Sparse_row.eval_vec (Layer.linear_row l j) x in
+             if not (feq ~eps:1e-9 v y.(j)) then ok := false
+           done;
+           !ok
+         end))
+
+let suites =
+  [ ( "nn:layer",
+      [ Alcotest.test_case "dense forward" `Quick test_dense_forward;
+        Alcotest.test_case "dense dims" `Quick test_dense_dims;
+        Alcotest.test_case "rows dense" `Quick test_rows_dense;
+        Alcotest.test_case "rows conv" `Quick test_rows_conv;
+        Alcotest.test_case "rows conv nopad" `Quick test_rows_conv_nopad;
+        Alcotest.test_case "rows pool" `Quick test_rows_pool;
+        Alcotest.test_case "rows normalize" `Quick test_rows_normalize;
+        Alcotest.test_case "conv shape" `Quick test_conv_shape;
+        Alcotest.test_case "avg pool value" `Quick test_avg_pool_value;
+        conv_row_prop ] );
+    ( "nn:gradients",
+      [ Alcotest.test_case "vjp dense" `Quick test_vjp_dense;
+        Alcotest.test_case "vjp conv" `Quick test_vjp_conv;
+        Alcotest.test_case "vjp pool" `Quick test_vjp_pool;
+        Alcotest.test_case "network input gradient" `Quick
+          test_network_gradient;
+        Alcotest.test_case "parameter gradient" `Quick test_param_gradient ]
+    );
+    ( "nn:network",
+      [ Alcotest.test_case "dim mismatch" `Quick test_network_mismatch;
+        Alcotest.test_case "hidden count" `Quick test_hidden_count;
+        Alcotest.test_case "prefix" `Quick test_prefix;
+        Alcotest.test_case "forward_all" `Quick test_forward_all_consistent ]
+    );
+    ( "nn:train",
+      [ Alcotest.test_case "adam converges" `Slow test_training_reduces_loss;
+        Alcotest.test_case "sgd momentum" `Quick test_sgd_momentum;
+        Alcotest.test_case "softmax ce gradient" `Quick test_softmax_ce_grad ]
+    );
+    ( "nn:io",
+      [ Alcotest.test_case "dense roundtrip" `Quick test_io_roundtrip_dense;
+        Alcotest.test_case "conv roundtrip" `Quick test_io_roundtrip_conv;
+        Alcotest.test_case "bad header" `Quick test_io_bad_header;
+        Alcotest.test_case "truncated" `Quick test_io_truncated;
+        Alcotest.test_case "wrong float count" `Quick
+          test_io_wrong_float_count;
+        Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        Alcotest.test_case "describe" `Quick test_describe ] ) ]

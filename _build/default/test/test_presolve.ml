@@ -1,0 +1,135 @@
+(* Tests for LP/MILP presolve bound tightening. *)
+
+module Model = Lp.Model
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_simple_tightening () =
+  (* x + y <= 4 with y >= 0 implies x <= 4 *)
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:100.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:100.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 4.0;
+  let r = Lp.Presolve.tighten m in
+  Alcotest.(check bool) "not infeasible" false r.Lp.Presolve.infeasible;
+  Alcotest.(check bool) "x tightened" true (feq (Model.var_hi m x) 4.0);
+  Alcotest.(check bool) "y tightened" true (feq (Model.var_hi m y) 4.0)
+
+let test_ge_tightening () =
+  (* 2x - y >= 6, y <= 2  ==>  x >= (6 + y_min... x >= (6 - 2)/2... *)
+  let m = Model.create () in
+  let x = Model.add_var ~lo:(-10.0) ~hi:10.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:2.0 m in
+  Model.add_constr m [ (x, 2.0); (y, -1.0) ] Model.Ge 6.0;
+  ignore (Lp.Presolve.tighten m);
+  (* 2x >= 6 + y >= 6  ==> x >= 3 *)
+  Alcotest.(check bool) "x lower tightened" true
+    (Model.var_lo m x >= 3.0 -. 1e-9)
+
+let test_equality_both_sides () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:10.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:1.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Eq 3.0;
+  ignore (Lp.Presolve.tighten m);
+  Alcotest.(check bool) "x in [2,3]" true
+    (Model.var_lo m x >= 2.0 -. 1e-9 && Model.var_hi m x <= 3.0 +. 1e-9)
+
+let test_integer_rounding () =
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true ~lo:0.0 ~hi:10.0 m in
+  Model.add_constr m [ (x, 2.0) ] Model.Le 7.0;
+  ignore (Lp.Presolve.tighten m);
+  (* 2x <= 7 -> x <= 3.5 -> x <= 3 *)
+  Alcotest.(check bool) "integer hi rounded" true (feq (Model.var_hi m x) 3.0)
+
+let test_detect_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true ~lo:0.0 ~hi:1.0 m in
+  let y = Model.add_var ~integer:true ~lo:0.0 ~hi:1.0 m in
+  (* x + y >= 3 is impossible for two binaries *)
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Ge 3.0;
+  let r = Lp.Presolve.tighten m in
+  Alcotest.(check bool) "detected" true r.Lp.Presolve.infeasible
+
+let test_fixpoint_chain () =
+  (* a chain x1 <= x0, x2 <= x1, ... propagates the first bound down *)
+  let m = Model.create () in
+  let vars = Array.init 5 (fun _ -> Model.add_var ~lo:0.0 ~hi:100.0 m) in
+  Model.add_constr m [ (vars.(0), 1.0) ] Model.Le 1.0;
+  for k = 1 to 4 do
+    Model.add_constr m [ (vars.(k), 1.0); (vars.(k - 1), -1.0) ] Model.Le 0.0
+  done;
+  let r = Lp.Presolve.tighten m in
+  Alcotest.(check bool) "chain propagated" true
+    (Model.var_hi m vars.(4) <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "several rounds or one sweep" true
+    (r.Lp.Presolve.rounds >= 1)
+
+let test_preserves_optimum () =
+  (* tightening must not change the LP optimum *)
+  let build () =
+    let m = Model.create () in
+    let x = Model.add_var ~lo:0.0 ~hi:50.0 m in
+    let y = Model.add_var ~lo:0.0 ~hi:50.0 m in
+    Model.add_constr m [ (x, 1.0); (y, 2.0) ] Model.Le 6.0;
+    Model.add_constr m [ (x, 3.0); (y, 1.0) ] Model.Le 9.0;
+    Model.set_objective m Model.Maximize [ (x, 1.0); (y, 1.0) ];
+    m
+  in
+  let m1 = build () and m2 = build () in
+  ignore (Lp.Presolve.tighten m2);
+  let s1 = Lp.Simplex.solve m1 and s2 = Lp.Simplex.solve m2 in
+  Alcotest.(check bool) "same optimum" true
+    (feq ~eps:1e-6 s1.Lp.Simplex.obj s2.Lp.Simplex.obj)
+
+(* property: presolve never cuts off the MILP optimum *)
+let presolve_preserves_milp =
+  let gen = QCheck.Gen.(pair (int_range 2 5) (int_range 0 1000000)) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"presolve preserves MILP optimum"
+       (QCheck.make gen)
+       (fun (n, seed) ->
+         (* the RNG restarts inside [build] so both copies are identical *)
+         let build () =
+           let rng = Random.State.make [| seed; 0x9e |] in
+           let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+           let m = Model.create () in
+           let vars =
+             Array.init n (fun _ ->
+                 Model.add_var ~integer:true ~lo:0.0 ~hi:3.0 m)
+           in
+           let w = Array.init n (fun _ -> rf (-2.0) 2.0) in
+           Model.add_constr m
+             (Array.to_list (Array.mapi (fun k v -> (v, w.(k))) vars))
+             Model.Le (rf 0.0 5.0);
+           let v = Array.init n (fun _ -> rf (-2.0) 2.0) in
+           Model.set_objective m Model.Maximize
+             (Array.to_list (Array.mapi (fun k var -> (var, v.(k))) vars));
+           m
+         in
+         let m1 = build () and m2 = build () in
+         let r = Lp.Presolve.tighten m2 in
+         let s1 = Milp.solve m1 in
+         if r.Lp.Presolve.infeasible then s1.Milp.status = Milp.Infeasible
+         else begin
+           let s2 = Milp.solve m2 in
+           match (s1.Milp.status, s2.Milp.status) with
+           | Milp.Optimal, Milp.Optimal ->
+               Float.abs (s1.Milp.obj -. s2.Milp.obj) <= 1e-6
+           | Milp.Infeasible, Milp.Infeasible -> true
+           | _ -> false
+         end))
+
+let suites =
+  [ ( "lp:presolve",
+      [ Alcotest.test_case "simple tightening" `Quick test_simple_tightening;
+        Alcotest.test_case "ge tightening" `Quick test_ge_tightening;
+        Alcotest.test_case "equality both sides" `Quick
+          test_equality_both_sides;
+        Alcotest.test_case "integer rounding" `Quick test_integer_rounding;
+        Alcotest.test_case "detects infeasible" `Quick
+          test_detect_infeasible;
+        Alcotest.test_case "fixpoint chain" `Quick test_fixpoint_chain;
+        Alcotest.test_case "preserves optimum" `Quick test_preserves_optimum;
+        presolve_preserves_milp ] ) ]
