@@ -6,7 +6,7 @@
      dune exec bench/main.exe              # everything, moderate scale
      dune exec bench/main.exe -- fig4 | table1-small [--no-exact]
        | table1-large | case-study | fgsm-sweep | ablation-itne
-       | ablation-refine | ablation-window | micro *)
+       | ablation-refine | ablation-window | micro | lp-bench *)
 
 let fmt = Format.std_formatter
 
@@ -206,9 +206,143 @@ let run_micro () =
       Format.fprintf fmt "%-40s %14.1f ns/run (%.3f ms)@." name ns (ns /. 1e6))
     (List.sort compare !entries)
 
+(* LP warm-start benchmark: the certifier's per-neuron min/max sweep
+   solved cold (a fresh basis per query — the pre-session behaviour)
+   vs through one persistent session, plus end-to-end certifier stats.
+   Emits machine-readable BENCH_lp.json next to the textual report. *)
+let run_lp_bench () =
+  header "lp-bench: warm-started simplex (session) vs cold solves";
+  let sweep_case name net ~lo ~hi ~delta =
+    let input = Cert.Bounds.box_domain net ~lo ~hi in
+    let bounds =
+      Cert.Bounds.create net ~input
+        ~input_dist:(Cert.Bounds.uniform_delta net delta)
+    in
+    Cert.Interval_prop.propagate net bounds;
+    let n = Nn.Network.n_layers net in
+    let out_dim = Nn.Network.output_dim net in
+    let view =
+      Cert.Subnet.cone net ~last:(n - 1)
+        ~targets:(Array.init out_dim Fun.id) ~window:n
+    in
+    let enc = Cert.Encode.itne ~mode:Cert.Encode.Relaxed ~bounds view in
+    (* the certifier's query pattern: min and max of every neuron's
+       value and distance variable over one encoded matrix *)
+    let queries =
+      Hashtbl.fold
+        (fun _ (nv : Cert.Encode.neuron_vars) acc ->
+          (Lp.Model.Maximize, [ (nv.Cert.Encode.y, 1.0) ])
+          :: (Lp.Model.Minimize, [ (nv.Cert.Encode.y, 1.0) ])
+          :: (Lp.Model.Maximize, [ (nv.Cert.Encode.dy, 1.0) ])
+          :: (Lp.Model.Minimize, [ (nv.Cert.Encode.dy, 1.0) ])
+          :: acc)
+        enc.Cert.Encode.vars []
+    in
+    let cp = Lp.Simplex.compile enc.Cert.Encode.model in
+    let lo_b, hi_b = Lp.Simplex.default_bounds cp in
+    let t0 = Unix.gettimeofday () in
+    let cold_pivots = ref 0 in
+    let cold_objs =
+      List.map
+        (fun objective ->
+          let sol =
+            Lp.Simplex.solve_compiled ~objective cp ~lo:lo_b ~hi:hi_b
+          in
+          cold_pivots := !cold_pivots + sol.Lp.Simplex.pivots;
+          (sol.Lp.Simplex.status, sol.Lp.Simplex.obj))
+        queries
+    in
+    let cold_time = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    let session = Lp.Simplex.create_session cp in
+    let warm_objs =
+      List.map
+        (fun objective ->
+          let sol = Lp.Simplex.solve_session ~objective session in
+          (sol.Lp.Simplex.status, sol.Lp.Simplex.obj))
+        queries
+    in
+    let warm_time = Unix.gettimeofday () -. t0 in
+    let st = Lp.Simplex.session_stats session in
+    (* the sweeps must agree query by query *)
+    let max_diff =
+      List.fold_left2
+        (fun acc (s1, o1) (s2, o2) ->
+          match (s1, s2) with
+          | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+              Float.max acc (Float.abs (o1 -. o2))
+          | _ -> if s1 = s2 then acc else infinity)
+        0.0 cold_objs warm_objs
+    in
+    Format.fprintf fmt
+      "%-8s %4d queries: cold %.4fs / %6d pivots; warm %.4fs / %6d pivots \
+       (%d warm, %d dual, %d fallback); speedup %.2fx; max |diff| %.2g@."
+      name (List.length queries) cold_time !cold_pivots warm_time
+      st.Lp.Simplex.total_pivots st.Lp.Simplex.warm_solves
+      st.Lp.Simplex.dual_restarts st.Lp.Simplex.fallbacks
+      (cold_time /. warm_time) max_diff;
+    Printf.sprintf
+      "    { \"name\": %S, \"queries\": %d,\n\
+      \      \"cold\": { \"time_s\": %.6f, \"solves\": %d, \"pivots\": %d },\n\
+      \      \"warm\": { \"time_s\": %.6f, \"solves\": %d, \
+       \"cold_solves\": %d,\n\
+      \                 \"warm_solves\": %d, \"dual_restarts\": %d,\n\
+      \                 \"fallbacks\": %d, \"pivots\": %d },\n\
+      \      \"speedup\": %.3f, \"max_abs_obj_diff\": %.3g }"
+      name (List.length queries) cold_time (List.length queries)
+      !cold_pivots warm_time st.Lp.Simplex.solves st.Lp.Simplex.cold_solves
+      st.Lp.Simplex.warm_solves st.Lp.Simplex.dual_restarts
+      st.Lp.Simplex.fallbacks st.Lp.Simplex.total_pivots
+      (cold_time /. warm_time) max_diff
+  in
+  let cert_case name net ~lo ~hi ~delta =
+    let r = Cert.Certifier.certify_box net ~lo ~hi ~delta in
+    Format.fprintf fmt
+      "%-8s certify: %.4fs, %d LP solves (%d warm), %d pivots, %d MILP, \
+       eps0 %.6g@."
+      name r.Cert.Certifier.runtime r.Cert.Certifier.lp_solves
+      r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.lp_pivots
+      r.Cert.Certifier.milp_solves r.Cert.Certifier.eps.(0);
+    Printf.sprintf
+      "    { \"name\": %S, \"delta\": %g, \"runtime_s\": %.6f,\n\
+      \      \"lp_solves\": %d, \"lp_warm_solves\": %d, \"lp_pivots\": %d,\n\
+      \      \"milp_solves\": %d, \"eps\": [%s] }"
+      name delta r.Cert.Certifier.runtime r.Cert.Certifier.lp_solves
+      r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.lp_pivots
+      r.Cert.Certifier.milp_solves
+      (String.concat ", "
+         (List.map (Printf.sprintf "%.9g")
+            (Array.to_list r.Cert.Certifier.eps)))
+  in
+  let fig4 = Exp.Fig4.example_network () in
+  let dnn2 =
+    (Exp.Models.auto_mpg_net ~id:"dnn2" ~sizes:(8, 4) ()).Exp.Models.net
+  in
+  let dnn3 =
+    (Exp.Models.auto_mpg_net ~id:"dnn3" ~sizes:(8, 8) ()).Exp.Models.net
+  in
+  let sweeps =
+    [ sweep_case "fig4" fig4 ~lo:(-1.0) ~hi:1.0 ~delta:0.1;
+      sweep_case "dnn2" dnn2 ~lo:0.0 ~hi:1.0 ~delta:0.001;
+      sweep_case "dnn3" dnn3 ~lo:0.0 ~hi:1.0 ~delta:0.001 ]
+  in
+  let certs =
+    [ cert_case "fig4" fig4 ~lo:(-1.0) ~hi:1.0 ~delta:0.1;
+      cert_case "dnn2" dnn2 ~lo:0.0 ~hi:1.0 ~delta:0.001;
+      cert_case "dnn3" dnn3 ~lo:0.0 ~hi:1.0 ~delta:0.001 ]
+  in
+  let oc = open_out "BENCH_lp.json" in
+  Printf.fprintf oc
+    "{\n  \"sweeps\": [\n%s\n  ],\n  \"certifier\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" sweeps)
+    (String.concat ",\n" certs);
+  close_out oc;
+  Format.fprintf fmt "wrote BENCH_lp.json@."
+
 let run_all () =
   (* cheap, high-signal stages first so partial runs stay useful *)
   run_fig4 ();
+  run_lp_bench ();
   run_ablation_refine ();
   run_ablation_window ();
   run_ablation_symbolic ();
@@ -241,6 +375,7 @@ let () =
   | [ "ablation-window" ] -> run_ablation_window ()
   | [ "ablation-symbolic" ] -> run_ablation_symbolic ()
   | [ "micro" ] -> run_micro ()
+  | [ "lp-bench" ] -> run_lp_bench ()
   | other ->
       Format.eprintf "unknown bench target: %s@." (String.concat " " other);
       exit 2

@@ -22,10 +22,18 @@ let default_config =
 (* The paper's future-work item: the per-neuron sub-problems of one
    layer are independent, so fan them out over OCaml 5 domains.  Each
    worker only reads shared state (bounds of earlier layers, compiled
-   matrices); results are applied sequentially after the join. *)
-let parallel_map n_domains (items : 'a array) (f : 'a -> 'b) : 'b array =
+   matrices); results are applied sequentially after the join.
+
+   [init] builds one context per worker (a solver session plus a
+   statistics record): warm starts need per-worker mutable state, and
+   the contexts are returned so the caller can merge the statistics. *)
+let parallel_map n_domains ~(init : unit -> 'c) (items : 'a array)
+    (f : 'c -> 'a -> 'b) : 'b array * 'c list =
   let n = Array.length items in
-  if n_domains <= 1 || n <= 1 then Array.map f items
+  if n_domains <= 1 || n <= 1 then begin
+    let ctx = init () in
+    (Array.map (f ctx) items, [ ctx ])
+  end
   else begin
     let k = min n_domains n in
     let chunk d =
@@ -37,16 +45,22 @@ let parallel_map n_domains (items : 'a array) (f : 'a -> 'b) : 'b array =
     let workers =
       List.init k (fun d ->
           Domain.spawn (fun () ->
+              let ctx = init () in
               let start, stop = chunk d in
-              List.init (stop - start) (fun i ->
-                  (start + i, f items.(start + i)))))
+              ( List.init (stop - start) (fun i ->
+                    (start + i, f ctx items.(start + i))),
+                ctx )))
     in
     let out = Array.make n None in
-    List.iter
-      (fun w ->
-        List.iter (fun (i, r) -> out.(i) <- Some r) (Domain.join w))
-      workers;
-    Array.map Option.get out
+    let ctxs =
+      List.map
+        (fun w ->
+          let rs, ctx = Domain.join w in
+          List.iter (fun (i, r) -> out.(i) <- Some r) rs;
+          ctx)
+        workers
+    in
+    (Array.map Option.get out, ctxs)
   end
 
 type report = {
@@ -54,64 +68,78 @@ type report = {
   bounds : Bounds.t;
   lp_solves : int;
   milp_solves : int;
+  lp_pivots : int;
+  lp_warm_solves : int;
   runtime : float;
 }
 
-type stats = { mutable lp_solves : int; mutable milp_solves : int }
+type stats = {
+  mutable lp_solves : int;
+  mutable milp_solves : int;
+  mutable lp_pivots : int;
+  mutable lp_warm : int;
+}
 
-(* Solve a bound query on an encoded model; returns None when the solver
-   could not produce a sound bound (the caller keeps its interval bound,
-   which is always sound). *)
-let query stats milp_options model dir terms =
-  if Model.integer_vars model = [] then begin
-    stats.lp_solves <- stats.lp_solves + 1;
-    let sol =
-      let cp = Lp.Simplex.compile model in
-      let lo, hi = Lp.Simplex.default_bounds cp in
-      Lp.Simplex.solve_compiled ~objective:(dir, terms) cp ~lo ~hi
-    in
-    match sol.Lp.Simplex.status with
-    | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
-    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
-    | Lp.Simplex.Iteration_limit -> None
-  end
-  else begin
-    stats.milp_solves <- stats.milp_solves + 1;
-    let r = Milp.solve ~options:milp_options ~objective:(dir, terms) model in
-    match r.Milp.status with
-    | Milp.Optimal | Milp.Limit | Milp.Lp_failure ->
-        (* [bound] is a sound over-approximation in the query direction
-           even under Limit / Lp_failure *)
-        if Float.is_nan r.Milp.bound then None else Some r.Milp.bound
-    | Milp.Infeasible | Milp.Unbounded -> None
-  end
+let zero_stats () =
+  { lp_solves = 0; milp_solves = 0; lp_pivots = 0; lp_warm = 0 }
 
-(* A compiled-LP fast path for pure-LP encodings: compile once, then run
-   every min/max query against the same matrix. *)
+let merge_stats into from =
+  into.lp_solves <- into.lp_solves + from.lp_solves;
+  into.milp_solves <- into.milp_solves + from.milp_solves;
+  into.lp_pivots <- into.lp_pivots + from.lp_pivots;
+  into.lp_warm <- into.lp_warm + from.lp_warm
+
+(* A bound-query engine over one encoded model.  For pure-LP encodings
+   the model is compiled once and every min/max query warm-starts from
+   the previous optimal basis (objective-only hot start); models with
+   integer marks fall through to branch & bound. *)
 type engine = { run : Model.dir -> (Model.var * float) list -> float option }
 
+let session_engine stats session =
+  { run =
+      (fun dir terms ->
+        stats.lp_solves <- stats.lp_solves + 1;
+        let live = Lp.Simplex.session_stats session in
+        let warm0 = live.Lp.Simplex.warm_solves in
+        let sol = Lp.Simplex.solve_session ~objective:(dir, terms) session in
+        stats.lp_pivots <- stats.lp_pivots + sol.Lp.Simplex.pivots;
+        stats.lp_warm <- stats.lp_warm + (live.Lp.Simplex.warm_solves - warm0);
+        match sol.Lp.Simplex.status with
+        | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
+        | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+        | Lp.Simplex.Iteration_limit -> None) }
+
+let milp_engine stats milp_options model =
+  { run =
+      (fun dir terms ->
+        stats.milp_solves <- stats.milp_solves + 1;
+        let r =
+          Milp.solve ~options:milp_options ~objective:(dir, terms) model
+        in
+        stats.lp_pivots <- stats.lp_pivots + r.Milp.pivots;
+        match r.Milp.status with
+        | Milp.Optimal | Milp.Limit | Milp.Lp_failure ->
+            (* [bound] is a sound over-approximation in the query
+               direction even under Limit / Lp_failure *)
+            if Float.is_nan r.Milp.bound then None else Some r.Milp.bound
+        | Milp.Infeasible | Milp.Unbounded -> None) }
+
+(* [engine_for_model stats options model] builds an engine for a model
+   queried a handful of times (compile once, warm across the queries). *)
+let engine_for_model stats milp_options model =
+  if Model.integer_vars model = [] then
+    session_engine stats (Lp.Simplex.create_session (Lp.Simplex.compile model))
+  else milp_engine stats milp_options model
+
 (* [shared_engine options model] compiles the model once and returns a
-   factory of engines over the shared read-only matrix, one per worker,
-   each charging its own statistics record. *)
+   factory of engines over the shared read-only matrix, one session per
+   worker, each charging its own statistics record. *)
 let shared_engine milp_options model =
   if Model.integer_vars model = [] then begin
     let cp = Lp.Simplex.compile model in
-    let lo, hi = Lp.Simplex.default_bounds cp in
-    fun stats ->
-      { run =
-          (fun dir terms ->
-            stats.lp_solves <- stats.lp_solves + 1;
-            let sol =
-              Lp.Simplex.solve_compiled ~objective:(dir, terms) cp ~lo ~hi
-            in
-            match sol.Lp.Simplex.status with
-            | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
-            | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
-            | Lp.Simplex.Iteration_limit -> None) }
+    fun stats -> session_engine stats (Lp.Simplex.create_session cp)
   end
-  else
-    fun stats ->
-      { run = (fun dir terms -> query stats milp_options model dir terms) }
+  else fun stats -> milp_engine stats milp_options model
 
 (* Tighten [current] with a (max-query upper, min-query lower) pair,
    falling back to [current] on query failure. *)
@@ -187,7 +215,7 @@ let refine_count rule candidates =
 
 let certify ?(config = default_config) net ~input ~delta =
   let t0 = Unix.gettimeofday () in
-  let stats = { lp_solves = 0; milp_solves = 0 } in
+  let stats = zero_stats () in
   let bounds =
     Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
   in
@@ -237,24 +265,29 @@ let certify ?(config = default_config) net ~input ~delta =
         let r = refine_count config.refine candidates in
         let refined = Refine.select bounds ~candidates ~r in
         let enc = Encode.itne ~refined ~mode:config.mode ~bounds view in
-        (* compile once; workers share the read-only matrix (or model)
-           and merge their solve counts after the join *)
+        (* compile once; each worker gets one persistent session over
+           the shared read-only matrix, so the whole per-neuron min/max
+           sweep runs as objective-only hot starts; solve counts merge
+           after the join *)
         let engine_for = shared_engine config.milp_options enc.Encode.model in
-        let compute j =
-          let local = { lp_solves = 0; milp_solves = 0 } in
-          let engine = engine_for local in
+        let init () =
+          let local = zero_stats () in
+          (local, engine_for local)
+        in
+        let compute (_, engine) j =
           let nv = Encode.itne_vars enc i j in
           let y_hi = engine.run Model.Maximize [ (nv.Encode.y, 1.0) ] in
           let y_lo = engine.run Model.Minimize [ (nv.Encode.y, 1.0) ] in
           let dy_hi = engine.run Model.Maximize [ (nv.Encode.dy, 1.0) ] in
           let dy_lo = engine.run Model.Minimize [ (nv.Encode.dy, 1.0) ] in
-          (j, y_lo, y_hi, dy_lo, dy_hi, local)
+          (j, y_lo, y_hi, dy_lo, dy_hi)
         in
-        let results = parallel_map config.domains targets compute in
+        let results, ctxs =
+          parallel_map config.domains ~init targets compute
+        in
+        List.iter (fun (local, _) -> merge_stats stats local) ctxs;
         Array.iter
-          (fun (j, y_lo, y_hi, dy_lo, dy_hi, local) ->
-            stats.lp_solves <- stats.lp_solves + local.lp_solves;
-            stats.milp_solves <- stats.milp_solves + local.milp_solves;
+          (fun (j, y_lo, y_hi, dy_lo, dy_hi) ->
             bounds.Bounds.y.(i).(j) <-
               refreshed_interval bounds.Bounds.y.(i).(j) ~lo_query:y_lo
                 ~hi_query:y_hi;
@@ -301,8 +334,7 @@ let certify ?(config = default_config) net ~input ~delta =
                  > 0.0)
                (Array.to_list targets))
         in
-        let compute j =
-          let local = { lp_solves = 0; milp_solves = 0 } in
+        let compute local j =
           let view_j = Subnet.cone net ~last:i ~targets:[| j |] ~window:w in
           let candidates = interior_relu_neurons view_j in
           let r = refine_count config.refine candidates in
@@ -317,23 +349,23 @@ let certify ?(config = default_config) net ~input ~delta =
           in
           let nv = Encode.itne_vars enc i j in
           match nv.Encode.dx with
-          | None -> (j, None, None, local)
+          | None -> (j, None, None)
           | Some dxv ->
-              let dx_hi =
-                query local config.milp_options enc.Encode.model
-                  Model.Maximize [ (dxv, 1.0) ]
+              (* per-neuron model: compile once, the min query warm-starts
+                 from the max query's basis *)
+              let engine =
+                engine_for_model local config.milp_options enc.Encode.model
               in
-              let dx_lo =
-                query local config.milp_options enc.Encode.model
-                  Model.Minimize [ (dxv, 1.0) ]
-              in
-              (j, dx_lo, dx_hi, local)
+              let dx_hi = engine.run Model.Maximize [ (dxv, 1.0) ] in
+              let dx_lo = engine.run Model.Minimize [ (dxv, 1.0) ] in
+              (j, dx_lo, dx_hi)
         in
-        let results = parallel_map config.domains lp_targets compute in
+        let results, ctxs =
+          parallel_map config.domains ~init:zero_stats lp_targets compute
+        in
+        List.iter (fun local -> merge_stats stats local) ctxs;
         Array.iter
-          (fun (j, dx_lo, dx_hi, local) ->
-            stats.lp_solves <- stats.lp_solves + local.lp_solves;
-            stats.milp_solves <- stats.milp_solves + local.milp_solves;
+          (fun (j, dx_lo, dx_hi) ->
             bounds.Bounds.dx.(i).(j) <-
               refreshed_interval bounds.Bounds.dx.(i).(j) ~lo_query:dx_lo
                 ~hi_query:dx_hi)
@@ -349,6 +381,8 @@ let certify ?(config = default_config) net ~input ~delta =
   in
   { eps; bounds; lp_solves = stats.lp_solves;
     milp_solves = stats.milp_solves;
+    lp_pivots = stats.lp_pivots;
+    lp_warm_solves = stats.lp_warm;
     runtime = Unix.gettimeofday () -. t0 }
 
 let certify_box ?config net ~lo ~hi ~delta =

@@ -50,6 +50,10 @@ type report = {
   bounds : Bounds.t;        (** all intermediate ranges *)
   lp_solves : int;
   milp_solves : int;
+  lp_pivots : int;          (** simplex pivots across all LP and MILP-node
+                                solves *)
+  lp_warm_solves : int;     (** LP queries served from a retained basis
+                                instead of a cold two-phase solve *)
   runtime : float;          (** seconds *)
 }
 

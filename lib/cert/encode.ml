@@ -193,20 +193,40 @@ type copy_vars = { cy : Model.var; cx : Model.var option }
 
 type phase = Ph_active | Ph_inactive
 
+type relu_split = {
+  sp_y : Model.var;
+  sp_x : Model.var;
+  sp_slack : Model.var;
+  sp_y_iv : Interval.t;
+  sp_x_iv : Interval.t;
+  sp_slack_hi : float;
+}
+
 type btne_enc = {
   model : Model.t;
   view : Subnet.view;
   copy_a : (int * int, copy_vars) Hashtbl.t;
   copy_b : (int * int, copy_vars) Hashtbl.t;
+  split_a : (int * int, relu_split) Hashtbl.t;
+  split_b : (int * int, relu_split) Hashtbl.t;
   input_a : (int * Model.var) list;
   input_b : (int * Model.var) list;
 }
 
 (* Encode one explicit copy of the view into [model]; [input_var id]
    supplies the window input variables.  [phases] optionally fixes
-   individual ReLUs for case-splitting solvers. *)
-let encode_copy ?phases model view ~(bounds : Bounds.t) ~mode ~input_var
-    ~table =
+   individual ReLUs for case-splitting solvers.
+
+   [splits]: encode each ambiguous relaxed ReLU in the splittable form
+   [x - y - s = 0, s in [0, -a]] (plus the usual chord cut), recording
+   the variables in the table.  The slack bound is implied by the chord
+   ([x - y <= -a] at any feasible point), so the relaxation is
+   unchanged — but fixing a phase becomes a pure bound change
+   ([s = 0] for active, [x = 0, y <= 0] for inactive), which lets a
+   case-splitting solver reuse one compiled matrix (and one warm solver
+   session) for the entire split tree instead of re-encoding per node. *)
+let encode_copy ?phases ?splits model view ~(bounds : Bounds.t) ~mode
+    ~input_var ~table =
   let depth = Subnet.depth view in
   for k = 0 to depth - 1 do
     let abs = view.Subnet.first + k in
@@ -245,7 +265,24 @@ let encode_copy ?phases model view ~(bounds : Bounds.t) ~mode ~input_var
              | Some Ph_inactive ->
                  Model.add_constr model [ (x, 1.0) ] Model.Eq 0.0;
                  Model.add_constr model [ (y, 1.0) ] Model.Le 0.0
-             | None -> add_relu_relation model ~mode ~iv:y_iv ~y ~x);
+             | None ->
+                 let a = y_iv.Interval.lo and b = y_iv.Interval.hi in
+                 (match splits with
+                  | Some split_table
+                    when mode = Relaxed && a < 0.0 && b > 0.0 ->
+                      require_finite "ReLU pre-activation" y_iv;
+                      let s = Model.add_var ~lo:0.0 ~hi:(-.a) model in
+                      Model.add_constr model
+                        [ (x, 1.0); (y, -1.0); (s, -1.0) ]
+                        Model.Eq 0.0;
+                      Model.add_constr model [ (x, 1.0) ] Model.Ge 0.0;
+                      Model.add_constr model
+                        [ (x, b -. a); (y, -.b) ]
+                        Model.Le (-.b *. a);
+                      Hashtbl.replace split_table (abs, j)
+                        { sp_y = y; sp_x = x; sp_slack = s; sp_y_iv = y_iv;
+                          sp_x_iv = x_iv; sp_slack_hi = -.a }
+                  | _ -> add_relu_relation model ~mode ~iv:y_iv ~y ~x));
             Some x
           end
           else None
@@ -254,10 +291,12 @@ let encode_copy ?phases model view ~(bounds : Bounds.t) ~mode ~input_var
       view.Subnet.active.(k)
   done
 
-let btne ?phases_a ?phases_b ~link_input_dist ~mode ~(bounds : Bounds.t)
-    (view : Subnet.view) =
+let btne ?phases_a ?phases_b ?(split_relus = false) ~link_input_dist ~mode
+    ~(bounds : Bounds.t) (view : Subnet.view) =
   let model = Model.create () in
   let copy_a = Hashtbl.create 64 and copy_b = Hashtbl.create 64 in
+  let split_a = Hashtbl.create 16 and split_b = Hashtbl.create 16 in
+  let splits t = if split_relus then Some t else None in
   let in_a = Hashtbl.create 16 and in_b = Hashtbl.create 16 in
   Array.iter
     (fun id ->
@@ -272,14 +311,15 @@ let btne ?phases_a ?phases_b ~link_input_dist ~mode ~(bounds : Bounds.t)
           0.0
       end)
     view.Subnet.input_active;
-  encode_copy ?phases:phases_a model view ~bounds ~mode
-    ~input_var:(Hashtbl.find in_a) ~table:copy_a;
-  encode_copy ?phases:phases_b model view ~bounds ~mode
-    ~input_var:(Hashtbl.find in_b) ~table:copy_b;
+  encode_copy ?phases:phases_a ?splits:(splits split_a) model view ~bounds
+    ~mode ~input_var:(Hashtbl.find in_a) ~table:copy_a;
+  encode_copy ?phases:phases_b ?splits:(splits split_b) model view ~bounds
+    ~mode ~input_var:(Hashtbl.find in_b) ~table:copy_b;
   let assoc table =
     Hashtbl.fold (fun id v acc -> (id, v) :: acc) table []
   in
-  { model; view; copy_a; copy_b; input_a = assoc in_a; input_b = assoc in_b }
+  { model; view; copy_a; copy_b; split_a; split_b;
+    input_a = assoc in_a; input_b = assoc in_b }
 
 let btne_out_delta enc j =
   let abs = enc.view.Subnet.last in

@@ -57,11 +57,28 @@ type phase = Ph_active | Ph_inactive
 (** A ReLU whose phase has been fixed by case splitting: [Ph_active]
     adds [x = y, y >= 0]; [Ph_inactive] adds [x = 0, y <= 0]. *)
 
+type relu_split = {
+  sp_y : Lp.Model.var;
+  sp_x : Lp.Model.var;
+  sp_slack : Lp.Model.var;   (** [s] in [x - y - s = 0], [s in [0, -a]] *)
+  sp_y_iv : Interval.t;      (** [y]'s bounds as encoded *)
+  sp_x_iv : Interval.t;      (** [x]'s bounds as encoded *)
+  sp_slack_hi : float;       (** [s]'s upper bound as encoded ([-a]) *)
+}
+(** An ambiguous ReLU encoded in splittable form (see {!btne}'s
+    [split_relus]).  Fixing a phase is a pure bound change:
+    [Ph_active] is [s := [0,0]] (with [y]'s lower bound raised to 0);
+    [Ph_inactive] is [x := [0,0]] (with [y]'s upper bound lowered to
+    0).  Restoring the recorded intervals undoes either. *)
+
 type btne_enc = {
   model : Lp.Model.t;
   view : Subnet.view;
   copy_a : (int * int, copy_vars) Hashtbl.t;
   copy_b : (int * int, copy_vars) Hashtbl.t;
+  split_a : (int * int, relu_split) Hashtbl.t;
+      (** filled iff [split_relus] was set *)
+  split_b : (int * int, relu_split) Hashtbl.t;
   input_a : (int * Lp.Model.var) list;  (** window-input neuron id -> var *)
   input_b : (int * Lp.Model.var) list;
 }
@@ -69,13 +86,21 @@ type btne_enc = {
 val btne :
   ?phases_a:(int * int, phase) Hashtbl.t ->
   ?phases_b:(int * int, phase) Hashtbl.t ->
+  ?split_relus:bool ->
   link_input_dist:bool -> mode:mode -> bounds:Bounds.t -> Subnet.view ->
   btne_enc
 (** Two explicit copies.  When [link_input_dist] is set, the copies'
     window inputs are constrained to differ by at most the input
     distance intervals of [bounds] (component-wise); otherwise the
     copies are independent (as in decomposed BTNE windows, where the
-    distance information is lost). *)
+    distance information is lost).
+
+    [split_relus] (default [false]): encode every ambiguous relaxed
+    ReLU with an explicit slack ([x - y - s = 0]) and record it in
+    [split_a]/[split_b].  The relaxation is unchanged (the slack's
+    bounds are implied by the chord cut), but a case-splitting solver
+    can then fix and unfix phases through bound changes alone,
+    re-solving one compiled LP warm instead of re-encoding per node. *)
 
 val btne_out_delta : btne_enc -> int -> (Lp.Model.var * float) list
 (** Objective terms for [x_b - x_a] (or [y_b - y_a] when the last layer

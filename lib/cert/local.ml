@@ -95,15 +95,16 @@ let lpr ?domain net ~x0 ~delta =
       ~window:n
   in
   let enc = Encode.single ~mode:Encode.Relaxed ~bounds view in
-  let cp = Lp.Simplex.compile enc.Encode.model in
-  let lo_b, hi_b = Lp.Simplex.default_bounds cp in
+  (* one warm session serves all 2·out_dim objective-only queries *)
+  let session =
+    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  in
   let range =
     Array.init out_dim (fun j ->
         let var = out_var enc j in
         let run dir =
           let sol =
-            Lp.Simplex.solve_compiled ~objective:(dir, [ (var, 1.0) ]) cp
-              ~lo:lo_b ~hi:hi_b
+            Lp.Simplex.solve_session ~objective:(dir, [ (var, 1.0) ]) session
           in
           match sol.Lp.Simplex.status with
           | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj

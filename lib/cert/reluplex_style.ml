@@ -10,11 +10,43 @@ type result = {
 
 let split_tol = 1e-6
 
-(* Maximise [terms_of] over the exact twin-network semantics by lazy
-   ReLU splitting.  [eval_true xa xb] evaluates the same objective on a
-   real forward pass, providing feasible incumbents for pruning.
-   Returns (exact_max_or_upper_bound, completed). *)
-let maximise net bounds view ~max_nodes ~nodes ~terms_of ~eval_true =
+(* Phase fixing through bounds only (see Encode.relu_split): each call
+   sets all three variables absolutely, so switching a key from one
+   phase to the other needs no intermediate restore. *)
+let apply_phase session (sp : Encode.relu_split) = function
+  | Encode.Ph_active ->
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_slack ~lo:0.0 ~hi:0.0;
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_y
+        ~lo:(Float.max 0.0 sp.Encode.sp_y_iv.Interval.lo)
+        ~hi:sp.Encode.sp_y_iv.Interval.hi;
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_x
+        ~lo:sp.Encode.sp_x_iv.Interval.lo ~hi:sp.Encode.sp_x_iv.Interval.hi
+  | Encode.Ph_inactive ->
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_slack ~lo:0.0
+        ~hi:sp.Encode.sp_slack_hi;
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_y
+        ~lo:sp.Encode.sp_y_iv.Interval.lo
+        ~hi:(Float.min 0.0 sp.Encode.sp_y_iv.Interval.hi);
+      Lp.Simplex.set_var_bounds session sp.Encode.sp_x ~lo:0.0 ~hi:0.0
+
+let unfix session (sp : Encode.relu_split) =
+  Lp.Simplex.set_var_bounds session sp.Encode.sp_slack ~lo:0.0
+    ~hi:sp.Encode.sp_slack_hi;
+  Lp.Simplex.set_var_bounds session sp.Encode.sp_y
+    ~lo:sp.Encode.sp_y_iv.Interval.lo ~hi:sp.Encode.sp_y_iv.Interval.hi;
+  Lp.Simplex.set_var_bounds session sp.Encode.sp_x
+    ~lo:sp.Encode.sp_x_iv.Interval.lo ~hi:sp.Encode.sp_x_iv.Interval.hi
+
+(* Maximise [terms] over the exact twin-network semantics by lazy ReLU
+   splitting.  The encoding is fixed (built once by the caller with
+   [split_relus]); each node of the split tree only moves variable
+   bounds, so every LP after the first warm-starts from [session]'s
+   retained basis — a dual-simplex restart instead of a cold two-phase
+   solve per node.  [eval_true xa xb] evaluates the objective on a real
+   forward pass, providing feasible incumbents for pruning.  Returns
+   (exact_max_or_upper_bound, completed). *)
+let maximise net bounds (enc : Encode.btne_enc) session ~max_nodes ~nodes
+    ~terms ~eval_true =
   let input_dim = Nn.Network.input_dim net in
   let best = ref neg_infinity in
   let completed = ref true in
@@ -25,16 +57,15 @@ let maximise net bounds view ~max_nodes ~nodes ~terms_of ~eval_true =
     List.iter (fun (id, v) -> x.(id) <- sol.Lp.Simplex.x.(v)) assoc;
     x
   in
-  let rec explore phases_a phases_b =
+  (* which split keys are currently phase-fixed, per copy *)
+  let fixed = Hashtbl.create 16 in
+  let rec explore () =
     if !nodes >= max_nodes then completed := false
     else begin
       incr nodes;
-      let enc =
-        Encode.btne ~phases_a ~phases_b ~link_input_dist:true
-          ~mode:Encode.Relaxed ~bounds view
+      let sol =
+        Lp.Simplex.solve_session ~objective:(Model.Maximize, terms) session
       in
-      Model.set_objective enc.Encode.model Model.Maximize (terms_of enc);
-      let sol = Lp.Simplex.solve enc.Encode.model in
       match sol.Lp.Simplex.status with
       | Lp.Simplex.Infeasible -> ()
       | Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit ->
@@ -49,50 +80,43 @@ let maximise net bounds view ~max_nodes ~nodes ~terms_of ~eval_true =
             let incumbent = eval_true xa xb in
             if incumbent > !best then best := incumbent;
             if sol.Lp.Simplex.obj > !best +. split_tol then begin
-              (* violation-driven split *)
+              (* violation-driven split over the not-yet-fixed ReLUs *)
               let worst = ref None and worst_v = ref split_tol in
-              let scan table =
+              let scan in_a table =
                 Hashtbl.iter
-                  (fun key (cv : Encode.copy_vars) ->
-                    match cv.Encode.cx with
-                    | None -> ()
-                    | Some xv ->
-                        let yv = sol.Lp.Simplex.x.(cv.Encode.cy) in
-                        let xval = sol.Lp.Simplex.x.(xv) in
-                        let v = Float.abs (xval -. Float.max 0.0 yv) in
-                        if v > !worst_v then begin
-                          worst_v := v;
-                          worst := Some (key, table == enc.Encode.copy_a)
-                        end)
+                  (fun key (sp : Encode.relu_split) ->
+                    if not (Hashtbl.mem fixed (in_a, key)) then begin
+                      let yv = sol.Lp.Simplex.x.(sp.Encode.sp_y) in
+                      let xval = sol.Lp.Simplex.x.(sp.Encode.sp_x) in
+                      let v = Float.abs (xval -. Float.max 0.0 yv) in
+                      if v > !worst_v then begin
+                        worst_v := v;
+                        worst := Some (in_a, key, sp)
+                      end
+                    end)
                   table
               in
-              scan enc.Encode.copy_a;
-              scan enc.Encode.copy_b;
+              scan true enc.Encode.split_a;
+              scan false enc.Encode.split_b;
               match !worst with
               | None ->
                   (* the relaxation optimiser satisfies every ReLU: the
                      node is solved to optimality *)
                   if sol.Lp.Simplex.obj > !best then
                     best := sol.Lp.Simplex.obj
-              | Some (key, in_a) ->
-                  let extend phases phase =
-                    let t = Hashtbl.copy phases in
-                    Hashtbl.replace t key phase;
-                    t
-                  in
-                  if in_a then begin
-                    explore (extend phases_a Encode.Ph_inactive) phases_b;
-                    explore (extend phases_a Encode.Ph_active) phases_b
-                  end
-                  else begin
-                    explore phases_a (extend phases_b Encode.Ph_inactive);
-                    explore phases_a (extend phases_b Encode.Ph_active)
-                  end
+              | Some (in_a, key, sp) ->
+                  Hashtbl.replace fixed (in_a, key) ();
+                  apply_phase session sp Encode.Ph_inactive;
+                  explore ();
+                  apply_phase session sp Encode.Ph_active;
+                  explore ();
+                  unfix session sp;
+                  Hashtbl.remove fixed (in_a, key)
             end
           end
     end
   in
-  explore (Hashtbl.create 8) (Hashtbl.create 8);
+  explore ();
   (!best, !completed)
 
 let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
@@ -118,11 +142,20 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
   let out_dim = Nn.Network.output_dim net in
   let targets = Array.init out_dim Fun.id in
   let view = Subnet.cone net ~last:(n - 1) ~targets ~window:n in
+  (* one splittable encoding, compiled once; one solver session serves
+     every node of every output's split tree *)
+  let enc =
+    Encode.btne ~split_relus:true ~link_input_dist:true ~mode:Encode.Relaxed
+      ~bounds view
+  in
+  let session =
+    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  in
   let nodes = ref 0 in
   let all_exact = ref true in
   let per_output =
     Array.init out_dim (fun j ->
-        let terms_of sign enc =
+        let terms sign =
           List.map (fun (v, c) -> (v, sign *. c)) (Encode.btne_out_delta enc j)
         in
         let eval_true sign xa xb =
@@ -131,12 +164,12 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
           sign *. (fb.(j) -. fa.(j))
         in
         let hi, ok1 =
-          maximise net bounds view ~max_nodes ~nodes ~terms_of:(terms_of 1.0)
-            ~eval_true:(eval_true 1.0)
+          maximise net bounds enc session ~max_nodes ~nodes
+            ~terms:(terms 1.0) ~eval_true:(eval_true 1.0)
         in
         let neg_lo, ok2 =
-          maximise net bounds view ~max_nodes ~nodes
-            ~terms_of:(terms_of (-1.0)) ~eval_true:(eval_true (-1.0))
+          maximise net bounds enc session ~max_nodes ~nodes
+            ~terms:(terms (-1.0)) ~eval_true:(eval_true (-1.0))
         in
         if not (ok1 && ok2) then all_exact := false;
         let lo = -.neg_lo in

@@ -23,11 +23,10 @@ let milp_range ~milp_options model terms =
   if Float.is_nan lo || Float.is_nan hi then Interval.top
   else Interval.make (Float.min lo hi) (Float.max lo hi)
 
-let lp_range cp ~lo_b ~hi_b terms fallback =
+(* all queries share one warm session (objective-only hot starts) *)
+let lp_range session terms fallback =
   let run dir =
-    let sol =
-      Lp.Simplex.solve_compiled ~objective:(dir, terms) cp ~lo:lo_b ~hi:hi_b
-    in
+    let sol = Lp.Simplex.solve_session ~objective:(dir, terms) session in
     match sol.Lp.Simplex.status with
     | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
     | _ -> None
@@ -89,13 +88,14 @@ let btne_lpr net ~input ~delta =
   let view = full_view net in
   let enc = Encode.btne ~link_input_dist:true ~mode:Encode.Relaxed ~bounds
       view in
-  let cp = Lp.Simplex.compile enc.Encode.model in
-  let lo_b, hi_b = Lp.Simplex.default_bounds cp in
+  let session =
+    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  in
   let out_dim = Nn.Network.output_dim net in
   let n = Nn.Network.n_layers net in
   let delta_out =
     Array.init out_dim (fun j ->
-        lp_range cp ~lo_b ~hi_b
+        lp_range session
           (Encode.btne_out_delta enc j)
           (Interval.sub bounds.Bounds.x.(n - 1).(j)
              bounds.Bounds.x.(n - 1).(j)))
@@ -122,8 +122,9 @@ let itne_lpr net ~input ~delta =
   let enc =
     Encode.itne ~mode:Encode.Relaxed ~include_output_relu:true ~bounds view
   in
-  let cp = Lp.Simplex.compile enc.Encode.model in
-  let lo_b, hi_b = Lp.Simplex.default_bounds cp in
+  let session =
+    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  in
   let out_dim = Nn.Network.output_dim net in
   let last = Nn.Network.n_layers net - 1 in
   let delta_out =
@@ -132,6 +133,6 @@ let itne_lpr net ~input ~delta =
         let var =
           match nv.Encode.dx with Some v -> v | None -> nv.Encode.dy
         in
-        lp_range cp ~lo_b ~hi_b [ (var, 1.0) ] bounds.Bounds.dx.(last).(j))
+        lp_range session [ (var, 1.0) ] bounds.Bounds.dx.(last).(j))
   in
   { delta_out; runtime = Unix.gettimeofday () -. t0 }

@@ -1,6 +1,6 @@
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
-type solution = { status : status; obj : float; x : float array }
+type solution = { status : status; obj : float; x : float array; pivots : int }
 
 type compiled = {
   m : int;                                   (* constraint rows *)
@@ -20,6 +20,10 @@ let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-9
 let refactor_period = 100
+
+(* refactor every this many warm solves, so drift from incremental basis
+   and value updates cannot accumulate across a long query sweep *)
+let session_refactor_solves = 16
 
 let compile model =
   let n = Model.n_vars model in
@@ -70,6 +74,22 @@ let compile model =
 let n_struct cp = cp.n
 
 let default_bounds cp = (Array.copy cp.model_lo, Array.copy cp.model_hi)
+
+(* Per-solve objective parameters (the compiled matrix is shared). *)
+type params = { pc : float array; pnegate : bool; pconst : float }
+
+let params_of_objective cp = function
+  | None -> { pc = cp.c; pnegate = cp.negate; pconst = cp.obj_const }
+  | Some (dir, terms) ->
+      let pnegate = dir = Model.Maximize in
+      let pc = Array.make cp.n 0.0 in
+      List.iter
+        (fun (j, v) ->
+          if j < 0 || j >= cp.n then
+            invalid_arg "Simplex: objective variable out of range";
+          pc.(j) <- pc.(j) +. (if pnegate then -.v else v))
+        terms;
+      { pc; pnegate; pconst = 0.0 }
 
 (* Variable status. *)
 type vstat = At_lower | At_upper | Free_zero | Basic
@@ -332,6 +352,125 @@ let run_phase st cost max_iter =
   done;
   match !result with Some r -> r | None -> assert false
 
+(* Dual simplex phase: starting from a basis whose reduced costs are
+   dual feasible for [cost] but whose basic values may violate their
+   bounds (after a bound change), pivot until primal feasibility is
+   recovered.  Returns [`Feasible], [`Infeasible] (dual unbounded, so
+   the primal has no feasible point) or [`Iteration_limit]. *)
+let run_dual st cost max_iter =
+  let m = st.cp.m in
+  if m = 0 then `Feasible
+  else begin
+    let iter = ref 0 in
+    let result = ref None in
+    while !result = None do
+      if !iter >= max_iter then result := Some `Iteration_limit
+      else begin
+        incr iter;
+        if st.pivots > 0 && st.pivots mod refactor_period = 0 then
+          ignore (refactor st);
+        (* --- leaving variable: most violated basic --- *)
+        let r = ref (-1) and worst = ref feas_tol in
+        for i = 0 to m - 1 do
+          let bi = st.basis.(i) in
+          let v =
+            Float.max (st.lo.(bi) -. st.xb.(i)) (st.xb.(i) -. st.hi.(bi))
+          in
+          if v > !worst then begin worst := v; r := i end
+        done;
+        if !r < 0 then result := Some `Feasible
+        else begin
+          let r = !r in
+          let bi = st.basis.(r) in
+          let below = st.xb.(r) < st.lo.(bi) in
+          let target = if below then st.lo.(bi) else st.hi.(bi) in
+          compute_pi st cost;
+          let br = st.binv.(r) in
+          (* --- entering variable: dual ratio test over row r --- *)
+          let best = ref (-1) and best_ratio = ref infinity
+          and best_alpha = ref 0.0 in
+          for j = 0 to st.nt - 1 do
+            if st.stat.(j) <> Basic && st.lo.(j) < st.hi.(j) then begin
+              let idx, vals = st.all_cols.(j) in
+              let a = ref 0.0 in
+              for k = 0 to Array.length idx - 1 do
+                a := !a +. (br.(idx.(k)) *. vals.(k))
+              done;
+              let a = !a in
+              let eligible =
+                (* sign of the entering move that drives xb(r) toward its
+                   violated bound, respecting the entering bound status *)
+                match st.stat.(j) with
+                | At_lower -> if below then a < -.pivot_tol else a > pivot_tol
+                | At_upper -> if below then a > pivot_tol else a < -.pivot_tol
+                | Free_zero -> Float.abs a > pivot_tol
+                | Basic -> false
+              in
+              if eligible then begin
+                let d = reduced_cost st cost j in
+                let ratio = Float.abs d /. Float.abs a in
+                if ratio < !best_ratio -. 1e-12
+                   || (ratio <= !best_ratio +. 1e-12
+                       && Float.abs a > Float.abs !best_alpha)
+                then begin best := j; best_ratio := ratio; best_alpha := a end
+              end
+            end
+          done;
+          if !best < 0 then result := Some `Infeasible
+          else begin
+            let q = !best in
+            ftran st st.all_cols.(q);
+            let aq = st.y.(r) in
+            if Float.abs aq < pivot_tol then
+              (* the recomputed pivot element collapsed numerically;
+                 bail out, the caller falls back to a cold solve *)
+              result := Some `Iteration_limit
+            else begin
+              let t = (st.xb.(r) -. target) /. aq in
+              let v_q =
+                match st.stat.(q) with
+                | At_lower -> st.lo.(q)
+                | At_upper -> st.hi.(q)
+                | Free_zero -> 0.0
+                | Basic -> assert false
+              in
+              for i = 0 to m - 1 do
+                st.xb.(i) <- st.xb.(i) -. (st.y.(i) *. t)
+              done;
+              st.stat.(bi) <- (if below then At_lower else At_upper);
+              st.value.(bi) <- target;
+              st.pos.(bi) <- -1;
+              st.basis.(r) <- q;
+              st.pos.(q) <- r;
+              st.stat.(q) <- Basic;
+              st.value.(q) <- 0.0;
+              st.xb.(r) <- v_q +. t;
+              (* binv pivot update *)
+              let inv_r = st.binv.(r) in
+              let pr = 1.0 /. aq in
+              for k = 0 to m - 1 do
+                inv_r.(k) <- inv_r.(k) *. pr
+              done;
+              for i = 0 to m - 1 do
+                if i <> r then begin
+                  let f = st.y.(i) in
+                  if f <> 0.0 then begin
+                    let row = st.binv.(i) in
+                    for k = 0 to m - 1 do
+                      row.(k) <- row.(k) -. (f *. inv_r.(k))
+                    done
+                  end
+                end
+              done;
+              st.pivots <- st.pivots + 1
+            end
+          end
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
 let objective_value st cost =
   let acc = ref 0.0 in
   for j = 0 to st.nt - 1 do
@@ -347,21 +486,153 @@ let extract_x st =
   Array.init st.cp.n (fun j ->
       if st.stat.(j) = Basic then st.xb.(st.pos.(j)) else st.value.(j))
 
-let solve_compiled ?max_iter ?objective cp ~lo ~hi =
-  let cp =
-    match objective with
-    | None -> cp
-    | Some (dir, terms) ->
-        let negate = dir = Model.Maximize in
-        let c = Array.make cp.n 0.0 in
-        List.iter
-          (fun (j, v) ->
-            if j < 0 || j >= cp.n then
-              invalid_arg "Simplex.solve_compiled: objective variable";
-            c.(j) <- c.(j) +. (if negate then -.v else v))
-          terms;
-        { cp with c; negate; obj_const = 0.0 }
+(* Build a fresh solver state for [cp] under structural bounds [lo]/[hi]:
+   slacks basic, structural variables at their gentlest bound,
+   artificial columns patching any row whose slack starts out of range.
+   Returns [None] if the initial basis cannot be factorised. *)
+let build_state cp ~lo ~hi =
+  let m = cp.m and n = cp.n in
+  let nt0 = n + m in
+  let lo_all = Array.make nt0 0.0 and hi_all = Array.make nt0 0.0 in
+  Array.blit lo 0 lo_all 0 n;
+  Array.blit hi 0 hi_all 0 n;
+  Array.blit cp.slack_lo 0 lo_all n m;
+  Array.blit cp.slack_hi 0 hi_all n m;
+  let stat = Array.make nt0 At_lower in
+  let value = Array.make nt0 0.0 in
+  for j = 0 to n - 1 do
+    if lo_all.(j) > neg_infinity then begin
+      (* prefer the bound closer to zero for a gentler start *)
+      if hi_all.(j) < infinity
+         && Float.abs hi_all.(j) < Float.abs lo_all.(j)
+      then begin stat.(j) <- At_upper; value.(j) <- hi_all.(j) end
+      else begin stat.(j) <- At_lower; value.(j) <- lo_all.(j) end
+    end
+    else if hi_all.(j) < infinity then begin
+      stat.(j) <- At_upper; value.(j) <- hi_all.(j)
+    end
+    else begin stat.(j) <- Free_zero; value.(j) <- 0.0 end
+  done;
+  (* slack basic values with identity basis *)
+  let slack_val = Array.copy cp.b in
+  for j = 0 to n - 1 do
+    if value.(j) <> 0.0 then begin
+      let idx, vals = cp.cols.(j) in
+      for k = 0 to Array.length idx - 1 do
+        slack_val.(idx.(k)) <- slack_val.(idx.(k)) -. (vals.(k) *. value.(j))
+      done
+    end
+  done;
+  (* rows whose slack violates its bounds need an artificial *)
+  let artificials = ref [] in
+  for i = 0 to m - 1 do
+    let s = slack_val.(i) in
+    if s < cp.slack_lo.(i) -. feas_tol || s > cp.slack_hi.(i) +. feas_tol
+    then artificials := i :: !artificials
+  done;
+  let art_rows = Array.of_list (List.rev !artificials) in
+  let n_art = Array.length art_rows in
+  let nt = nt0 + n_art in
+  let all_cols =
+    Array.init nt (fun j ->
+        if j < nt0 then cp.cols.(j)
+        else begin
+          let i = art_rows.(j - nt0) in
+          let s = slack_val.(i) in
+          let clamped =
+            Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s)
+          in
+          let sign = if s -. clamped >= 0.0 then 1.0 else -1.0 in
+          ([| i |], [| sign |])
+        end)
   in
+  let lo_full = Array.make nt 0.0 and hi_full = Array.make nt infinity in
+  Array.blit lo_all 0 lo_full 0 nt0;
+  Array.blit hi_all 0 hi_full 0 nt0;
+  let stat_full = Array.make nt At_lower in
+  Array.blit stat 0 stat_full 0 nt0;
+  let value_full = Array.make nt 0.0 in
+  Array.blit value 0 value_full 0 nt0;
+  (* basis: slack per row, replaced by the artificial where infeasible;
+     the displaced slack goes nonbasic at its nearest bound *)
+  let basis = Array.init m (fun i -> n + i) in
+  Array.iteri
+    (fun k i ->
+      basis.(i) <- nt0 + k;
+      let s = slack_val.(i) in
+      let clamped = Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s) in
+      stat_full.(n + i) <-
+        (if clamped = cp.slack_lo.(i) then At_lower else At_upper);
+      value_full.(n + i) <- clamped)
+    art_rows;
+  let pos = Array.make nt (-1) in
+  Array.iteri (fun i j -> pos.(j) <- i; stat_full.(j) <- Basic) basis;
+  let st =
+    { cp; nt; all_cols; lo = lo_full; hi = hi_full; stat = stat_full;
+      value = value_full; basis; pos;
+      binv = Array.make_matrix m m 0.0;
+      xb = Array.make m 0.0; y = Array.make m 0.0; pi = Array.make m 0.0;
+      pivots = 0 }
+  in
+  if refactor st then Some (st, n_art) else None
+
+(* Two-phase cold solve on a freshly built state. *)
+let solve_on_state st ~n_art ~prm ~max_iter =
+  let cp = st.cp in
+  let n = cp.n and nt = st.nt in
+  let nt0 = n + cp.m in
+  let cost_full = Array.make nt 0.0 in
+  let finish_infeasible () =
+    { status = Infeasible; obj = nan; x = extract_x st; pivots = st.pivots }
+  in
+  let phase2 () =
+    Array.fill cost_full 0 nt 0.0;
+    Array.blit prm.pc 0 cost_full 0 n;
+    match run_phase st cost_full max_iter with
+    | `Optimal ->
+        ignore (refactor st);
+        let raw = objective_value st cost_full +.
+                  (if prm.pnegate then -.prm.pconst else prm.pconst) in
+        let obj = if prm.pnegate then -.raw else raw in
+        { status = Optimal; obj; x = extract_x st; pivots = st.pivots }
+    | `Unbounded ->
+        { status = Unbounded; obj = nan; x = extract_x st; pivots = st.pivots }
+    | `Iteration_limit ->
+        { status = Iteration_limit; obj = nan; x = extract_x st;
+          pivots = st.pivots }
+  in
+  if n_art = 0 then phase2 ()
+  else begin
+    for k = 0 to n_art - 1 do
+      cost_full.(nt0 + k) <- 1.0
+    done;
+    match run_phase st cost_full max_iter with
+    | `Unbounded ->
+        (* phase-1 objective is bounded below by 0: numerically impossible,
+           report infeasible conservatively *)
+        finish_infeasible ()
+    | `Iteration_limit ->
+        { status = Iteration_limit; obj = nan; x = extract_x st;
+          pivots = st.pivots }
+    | `Optimal ->
+        let infeas = objective_value st cost_full in
+        if infeas > 1e-6 then finish_infeasible ()
+        else begin
+          (* pin artificials to zero for phase 2 *)
+          for k = 0 to n_art - 1 do
+            let j = nt0 + k in
+            st.lo.(j) <- 0.0;
+            st.hi.(j) <- 0.0;
+            if st.stat.(j) <> Basic then st.value.(j) <- 0.0
+          done;
+          phase2 ()
+        end
+  end
+
+let default_max_iter cp = 20000 + (60 * (cp.m + cp.n))
+
+let solve_compiled ?max_iter ?objective cp ~lo ~hi =
+  let prm = params_of_objective cp objective in
   let m = cp.m and n = cp.n in
   if Array.length lo <> n || Array.length hi <> n then
     invalid_arg "Simplex.solve_compiled: bounds length mismatch";
@@ -371,143 +642,239 @@ let solve_compiled ?max_iter ?objective cp ~lo ~hi =
   let fail_bounds = ref false in
   Array.iteri (fun j l -> if l > hi.(j) then fail_bounds := true) lo;
   if !fail_bounds then
-    { status = Infeasible; obj = nan; x = Array.make n nan }
-  else begin
-    (* initial nonbasic placement for structural and slack variables;
-       slacks start basic, artificials patch infeasible rows *)
-    let nt0 = n + m in
-    let lo_all = Array.make nt0 0.0 and hi_all = Array.make nt0 0.0 in
-    Array.blit lo 0 lo_all 0 n;
-    Array.blit hi 0 hi_all 0 n;
-    Array.blit cp.slack_lo 0 lo_all n m;
-    Array.blit cp.slack_hi 0 hi_all n m;
-    let stat = Array.make nt0 At_lower in
-    let value = Array.make nt0 0.0 in
-    for j = 0 to n - 1 do
-      if lo_all.(j) > neg_infinity then begin
-        (* prefer the bound closer to zero for a gentler start *)
-        if hi_all.(j) < infinity
-           && Float.abs hi_all.(j) < Float.abs lo_all.(j)
-        then begin stat.(j) <- At_upper; value.(j) <- hi_all.(j) end
-        else begin stat.(j) <- At_lower; value.(j) <- lo_all.(j) end
-      end
-      else if hi_all.(j) < infinity then begin
-        stat.(j) <- At_upper; value.(j) <- hi_all.(j)
-      end
-      else begin stat.(j) <- Free_zero; value.(j) <- 0.0 end
-    done;
-    (* slack basic values with identity basis *)
-    let slack_val = Array.copy cp.b in
-    for j = 0 to n - 1 do
-      if value.(j) <> 0.0 then begin
-        let idx, vals = cp.cols.(j) in
-        for k = 0 to Array.length idx - 1 do
-          slack_val.(idx.(k)) <- slack_val.(idx.(k)) -. (vals.(k) *. value.(j))
-        done
-      end
-    done;
-    (* rows whose slack violates its bounds need an artificial *)
-    let artificials = ref [] in
-    for i = 0 to m - 1 do
-      let s = slack_val.(i) in
-      if s < cp.slack_lo.(i) -. feas_tol || s > cp.slack_hi.(i) +. feas_tol
-      then artificials := i :: !artificials
-    done;
-    let art_rows = Array.of_list (List.rev !artificials) in
-    let n_art = Array.length art_rows in
-    let nt = nt0 + n_art in
-    let all_cols =
-      Array.init nt (fun j ->
-          if j < nt0 then cp.cols.(j)
-          else begin
-            let i = art_rows.(j - nt0) in
-            let s = slack_val.(i) in
-            let clamped =
-              Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s)
-            in
-            let sign = if s -. clamped >= 0.0 then 1.0 else -1.0 in
-            ([| i |], [| sign |])
-          end)
-    in
-    let lo_full = Array.make nt 0.0 and hi_full = Array.make nt infinity in
-    Array.blit lo_all 0 lo_full 0 nt0;
-    Array.blit hi_all 0 hi_full 0 nt0;
-    let stat_full = Array.make nt At_lower in
-    Array.blit stat 0 stat_full 0 nt0;
-    let value_full = Array.make nt 0.0 in
-    Array.blit value 0 value_full 0 nt0;
-    (* basis: slack per row, replaced by the artificial where infeasible;
-       the displaced slack goes nonbasic at its nearest bound *)
-    let basis = Array.init m (fun i -> n + i) in
-    Array.iteri
-      (fun k i ->
-        basis.(i) <- nt0 + k;
-        let s = slack_val.(i) in
-        let clamped = Float.max cp.slack_lo.(i) (Float.min cp.slack_hi.(i) s) in
-        stat_full.(n + i) <-
-          (if clamped = cp.slack_lo.(i) then At_lower else At_upper);
-        value_full.(n + i) <- clamped)
-      art_rows;
-    let pos = Array.make nt (-1) in
-    Array.iteri (fun i j -> pos.(j) <- i; stat_full.(j) <- Basic) basis;
-    let st =
-      { cp; nt; all_cols; lo = lo_full; hi = hi_full; stat = stat_full;
-        value = value_full; basis; pos;
-        binv = Array.make_matrix m m 0.0;
-        xb = Array.make m 0.0; y = Array.make m 0.0; pi = Array.make m 0.0;
-        pivots = 0 }
-    in
-    if not (refactor st) then
-      { status = Infeasible; obj = nan; x = Array.make n nan }
-    else begin
-      let cost_full = Array.make nt 0.0 in
-      let finish_infeasible () =
-        { status = Infeasible; obj = nan; x = extract_x st }
-      in
-      let phase2 () =
-        Array.fill cost_full 0 nt 0.0;
-        Array.blit cp.c 0 cost_full 0 n;
-        match run_phase st cost_full max_iter with
-        | `Optimal ->
-            ignore (refactor st);
-            let raw = objective_value st cost_full +.
-                      (if cp.negate then -.cp.obj_const else cp.obj_const) in
-            let obj = if cp.negate then -.raw else raw in
-            { status = Optimal; obj; x = extract_x st }
-        | `Unbounded -> { status = Unbounded; obj = nan; x = extract_x st }
-        | `Iteration_limit ->
-            { status = Iteration_limit; obj = nan; x = extract_x st }
-      in
-      if n_art = 0 then phase2 ()
-      else begin
-        for k = 0 to n_art - 1 do
-          cost_full.(nt0 + k) <- 1.0
-        done;
-        match run_phase st cost_full max_iter with
-        | `Unbounded ->
-            (* phase-1 objective is bounded below by 0: numerically impossible,
-               report infeasible conservatively *)
-            finish_infeasible ()
-        | `Iteration_limit ->
-            { status = Iteration_limit; obj = nan; x = extract_x st }
-        | `Optimal ->
-            let infeas = objective_value st cost_full in
-            if infeas > 1e-6 then finish_infeasible ()
-            else begin
-              (* pin artificials to zero for phase 2 *)
-              for k = 0 to n_art - 1 do
-                let j = nt0 + k in
-                st.lo.(j) <- 0.0;
-                st.hi.(j) <- 0.0;
-                if st.stat.(j) <> Basic then st.value.(j) <- 0.0
-              done;
-              phase2 ()
-            end
-      end
-    end
-  end
+    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+  else
+    match build_state cp ~lo ~hi with
+    | None ->
+        { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+    | Some (st, n_art) -> solve_on_state st ~n_art ~prm ~max_iter
 
 let solve ?max_iter model =
   let cp = compile model in
   let lo, hi = default_bounds cp in
   solve_compiled ?max_iter cp ~lo ~hi
+
+(* --- persistent sessions: basis reuse across solves --- *)
+
+type session_stats = {
+  mutable solves : int;
+  mutable cold_solves : int;
+  mutable warm_solves : int;
+  mutable dual_restarts : int;
+  mutable fallbacks : int;
+  mutable total_pivots : int;
+}
+
+type session = {
+  scp : compiled;
+  s_lo : float array;               (* current structural bounds *)
+  s_hi : float array;
+  mutable sstate : state option;    (* factorised basis, or None *)
+  mutable last_c : float array option;
+      (* structural phase-2 cost of the last solve that ended [Optimal]
+         (or proved infeasibility by dual pivots); the basis' reduced
+         costs are dual feasible for it *)
+  mutable dual_ok : bool;
+  mutable inverted : int;           (* #vars with lo > hi *)
+  mutable solves_since_refactor : int;
+  stats : session_stats;
+}
+
+let create_session ?lo ?hi cp =
+  let dlo, dhi = default_bounds cp in
+  let s_lo = match lo with Some a -> Array.copy a | None -> dlo in
+  let s_hi = match hi with Some a -> Array.copy a | None -> dhi in
+  if Array.length s_lo <> cp.n || Array.length s_hi <> cp.n then
+    invalid_arg "Simplex.create_session: bounds length mismatch";
+  let inverted = ref 0 in
+  Array.iteri (fun j l -> if l > s_hi.(j) then incr inverted) s_lo;
+  { scp = cp; s_lo; s_hi; sstate = None; last_c = None; dual_ok = false;
+    inverted = !inverted; solves_since_refactor = 0;
+    stats = { solves = 0; cold_solves = 0; warm_solves = 0;
+              dual_restarts = 0; fallbacks = 0; total_pivots = 0 } }
+
+let session_stats sn = sn.stats
+
+let session_bounds sn = (Array.copy sn.s_lo, Array.copy sn.s_hi)
+
+let set_var_bounds sn j ~lo ~hi =
+  if j < 0 || j >= sn.scp.n then
+    invalid_arg "Simplex.set_var_bounds: variable out of range";
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Simplex.set_var_bounds: NaN bound";
+  if sn.s_lo.(j) <> lo || sn.s_hi.(j) <> hi then begin
+    let was_inverted = sn.s_lo.(j) > sn.s_hi.(j) in
+    sn.s_lo.(j) <- lo;
+    sn.s_hi.(j) <- hi;
+    let now_inverted = lo > hi in
+    if was_inverted <> now_inverted then
+      sn.inverted <- sn.inverted + (if now_inverted then 1 else -1);
+    match sn.sstate with
+    | None -> ()
+    | Some st ->
+        st.lo.(j) <- lo;
+        st.hi.(j) <- hi;
+        (match st.stat.(j) with
+         | Basic -> ()  (* xb may now violate; the dual phase repairs it *)
+         | At_lower | At_upper | Free_zero ->
+             (* nonbasic variables ride along with their bound *)
+             let old_v = st.value.(j) in
+             let stat', v' =
+               if lo > neg_infinity && hi < infinity then
+                 (match st.stat.(j) with
+                  | At_upper -> (At_upper, hi)
+                  | At_lower -> (At_lower, lo)
+                  | _ ->
+                      if Float.abs hi < Float.abs lo then (At_upper, hi)
+                      else (At_lower, lo))
+               else if lo > neg_infinity then (At_lower, lo)
+               else if hi < infinity then (At_upper, hi)
+               else (Free_zero, 0.0)
+             in
+             st.stat.(j) <- stat';
+             st.value.(j) <- v';
+             let dv = v' -. old_v in
+             if dv <> 0.0 then begin
+               (* xb -= B^-1 A_j dv : basics absorb the bound shift *)
+               ftran st st.all_cols.(j);
+               for i = 0 to st.cp.m - 1 do
+                 st.xb.(i) <- st.xb.(i) -. (st.y.(i) *. dv)
+               done
+             end)
+  end
+
+let set_bounds sn ~lo ~hi =
+  if Array.length lo <> sn.scp.n || Array.length hi <> sn.scp.n then
+    invalid_arg "Simplex.set_bounds: bounds length mismatch";
+  for j = 0 to sn.scp.n - 1 do
+    if sn.s_lo.(j) <> lo.(j) || sn.s_hi.(j) <> hi.(j) then
+      set_var_bounds sn j ~lo:lo.(j) ~hi:hi.(j)
+  done
+
+let array_eq a b =
+  Array.length a = Array.length b
+  &&
+  (let ok = ref true in
+   Array.iteri (fun i v -> if v <> b.(i) then ok := false) a;
+   !ok)
+
+let solve_session ?max_iter ?objective sn =
+  let cp = sn.scp in
+  let prm = params_of_objective cp objective in
+  let n = cp.n and m = cp.m in
+  let max_iter =
+    match max_iter with Some k -> k | None -> default_max_iter cp
+  in
+  sn.stats.solves <- sn.stats.solves + 1;
+  if sn.inverted > 0 then
+    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+  else begin
+    let cold () =
+      sn.stats.cold_solves <- sn.stats.cold_solves + 1;
+      sn.sstate <- None;
+      sn.dual_ok <- false;
+      sn.last_c <- None;
+      sn.solves_since_refactor <- 0;
+      match build_state cp ~lo:sn.s_lo ~hi:sn.s_hi with
+      | None ->
+          { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+      | Some (st, n_art) ->
+          let res = solve_on_state st ~n_art ~prm ~max_iter in
+          sn.stats.total_pivots <- sn.stats.total_pivots + st.pivots;
+          (match res.status with
+           | Optimal ->
+               sn.sstate <- Some st;
+               sn.dual_ok <- true;
+               sn.last_c <- Some (Array.copy prm.pc)
+           | Unbounded ->
+               (* the basis is still primal feasible; a later objective
+                  may be bounded *)
+               sn.sstate <- Some st
+           | Infeasible | Iteration_limit -> ());
+          res
+    in
+    match sn.sstate with
+    | None -> cold ()
+    | Some st ->
+        let cost_full = Array.make st.nt 0.0 in
+        Array.blit prm.pc 0 cost_full 0 n;
+        let pivots0 = st.pivots in
+        let charge () =
+          sn.stats.total_pivots <- sn.stats.total_pivots + (st.pivots - pivots0)
+        in
+        let primal_finish () =
+          match run_phase st cost_full max_iter with
+          | `Optimal ->
+              sn.dual_ok <- true;
+              sn.last_c <- Some (Array.copy prm.pc);
+              sn.solves_since_refactor <- sn.solves_since_refactor + 1;
+              if sn.solves_since_refactor >= session_refactor_solves then begin
+                ignore (refactor st);
+                sn.solves_since_refactor <- 0
+              end;
+              let raw = objective_value st cost_full +.
+                        (if prm.pnegate then -.prm.pconst else prm.pconst) in
+              let obj = if prm.pnegate then -.raw else raw in
+              charge ();
+              { status = Optimal; obj; x = extract_x st;
+                pivots = st.pivots - pivots0 }
+          | `Unbounded ->
+              sn.dual_ok <- false;
+              sn.last_c <- None;
+              charge ();
+              { status = Unbounded; obj = nan; x = extract_x st;
+                pivots = st.pivots - pivots0 }
+          | `Iteration_limit ->
+              charge ();
+              sn.sstate <- None;
+              sn.dual_ok <- false;
+              sn.last_c <- None;
+              { status = Iteration_limit; obj = nan; x = extract_x st;
+                pivots = st.pivots - pivots0 }
+        in
+        (* primal feasibility of the retained basis under current bounds *)
+        let feas = ref true in
+        for i = 0 to m - 1 do
+          let bi = st.basis.(i) in
+          if st.xb.(i) < st.lo.(bi) -. feas_tol
+             || st.xb.(i) > st.hi.(bi) +. feas_tol
+          then feas := false
+        done;
+        if !feas then begin
+          (* objective-only hot start: re-price, primal phase 2 *)
+          sn.stats.warm_solves <- sn.stats.warm_solves + 1;
+          primal_finish ()
+        end
+        else if sn.dual_ok then begin
+          (* bound-change restart: dual phase under the last optimal
+             cost (for which the basis is dual feasible), then primal
+             phase 2 under the requested cost *)
+          sn.stats.warm_solves <- sn.stats.warm_solves + 1;
+          sn.stats.dual_restarts <- sn.stats.dual_restarts + 1;
+          let dual_cost =
+            match sn.last_c with
+            | Some c0 when not (array_eq c0 prm.pc) ->
+                let c = Array.make st.nt 0.0 in
+                Array.blit c0 0 c 0 n;
+                c
+            | _ -> cost_full
+          in
+          match run_dual st dual_cost max_iter with
+          | `Feasible -> primal_finish ()
+          | `Infeasible ->
+              (* dual unbounded: no feasible point under these bounds;
+                 the basis stays dual feasible for [last_c] *)
+              charge ();
+              { status = Infeasible; obj = nan; x = Array.make n nan;
+                pivots = st.pivots - pivots0 }
+          | `Iteration_limit ->
+              charge ();
+              sn.stats.warm_solves <- sn.stats.warm_solves - 1;
+              sn.stats.fallbacks <- sn.stats.fallbacks + 1;
+              cold ()
+        end
+        else begin
+          sn.stats.fallbacks <- sn.stats.fallbacks + 1;
+          cold ()
+        end
+  end

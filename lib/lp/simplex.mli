@@ -1,9 +1,17 @@
-(** Bounded-variable primal simplex.
+(** Bounded-variable primal/dual simplex.
 
     Two-phase revised simplex with an explicitly maintained dense basis
     inverse, periodic refactorisation, Dantzig pricing with a Bland's-rule
     fallback, and bound-flip pivots.  Designed for the moderate-size,
     mostly-finitely-bounded LPs produced by robustness certification.
+
+    Besides one-shot solves, the module offers persistent {!session}s
+    that keep the optimal basis factorised between solves: an
+    objective-only hot start (re-price and run primal phase 2, covering
+    the certifier's per-neuron min/max sweeps over one matrix) and a
+    bound-change restart (nonbasic variables ride along with their
+    bounds and a dual-simplex phase recovers feasibility, covering
+    branch & bound child nodes and case-splitting re-solves).
 
     Integer marks on variables are ignored here; see {!module:Milp}. *)
 
@@ -18,6 +26,7 @@ type solution = {
   obj : float;      (** objective in the model's direction; meaningful only
                         when [status = Optimal] *)
   x : float array;  (** structural variable values, model index order *)
+  pivots : int;     (** simplex pivots performed by this solve *)
 }
 
 val solve : ?max_iter:int -> Model.t -> solution
@@ -44,4 +53,65 @@ val solve_compiled :
     [n_struct]).  [objective] replaces the model's objective (constant
     term 0) — certification solves many min/max queries over one
     encoded model.  The [compiled] value is not mutated and may be
-    shared. *)
+    shared.  Every solve is cold (fresh basis); use a {!session} to
+    amortise work across related solves. *)
+
+(** {1 Sessions: warm-started solves}
+
+    A session owns a mutable copy of the structural bounds and, after
+    the first solve, the factorised optimal basis.  Subsequent solves
+    reuse it:
+
+    - {b objective swap} (bounds untouched): the basis stays primal
+      feasible, so only phase 2 runs — no phase 1, no refactorisation;
+    - {b bound change} ({!set_bounds} / {!set_var_bounds}): nonbasic
+      variables move with their bounds, basic values are updated
+      incrementally, and a dual-simplex phase restores feasibility
+      before phase 2 — again skipping phase 1 and the O(m³) refactor.
+
+    Any numerically suspect warm start falls back to a cold solve
+    automatically, so results never depend on the solve history.  A
+    session is single-threaded; create one per domain worker (the
+    underlying [compiled] may be shared freely). *)
+
+type session
+
+val create_session :
+  ?lo:float array -> ?hi:float array -> compiled -> session
+(** Bounds default to the model's bounds at compile time; the arrays
+    are copied. *)
+
+val set_var_bounds : session -> int -> lo:float -> hi:float -> unit
+(** Replace one structural variable's bounds.  Cheap: O(m·nnz(col))
+    when the variable is nonbasic, O(1) when basic.  An empty range
+    ([lo > hi]) makes subsequent solves report [Infeasible] until the
+    range is widened again. *)
+
+val set_bounds : session -> lo:float array -> hi:float array -> unit
+(** Replace all structural bounds (length [n_struct]); only entries
+    that actually changed are touched. *)
+
+val session_bounds : session -> float array * float array
+(** Fresh copies of the session's current structural bounds. *)
+
+val solve_session :
+  ?max_iter:int ->
+  ?objective:Model.dir * (int * float) list ->
+  session -> solution
+(** Solve under the session's current bounds, warm-starting from the
+    retained basis whenever possible.  [objective] as in
+    {!solve_compiled}.  Statuses and objectives agree with a cold
+    {!solve_compiled} on the same bounds and objective (up to solver
+    tolerances). *)
+
+type session_stats = {
+  mutable solves : int;          (** total [solve_session] calls *)
+  mutable cold_solves : int;     (** full two-phase solves *)
+  mutable warm_solves : int;     (** solves served from the retained basis *)
+  mutable dual_restarts : int;   (** warm solves that needed a dual phase *)
+  mutable fallbacks : int;       (** warm attempts abandoned to a cold solve *)
+  mutable total_pivots : int;    (** pivots across all solves *)
+}
+
+val session_stats : session -> session_stats
+(** Live counters (not a snapshot); treat as read-only. *)

@@ -6,6 +6,7 @@ type result = {
   bound : float;
   x : float array;
   nodes : int;
+  pivots : int;
 }
 
 type options = {
@@ -85,6 +86,14 @@ end
 let solve ?(options = default_options) ?objective model =
   let cp = Lp.Simplex.compile model in
   let n = Lp.Simplex.n_struct cp in
+  (* one persistent solver session: each node's LP warm-starts from the
+     previously factorised basis (dual restart after the bound change)
+     instead of a cold two-phase solve *)
+  let session = Lp.Simplex.create_session cp in
+  let lp_solve ~lo ~hi =
+    Lp.Simplex.set_bounds session ~lo ~hi;
+    Lp.Simplex.solve_session ?objective session
+  in
   let dir =
     match objective with
     | Some (d, _) -> d
@@ -130,7 +139,7 @@ let solve ?(options = default_options) ?objective model =
         end)
       ints;
     if !ok then begin
-      let sol = Lp.Simplex.solve_compiled ?objective cp ~lo ~hi in
+      let sol = lp_solve ~lo ~hi in
       match sol.Lp.Simplex.status with
       | Lp.Simplex.Optimal ->
           let key = to_key sol.Lp.Simplex.obj in
@@ -158,9 +167,7 @@ let solve ?(options = default_options) ?objective model =
         stopped := true
       else begin
         incr nodes;
-        let sol =
-          Lp.Simplex.solve_compiled ?objective cp ~lo:node.lo ~hi:node.hi
-        in
+        let sol = lp_solve ~lo:node.lo ~hi:node.hi in
         match sol.status with
         | Lp.Simplex.Infeasible -> ()
         | Lp.Simplex.Unbounded ->
@@ -210,20 +217,21 @@ let solve ?(options = default_options) ?objective model =
   let heap_key = Heap.min_key heap in
   let proven_key = Float.min !best_key heap_key in
   let incumbent_obj = if !have_incumbent then of_key !best_key else nan in
+  let pivots = (Lp.Simplex.session_stats session).Lp.Simplex.total_pivots in
   if !unbounded then
     { status = Unbounded; obj = nan; bound = of_key neg_infinity;
-      x = Array.make n nan; nodes = !nodes }
+      x = Array.make n nan; nodes = !nodes; pivots }
   else if !lp_failed then
     { status = Lp_failure; obj = incumbent_obj; bound = of_key proven_key;
-      x = !best_x; nodes = !nodes }
+      x = !best_x; nodes = !nodes; pivots }
   else if Heap.is_empty heap || heap_key >= !best_key -. options.gap_abs then begin
     if !have_incumbent then
       { status = Optimal; obj = of_key !best_key; bound = of_key !best_key;
-        x = !best_x; nodes = !nodes }
+        x = !best_x; nodes = !nodes; pivots }
     else
       { status = Infeasible; obj = nan; bound = nan;
-        x = Array.make n nan; nodes = !nodes }
+        x = Array.make n nan; nodes = !nodes; pivots }
   end
   else
     { status = Limit; obj = incumbent_obj; bound = of_key proven_key;
-      x = !best_x; nodes = !nodes }
+      x = !best_x; nodes = !nodes; pivots }

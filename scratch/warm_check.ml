@@ -1,0 +1,34 @@
+module Model = Lp.Model
+module Simplex = Lp.Simplex
+
+let () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 5.0;
+  Model.set_objective m Model.Maximize [ (x, 1.0) ];
+  let cp = Simplex.compile m in
+  let sn = Simplex.create_session cp in
+  let show tag (s : Simplex.solution) =
+    Printf.printf "%s: status=%s obj=%g pivots=%d\n" tag
+      (match s.Simplex.status with
+       | Simplex.Optimal -> "opt" | Infeasible -> "infeas"
+       | Unbounded -> "unb" | Iteration_limit -> "lim")
+      s.Simplex.obj s.Simplex.pivots
+  in
+  show "default" (Simplex.solve_session sn);
+  show "obj y max" (Simplex.solve_session ~objective:(Model.Maximize, [ (y, 1.0) ]) sn);
+  show "obj y min" (Simplex.solve_session ~objective:(Model.Minimize, [ (y, 1.0) ]) sn);
+  show "obj x+y" (Simplex.solve_session ~objective:(Model.Maximize, [ (x, 1.0); (y, 1.0) ]) sn);
+  Simplex.set_var_bounds sn x ~lo:0.0 ~hi:2.0;
+  show "tighten x<=2" (Simplex.solve_session ~objective:(Model.Maximize, [ (x, 1.0); (y, 1.0) ]) sn);
+  Simplex.set_var_bounds sn x ~lo:3.0 ~hi:4.0;
+  Simplex.set_var_bounds sn y ~lo:3.0 ~hi:4.0;
+  show "infeasible" (Simplex.solve_session ~objective:(Model.Maximize, [ (x, 1.0); (y, 1.0) ]) sn);
+  Simplex.set_var_bounds sn x ~lo:0.0 ~hi:4.0;
+  Simplex.set_var_bounds sn y ~lo:0.0 ~hi:4.0;
+  show "restore" (Simplex.solve_session ~objective:(Model.Maximize, [ (x, 1.0); (y, 1.0) ]) sn);
+  let st = Simplex.session_stats sn in
+  Printf.printf "solves=%d cold=%d warm=%d dual=%d fallback=%d pivots=%d\n"
+    st.Simplex.solves st.Simplex.cold_solves st.Simplex.warm_solves
+    st.Simplex.dual_restarts st.Simplex.fallbacks st.Simplex.total_pivots

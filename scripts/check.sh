@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repo check: full build, test suite, and (when ocamlformat is
+# available) a formatting gate.  Run from the repo root; exits nonzero
+# on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt check =="
+  dune build @fmt
+else
+  echo "== dune fmt check skipped (ocamlformat not installed) =="
+fi
+
+echo "All checks passed."

@@ -311,6 +311,155 @@ let random_lp_sound =
              false
          | Simplex.Unbounded | Simplex.Iteration_limit -> false))
 
+(* --- sessions: warm starts must agree with cold solves --- *)
+
+let test_session_objective_sweep () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:3.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:5.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 4.0;
+  Model.add_constr m [ (x, 1.0); (y, 3.0) ] Model.Le 6.0;
+  Model.set_objective m Model.Maximize [ (x, 3.0); (y, 2.0) ];
+  let cp = Simplex.compile m in
+  let sn = Simplex.create_session cp in
+  check_obj "model objective" 11.0 (Simplex.solve_session sn);
+  (* objective-only hot starts: no further cold solves *)
+  check_obj "max y" 2.0
+    (Simplex.solve_session ~objective:(Model.Maximize, [ (y, 1.0) ]) sn);
+  check_obj "min y" 0.0
+    (Simplex.solve_session ~objective:(Model.Minimize, [ (y, 1.0) ]) sn);
+  check_obj "max x" 3.0
+    (Simplex.solve_session ~objective:(Model.Maximize, [ (x, 1.0) ]) sn);
+  check_obj "min x+y" 0.0
+    (Simplex.solve_session
+       ~objective:(Model.Minimize, [ (x, 1.0); (y, 1.0) ])
+       sn);
+  let st = Simplex.session_stats sn in
+  Alcotest.(check int) "solves" 5 st.Simplex.solves;
+  Alcotest.(check int) "cold solves" 1 st.Simplex.cold_solves;
+  Alcotest.(check int) "warm solves" 4 st.Simplex.warm_solves;
+  Alcotest.(check int) "fallbacks" 0 st.Simplex.fallbacks
+
+let test_session_bound_changes () =
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  let y = Model.add_var ~lo:0.0 ~hi:4.0 m in
+  Model.add_constr m [ (x, 1.0); (y, 1.0) ] Model.Le 5.0;
+  Model.set_objective m Model.Maximize [ (x, 1.0); (y, 1.0) ];
+  let cp = Simplex.compile m in
+  let sn = Simplex.create_session cp in
+  check_obj "initial" 5.0 (Simplex.solve_session sn);
+  (* tighten: dual restart recovers feasibility *)
+  Simplex.set_var_bounds sn x ~lo:0.0 ~hi:1.0;
+  check_obj "tightened x" 5.0 (Simplex.solve_session sn);
+  Simplex.set_var_bounds sn y ~lo:0.0 ~hi:1.0;
+  check_obj "tightened both" 2.0 (Simplex.solve_session sn);
+  (* empty range: immediately infeasible, no solve attempted *)
+  Simplex.set_var_bounds sn x ~lo:2.0 ~hi:1.0;
+  check_status "empty range" Simplex.Infeasible
+    (Simplex.solve_session sn).Simplex.status;
+  (* conflicting bounds vs constraint *)
+  Simplex.set_var_bounds sn x ~lo:3.0 ~hi:4.0;
+  Simplex.set_var_bounds sn y ~lo:3.0 ~hi:4.0;
+  check_status "conflict" Simplex.Infeasible
+    (Simplex.solve_session sn).Simplex.status;
+  (* restore: the session must recover *)
+  Simplex.set_var_bounds sn x ~lo:0.0 ~hi:4.0;
+  Simplex.set_var_bounds sn y ~lo:0.0 ~hi:4.0;
+  check_obj "restored" 5.0 (Simplex.solve_session sn);
+  let lo, hi = Simplex.session_bounds sn in
+  Alcotest.(check bool) "bounds restored" true
+    (lo.(0) = 0.0 && hi.(0) = 4.0 && lo.(1) = 0.0 && hi.(1) = 4.0)
+
+(* property: an arbitrary interleaving of objective swaps and bound
+   changes solved warm must agree with a cold solve of every state *)
+let random_session_agrees =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 2 5) (int_range 1 5) (int_range 0 1000000))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"session warm solves match cold solves"
+       (QCheck.make gen)
+       (fun (n, n_constr, seed) ->
+         let rng = Random.State.make [| seed |] in
+         let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+         let m = Model.create () in
+         let vars =
+           Array.init n (fun _ -> Model.add_var ~lo:(-2.0) ~hi:2.0 m)
+         in
+         for _ = 1 to n_constr do
+           let row =
+             Array.to_list (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars)
+           in
+           (* origin-feasible rhs keeps the initial LP feasible *)
+           Model.add_constr m row Model.Le (rf 0.1 3.0)
+         done;
+         Model.set_objective m Model.Maximize
+           (Array.to_list (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars));
+         let cp = Simplex.compile m in
+         let sn = Simplex.create_session cp in
+         let agree () =
+           let warm = Simplex.solve_session sn in
+           let lo, hi = Simplex.session_bounds sn in
+           let cold = Simplex.solve_compiled cp ~lo ~hi in
+           warm.Simplex.status = cold.Simplex.status
+           && (warm.Simplex.status <> Simplex.Optimal
+               || feq ~eps:1e-6 warm.Simplex.obj cold.Simplex.obj)
+         in
+         let ok = ref (agree ()) in
+         for _ = 1 to 8 do
+           if !ok then begin
+             (match Random.State.int rng 3 with
+              | 0 ->
+                  (* replace the whole bound arrays (diffing path) *)
+                  let lo, hi = Simplex.session_bounds sn in
+                  Array.iteri
+                    (fun j _ ->
+                      if Random.State.bool rng then begin
+                        let a = rf (-2.0) 2.0 and b = rf (-2.0) 2.0 in
+                        lo.(j) <- Float.min a b;
+                        hi.(j) <- Float.max a b
+                      end)
+                    vars;
+                  Simplex.set_bounds sn ~lo ~hi
+              | 1 ->
+                  (* tighten one variable to a random subinterval *)
+                  let j = Random.State.int rng n in
+                  let a = rf (-2.0) 2.0 and b = rf (-2.0) 2.0 in
+                  Simplex.set_var_bounds sn vars.(j) ~lo:(Float.min a b)
+                    ~hi:(Float.max a b)
+              | _ ->
+                  (* restore one variable to its original range *)
+                  let j = Random.State.int rng n in
+                  Simplex.set_var_bounds sn vars.(j) ~lo:(-2.0) ~hi:2.0);
+             (* also exercise the objective-override path half the time *)
+             if Random.State.bool rng then begin
+               let dir =
+                 if Random.State.bool rng then Model.Maximize
+                 else Model.Minimize
+               in
+               let terms =
+                 Array.to_list (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars)
+               in
+               let warm =
+                 Simplex.solve_session ~objective:(dir, terms) sn
+               in
+               let lo, hi = Simplex.session_bounds sn in
+               let cold =
+                 Simplex.solve_compiled ~objective:(dir, terms) cp ~lo ~hi
+               in
+               ok :=
+                 warm.Simplex.status = cold.Simplex.status
+                 && (warm.Simplex.status <> Simplex.Optimal
+                     || feq ~eps:1e-6 warm.Simplex.obj cold.Simplex.obj)
+             end
+             else ok := agree ()
+           end
+         done;
+         !ok))
+
 (* --- model validation --- *)
 
 let test_model_validation () =
@@ -375,4 +524,9 @@ let suites =
         Alcotest.test_case "solution feasibility" `Quick
           test_feasibility_of_solution;
         random_lp_agrees;
-        random_lp_sound ] ) ]
+        random_lp_sound ] );
+    ( "lp:session",
+      [ Alcotest.test_case "objective sweep" `Quick
+          test_session_objective_sweep;
+        Alcotest.test_case "bound changes" `Quick test_session_bound_changes;
+        random_session_agrees ] ) ]
