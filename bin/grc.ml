@@ -1,6 +1,6 @@
 (* grc: global robustness certification CLI.
 
-   Subcommands: train, certify, attack, info, fig4, case-study. *)
+   Subcommands: train, certify, attack, info, lint, fig4, case-study. *)
 
 open Cmdliner
 
@@ -11,61 +11,90 @@ let cache_arg =
   let doc = "Directory for trained-network artifacts." in
   Arg.(value & opt string "artifacts" & info [ "artifacts" ] ~doc)
 
+(* --- shared model-family arguments --- *)
+
+(* One or two comma-separated positive integers; family-specific
+   interpretation happens in the command (with a proper usage error,
+   not an exception). *)
+type dims = One of int | Two of int * int
+
+let dims_conv : dims Arg.conv =
+  let parse s =
+    let num x =
+      match int_of_string_opt (String.trim x) with
+      | Some v when v > 0 -> Ok v
+      | Some _ -> Error (`Msg "dimensions must be positive")
+      | None -> Error (`Msg (Printf.sprintf "%S is not an integer" x))
+    in
+    match String.split_on_char ',' s with
+    | [ a ] -> Result.map (fun v -> One v) (num a)
+    | [ a; b ] ->
+        Result.bind (num a) (fun va ->
+            Result.map (fun vb -> Two (va, vb)) (num b))
+    | _ -> Error (`Msg (Printf.sprintf "%S: expected N or N,M" s))
+  in
+  let print ppf = function
+    | One a -> Format.fprintf ppf "%d" a
+    | Two (a, b) -> Format.fprintf ppf "%d,%d" a b
+  in
+  Arg.conv ~docv:"N[,M]" (parse, print)
+
+let family_arg =
+  let doc = "Model family: auto-mpg, digits or camera." in
+  Arg.(required & opt (some (enum [ ("auto-mpg", `Auto); ("digits", `Digits);
+                                    ("camera", `Camera) ])) None
+       & info [ "family" ] ~doc)
+
+let id_arg =
+  let doc = "Artifact id (file name under --artifacts)." in
+  Arg.(required & opt (some string) None & info [ "id" ] ~doc)
+
+let size_arg =
+  let doc = "Hidden sizes h1,h2 (auto-mpg), conv layer count (digits)." in
+  Arg.(value & opt dims_conv (Two (8, 8)) & info [ "size" ] ~doc)
+
+let image_arg =
+  let doc = "Image side (digits) or height,width (camera)." in
+  Arg.(value & opt dims_conv (One 12) & info [ "image" ] ~doc)
+
+(* Train or load a cached benchmark network; [Error] is a usage
+   message. *)
+let build_trained family ~id ~size ~image =
+  match family with
+  | `Auto ->
+      let h1, h2 = match size with One a -> (a, a) | Two (a, b) -> (a, b) in
+      Ok (Exp.Models.auto_mpg_net ~id ~sizes:(h1, h2) ())
+  | `Digits -> (
+      match (size, image) with
+      | One conv_layers, One image ->
+          Ok (Exp.Models.digits_net ~id ~conv_layers ~image ())
+      | Two _, _ -> Error "for digits, --size is a single conv-layer count"
+      | _, Two _ -> Error "for digits, --image is a single side length")
+  | `Camera ->
+      let h, w = match image with One a -> (a, 2 * a) | Two (a, b) -> (a, b) in
+      Ok (Exp.Models.camera_net ~id ~h ~w ())
+
 (* --- train --- *)
 
 let train_cmd =
-  let family =
-    let doc = "Model family: auto-mpg, digits or camera." in
-    Arg.(required & opt (some (enum [ ("auto-mpg", `Auto); ("digits", `Digits);
-                                      ("camera", `Camera) ])) None
-         & info [ "family" ] ~doc)
-  in
-  let id =
-    let doc = "Artifact id (file name under --artifacts)." in
-    Arg.(required & opt (some string) None & info [ "id" ] ~doc)
-  in
-  let size =
-    let doc = "Hidden sizes h1,h2 (auto-mpg), conv layer count (digits)." in
-    Arg.(value & opt string "8,8" & info [ "size" ] ~doc)
-  in
-  let image =
-    let doc = "Image side (digits) or height,width (camera)." in
-    Arg.(value & opt string "12" & info [ "image" ] ~doc)
-  in
   let run cache family id size image =
     setup_cache cache;
-    let trained =
-      match family with
-      | `Auto ->
-          let h1, h2 =
-            match String.split_on_char ',' size with
-            | [ a; b ] -> (int_of_string a, int_of_string b)
-            | [ a ] -> (int_of_string a, int_of_string a)
-            | _ -> failwith "--size must be h1,h2"
-          in
-          Exp.Models.auto_mpg_net ~id ~sizes:(h1, h2) ()
-      | `Digits ->
-          Exp.Models.digits_net ~id ~conv_layers:(int_of_string size)
-            ~image:(int_of_string image) ()
-      | `Camera ->
-          let h, w =
-            match String.split_on_char ',' image with
-            | [ a; b ] -> (int_of_string a, int_of_string b)
-            | [ a ] -> (int_of_string a, 2 * int_of_string a)
-            | _ -> failwith "--image must be h,w"
-          in
-          Exp.Models.camera_net ~id ~h ~w ()
-    in
-    Printf.printf "%s: %s\n  hidden neurons: %d\n  test metric: %.5f\n"
-      trained.Exp.Models.id
-      (Nn.Network.describe trained.Exp.Models.net)
-      (Nn.Network.hidden_neuron_count trained.Exp.Models.net)
-      trained.Exp.Models.test_metric
+    match build_trained family ~id ~size ~image with
+    | Error msg -> `Error (true, msg)
+    | Ok trained ->
+        Printf.printf "%s: %s\n  hidden neurons: %d\n  test metric: %.5f\n"
+          trained.Exp.Models.id
+          (Nn.Network.describe trained.Exp.Models.net)
+          (Nn.Network.hidden_neuron_count trained.Exp.Models.net)
+          trained.Exp.Models.test_metric;
+        `Ok ()
   in
   let info_ =
     Cmd.info "train" ~doc:"Train (or load from cache) a benchmark network."
   in
-  Cmd.v info_ Term.(const run $ cache_arg $ family $ id $ size $ image)
+  Cmd.v info_
+    Term.(
+      ret (const run $ cache_arg $ family_arg $ id_arg $ size_arg $ image_arg))
 
 (* --- shared certify options --- *)
 
@@ -216,6 +245,110 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Describe a saved network.")
     Term.(const run $ net_arg)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let window =
+    Arg.(value & opt int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+  in
+  let samples =
+    Arg.(value & opt int 32
+         & info [ "samples" ]
+             ~doc:"Concrete input pairs for the bound-soundness check.")
+  in
+  let fault =
+    let doc =
+      "Inject a deliberate defect before linting (one of $(b,nan-coeff), \
+       $(b,empty-row), $(b,bad-interval)); the run must then report errors \
+       and exit nonzero."
+    in
+    Arg.(value
+         & opt (some (enum [ ("nan-coeff", `Nan_coeff);
+                             ("empty-row", `Empty_row);
+                             ("bad-interval", `Bad_interval) ])) None
+         & info [ "seed-fault" ] ~doc)
+  in
+  let run cache family id size image delta lo hi window samples fault =
+    setup_cache cache;
+    match build_trained family ~id ~size ~image with
+    | Error msg -> `Error (true, msg)
+    | Ok trained ->
+        let net = trained.Exp.Models.net in
+        let input = Cert.Bounds.box_domain net ~lo ~hi in
+        let config =
+          { Cert.Certifier.default_config with Cert.Certifier.window }
+        in
+        let res = Cert.Certifier.certify ~config net ~input ~delta in
+        let bounds = res.Cert.Certifier.bounds in
+        (match fault with
+         | Some `Bad_interval ->
+             (* shrink one distance interval to a point: concrete twin
+                pairs must escape it *)
+             bounds.Cert.Bounds.dy.(0).(0) <- Cert.Interval.point 0.0
+         | _ -> ());
+        let all = ref [] in
+        let push ds = all := !all @ ds in
+        push (Audit.Encoding.intervals bounds);
+        push (Audit.Encoding.bounds_soundness ~samples net bounds);
+        let n = Nn.Network.n_layers net in
+        for i = 0 to n - 1 do
+          let out_dim = Nn.Layer.out_dim (Nn.Network.layer net i) in
+          let targets = Array.init out_dim Fun.id in
+          let view = Cert.Subnet.cone net ~last:i ~targets ~window in
+          let enc = Cert.Encode.itne ~mode:Cert.Encode.Relaxed ~bounds view in
+          (match (fault, i) with
+           | Some `Nan_coeff, 0 ->
+               Lp.Model.add_constr enc.Cert.Encode.model
+                 [ (0, Float.nan) ] Lp.Model.Le 0.0
+           | Some `Empty_row, 0 ->
+               Lp.Model.add_constr enc.Cert.Encode.model [] Lp.Model.Ge 1.0
+           | _ -> ());
+          let name = Printf.sprintf "itne:layer%d" i in
+          push (Audit_core.Lint.model ~name enc.Cert.Encode.model);
+          push (Audit.Encoding.itne ~name ~bounds enc)
+        done;
+        let out_dim = Nn.Network.output_dim net in
+        let view =
+          Cert.Subnet.cone net ~last:(n - 1)
+            ~targets:(Array.init out_dim Fun.id) ~window:n
+        in
+        let benc =
+          Cert.Encode.btne ~split_relus:true ~link_input_dist:true
+            ~mode:Cert.Encode.Relaxed ~bounds view
+        in
+        push (Audit_core.Lint.model ~name:"btne" benc.Cert.Encode.model);
+        push (Audit.Encoding.btne benc);
+        let diags = Audit_core.Diag.sort !all in
+        List.iter
+          (fun d -> print_endline (Audit_core.Diag.to_string d))
+          diags;
+        let count s = Audit_core.Diag.count s diags in
+        Printf.printf "lint: %d error(s), %d warning(s), %d note(s)\n"
+          (count Audit_core.Diag.Error) (count Audit_core.Diag.Warn)
+          (count Audit_core.Diag.Info);
+        if count Audit_core.Diag.Error > 0 then exit 1;
+        `Ok ()
+  in
+  let info_ =
+    Cmd.info "lint"
+      ~doc:"Statically audit the certifier's LP encodings of a model family."
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Trains (or loads) the selected benchmark network, runs the \
+             certifier to obtain tightened bounds, then lints every \
+             per-layer ITNE model and the full twin-network encoding: \
+             malformed rows, numeric-conditioning hazards, interval \
+             validity, twin symmetry, relaxation soundness (by sampling \
+             the true ReLU semantics) and empirical bound soundness. \
+             Exits nonzero when any error-severity finding is reported." ]
+  in
+  Cmd.v info_
+    Term.(
+      ret
+        (const run $ cache_arg $ family_arg $ id_arg $ size_arg $ image_arg
+         $ delta_arg $ lo_arg $ hi_arg $ window $ samples $ fault))
+
 let fig4_cmd =
   let run () = Exp.Fig4.print Format.std_formatter (Exp.Fig4.run ()) in
   Cmd.v
@@ -250,5 +383,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info_
-          [ train_cmd; certify_cmd; attack_cmd; info_cmd; fig4_cmd;
+          [ train_cmd; certify_cmd; attack_cmd; info_cmd; lint_cmd; fig4_cmd;
             case_study_cmd ]))

@@ -1,0 +1,228 @@
+module Model = Lp.Model
+
+let default_tol = 1e-6
+
+let dual_tol = 1e-5
+
+let structural_bounds ?lo ?hi model =
+  let n = Model.n_vars model in
+  let get dflt = function
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Certificate: bounds length mismatch";
+        a
+    | None -> Array.init n dflt
+  in
+  (get (Model.var_lo model) lo, get (Model.var_hi model) hi)
+
+let objective_row ?objective model =
+  match objective with
+  | Some (dir, terms) -> (dir, 0.0, terms)
+  | None -> Model.objective model
+
+let check_point ?(tol = default_tol) ?(name = "model") ?lo ?hi ?objective
+    ~model ~obj x =
+  let diags = ref [] in
+  let add ?row ?var code message =
+    diags :=
+      Diag.make Diag.Error ~pass:"certificate" ~code
+        ~loc:(Diag.loc ?row ?var name)
+        message
+      :: !diags
+  in
+  let n = Model.n_vars model in
+  if Array.length x <> n then begin
+    add "solution-shape"
+      (Printf.sprintf "solution has %d entries, model has %d variables"
+         (Array.length x) n);
+    List.rev !diags
+  end
+  else begin
+    let lo, hi = structural_bounds ?lo ?hi model in
+    for j = 0 to n - 1 do
+      let v = x.(j) in
+      if not (Float.is_finite v) then
+        add ~var:(Model.var_name model j) "nonfinite-solution"
+          (Printf.sprintf "value %g" v)
+      else begin
+        let btol b = tol *. Float.max 1.0 (Float.abs b) in
+        if v < lo.(j) -. btol lo.(j) then
+          add ~var:(Model.var_name model j) "bound-violation"
+            (Printf.sprintf "value %g below lower bound %g" v lo.(j));
+        if v > hi.(j) +. btol hi.(j) then
+          add ~var:(Model.var_name model j) "bound-violation"
+            (Printf.sprintf "value %g above upper bound %g" v hi.(j))
+      end
+    done;
+    Array.iteri
+      (fun i (c : Model.constr) ->
+        let acc = ref 0.0 and mass = ref 0.0 in
+        List.iter
+          (fun (j, coeff) ->
+            let t = coeff *. x.(j) in
+            acc := !acc +. t;
+            mass := !mass +. Float.abs t)
+          c.Model.row;
+        let rtol = tol *. Float.max 1.0 !mass in
+        let violated =
+          match c.Model.sense with
+          | Model.Le -> !acc > c.Model.rhs +. rtol
+          | Model.Ge -> !acc < c.Model.rhs -. rtol
+          | Model.Eq -> Float.abs (!acc -. c.Model.rhs) > rtol
+        in
+        if violated then
+          add ~row:i "row-violation"
+            (Printf.sprintf "activity %g violates row (rhs %g)" !acc
+               c.Model.rhs))
+      (Model.constrs model);
+    (* objective agreement *)
+    let _, const, terms = objective_row ?objective model in
+    let expected =
+      List.fold_left (fun acc (j, c) -> acc +. (c *. x.(j))) const terms
+    in
+    if
+      Float.is_finite obj
+      && Float.abs (obj -. expected) > tol *. Float.max 1.0 (Float.abs expected)
+    then
+      add "objective-mismatch"
+        (Printf.sprintf
+           "reported objective %g but the objective row evaluates to %g at \
+            the solution"
+           obj expected);
+    if not (Float.is_finite obj) then
+      add "objective-mismatch" (Printf.sprintf "reported objective %g" obj);
+    Diag.sort (List.rev !diags)
+  end
+
+(* Dual feasibility and complementary slackness.  The solver reports row
+   multipliers [pi] in the minimisation sense (the internal cost is the
+   negated objective for Maximize models).  With every row written as
+   [a.x + s = rhs], [s] bounded by sense, the reduced cost of a column
+   is [d_j = c~_j - pi . A_j] and of a row slack [-pi_i]; at a
+   minimisation optimum a nonbasic-at-lower variable needs [d >= 0], at
+   upper [d <= 0], and a variable strictly inside its bounds [d = 0]. *)
+let check_duals ~tol ~name ?lo ?hi ?objective ~model (x : float array)
+    (pi : float array) =
+  let diags = ref [] in
+  let add ?row ?var code message =
+    diags :=
+      Diag.make Diag.Error ~pass:"certificate" ~code
+        ~loc:(Diag.loc ?row ?var name)
+        message
+      :: !diags
+  in
+  let n = Model.n_vars model in
+  let constrs = Model.constrs model in
+  let dir, _, terms = objective_row ?objective model in
+  let negate = dir = Model.Maximize in
+  let d = Array.make n 0.0 in
+  let mass = Array.make n 0.0 in
+  List.iter
+    (fun (j, c) ->
+      let c = if negate then -.c else c in
+      d.(j) <- d.(j) +. c;
+      mass.(j) <- mass.(j) +. Float.abs c)
+    terms;
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      if Float.is_finite pi.(i) then
+        List.iter
+          (fun (j, coeff) ->
+            d.(j) <- d.(j) -. (pi.(i) *. coeff);
+            mass.(j) <- mass.(j) +. Float.abs (pi.(i) *. coeff))
+          c.Model.row
+      else
+        add ~row:i "nonfinite-dual" (Printf.sprintf "multiplier %g" pi.(i)))
+    constrs;
+  let lo, hi = structural_bounds ?lo ?hi model in
+  for j = 0 to n - 1 do
+    let dtol = dual_tol *. Float.max 1.0 mass.(j) in
+    let btol b = tol *. Float.max 1.0 (Float.abs b) in
+    let at_lo = x.(j) <= lo.(j) +. btol lo.(j) in
+    let at_hi = x.(j) >= hi.(j) -. btol hi.(j) in
+    let bad =
+      if at_lo && at_hi then false (* fixed: any sign *)
+      else if at_lo then d.(j) < -.dtol
+      else if at_hi then d.(j) > dtol
+      else Float.abs d.(j) > dtol
+    in
+    if bad then
+      add ~var:(Model.var_name model j) "dual-infeasible"
+        (Printf.sprintf
+           "reduced cost %g has the wrong sign for value %g in [%g, %g]"
+           d.(j) x.(j) lo.(j) hi.(j))
+  done;
+  (* row slack sign / complementary slackness *)
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      if Float.is_finite pi.(i) then begin
+        let acc = ref 0.0 and m = ref 0.0 in
+        List.iter
+          (fun (j, coeff) ->
+            acc := !acc +. (coeff *. x.(j));
+            m := !m +. Float.abs (coeff *. x.(j)))
+          c.Model.row;
+        let slack = c.Model.rhs -. !acc in
+        let stol = tol *. Float.max 1.0 !m in
+        let dtol = dual_tol *. Float.max 1.0 (Float.abs pi.(i)) in
+        match c.Model.sense with
+        | Model.Eq -> ()
+        | Model.Le ->
+            (* s in [0, inf): tight -> pi <= 0 is not required, only
+               d_s = -pi >= 0 at lower, i.e. pi <= dtol; loose -> pi = 0 *)
+            if slack > stol then begin
+              if Float.abs pi.(i) > dtol then
+                add ~row:i "complementary-slackness"
+                  (Printf.sprintf
+                     "slack %g is loose but the multiplier is %g" slack
+                     pi.(i))
+            end
+            else if pi.(i) > dual_tol *. Float.max 1.0 (Float.abs pi.(i))
+            then
+              add ~row:i "dual-sign"
+                (Printf.sprintf
+                   "binding <= row has multiplier %g > 0 (minimisation \
+                    sense)"
+                   pi.(i))
+        | Model.Ge ->
+            if slack < -.stol then begin
+              if Float.abs pi.(i) > dtol then
+                add ~row:i "complementary-slackness"
+                  (Printf.sprintf
+                     "slack %g is loose but the multiplier is %g" slack
+                     pi.(i))
+            end
+            else if pi.(i) < -.(dual_tol *. Float.max 1.0 (Float.abs pi.(i)))
+            then
+              add ~row:i "dual-sign"
+                (Printf.sprintf
+                   "binding >= row has multiplier %g < 0 (minimisation \
+                    sense)"
+                   pi.(i))
+      end)
+    constrs;
+  List.rev !diags
+
+let check ?(tol = default_tol) ?(name = "model") ?lo ?hi ?objective ~model
+    (sol : Lp.Simplex.solution) =
+  match sol.Lp.Simplex.status with
+  | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+  | Lp.Simplex.Iteration_limit -> []
+  | Lp.Simplex.Optimal ->
+      let primal =
+        check_point ~tol ~name ?lo ?hi ?objective ~model
+          ~obj:sol.Lp.Simplex.obj sol.Lp.Simplex.x
+      in
+      let duals = sol.Lp.Simplex.duals in
+      let dual_diags =
+        if Array.length duals <> Model.n_constrs model then
+          [ Diag.make Diag.Info ~pass:"certificate" ~code:"missing-duals"
+              ~loc:(Diag.loc name)
+              "solution carries no row multipliers; dual conditions not \
+               checked" ]
+        else if primal <> [] then []
+        else
+          check_duals ~tol ~name ?lo ?hi ?objective ~model sol.Lp.Simplex.x
+            duals
+      in
+      Diag.sort (primal @ dual_diags)

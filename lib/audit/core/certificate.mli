@@ -1,0 +1,57 @@
+(** Independent verification of solver results against the original
+    model — the certificate checker.
+
+    The checker re-derives everything from the {!Lp.Model.t} the caller
+    encoded, never from solver internals, so a bug in the simplex (or in
+    its warm-start bookkeeping) cannot hide itself:
+
+    - primal feasibility: every row satisfied at the reported point;
+    - bound satisfaction: every variable inside its (possibly
+      overridden) box;
+    - objective agreement: the reported objective equals the objective
+      row evaluated at the point;
+    - dual feasibility and complementary slackness: reduced costs
+      recomputed from the solution's row multipliers carry the right
+      sign for the position of each variable (and each row slack)
+      relative to its bounds.
+
+    All defects are Error-level: a failed certificate means the
+    "optimal" answer is untrustworthy. *)
+
+val default_tol : float
+(** Feasibility/agreement tolerance (1e-6), scaled by the local
+    magnitudes being compared. *)
+
+val dual_tol : float
+(** Tolerance for dual sign conditions (1e-5). *)
+
+val check_point :
+  ?tol:float ->
+  ?name:string ->
+  ?lo:float array ->
+  ?hi:float array ->
+  ?objective:Lp.Model.dir * (int * float) list ->
+  model:Lp.Model.t ->
+  obj:float ->
+  float array ->
+  Diag.t list
+(** [check_point ~model ~obj x] verifies primal feasibility, bound
+    satisfaction and objective agreement of the claimed optimal point
+    [x] with objective value [obj].  [lo]/[hi] override the model's
+    structural bounds (as in {!Lp.Simplex.solve_compiled}); [objective]
+    overrides the model's objective with constant term 0. *)
+
+val check :
+  ?tol:float ->
+  ?name:string ->
+  ?lo:float array ->
+  ?hi:float array ->
+  ?objective:Lp.Model.dir * (int * float) list ->
+  model:Lp.Model.t ->
+  Lp.Simplex.solution ->
+  Diag.t list
+(** Full certificate check of a simplex solution.  Solutions whose
+    status is not [Optimal] claim nothing and produce no findings; for
+    [Optimal] solutions this is {!check_point} plus the dual
+    feasibility / complementary-slackness conditions recomputed from
+    [solution.duals]. *)

@@ -1,0 +1,66 @@
+type severity = Error | Warn | Info
+
+type location = {
+  model : string;
+  row : int option;
+  var : string option;
+  neuron : (int * int) option;
+}
+
+let loc ?row ?var ?neuron model = { model; row; var; neuron }
+
+type t = {
+  severity : severity;
+  pass : string;
+  code : string;
+  location : location;
+  message : string;
+}
+
+let make severity ~pass ~code ~loc message =
+  { severity; pass; code; location = loc; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+let rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let pp_location fmt l =
+  Format.pp_print_string fmt l.model;
+  (match l.row with
+   | Some i -> Format.fprintf fmt ", row %d" i
+   | None -> ());
+  (match l.var with
+   | Some v -> Format.fprintf fmt ", var %s" v
+   | None -> ());
+  match l.neuron with
+  | Some (layer, j) -> Format.fprintf fmt ", neuron (%d,%d)" layer j
+  | None -> ()
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s/%s @@ %a: %s" (severity_label d.severity) d.pass
+    d.code pp_location d.location d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let sort diags =
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity))
+    diags
+
+exception Audit_failure of t list
+
+let () =
+  Printexc.register_printer (function
+    | Audit_failure diags ->
+        Some
+          (Printf.sprintf "Audit_failure (%d error(s): %s)"
+             (count Error diags)
+             (String.concat "; " (List.map to_string (errors diags))))
+    | _ -> None)

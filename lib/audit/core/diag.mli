@@ -1,0 +1,54 @@
+(** Structured audit diagnostics.
+
+    Every audit pass (model linter, encoding auditor, certificate
+    checker) reports its findings as a list of {!t}: a severity, a
+    stable diagnostic code, a source location inside the artefact being
+    audited (model name, row index, variable name, neuron id), and a
+    human-readable message.  Passes never print or raise themselves;
+    presentation and failure policy live in {!Mode}. *)
+
+type severity = Error | Warn | Info
+(** [Error]: the artefact is wrong (unsound encoding, infeasible model,
+    certificate mismatch) — audit mode fails loudly on these.
+    [Warn]: suspicious but not provably wrong (numeric conditioning,
+    duplicate coefficients).  [Info]: redundancy that costs solver time
+    but cannot affect results (vacuous rows, unused columns). *)
+
+type location = {
+  model : string;               (** model / encoding name *)
+  row : int option;             (** constraint index, 0-based *)
+  var : string option;          (** variable name *)
+  neuron : (int * int) option;  (** (absolute layer, neuron id) *)
+}
+
+val loc : ?row:int -> ?var:string -> ?neuron:int * int -> string -> location
+
+type t = {
+  severity : severity;
+  pass : string;       (** producing pass: "lint", "encoding", "certificate" *)
+  code : string;       (** stable machine-readable code, e.g. "infeasible-row" *)
+  location : location;
+  message : string;
+}
+
+val make :
+  severity -> pass:string -> code:string -> loc:location -> string -> t
+
+val severity_label : severity -> string
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity pass/code @ location: message]. *)
+
+val to_string : t -> string
+
+val count : severity -> t list -> int
+
+val errors : t list -> t list
+(** Error-level findings only. *)
+
+val sort : t list -> t list
+(** Stable sort, most severe first. *)
+
+exception Audit_failure of t list
+(** Raised by {!Mode.report} when audit mode surfaces Error-level
+    findings; carries every finding of the failing report. *)

@@ -1,0 +1,224 @@
+module Model = Lp.Model
+
+let pivot_tol = 1e-9
+
+let conditioning_limit = 1e8
+
+let activity_tol = 1e-9
+
+(* Minimum and maximum of [row . x] over the variable boxes. *)
+let activity m row =
+  List.fold_left
+    (fun (amin, amax) (j, c) ->
+      let lo = Model.var_lo m j and hi = Model.var_hi m j in
+      if c >= 0.0 then (amin +. (c *. lo), amax +. (c *. hi))
+      else (amin +. (c *. hi), amax +. (c *. lo)))
+    (0.0, 0.0) row
+
+(* Canonical row signature for duplicate detection: sorted variable
+   order, duplicate entries merged, exact zeros dropped. *)
+let signature (row : (Model.var * float) list) =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) row in
+  let rec merge = function
+    | (i, a) :: (i', b) :: rest when i = i' -> merge ((i, a +. b) :: rest)
+    | (i, a) :: rest -> if a = 0.0 then merge rest else (i, a) :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let sense_label = function
+  | Model.Le -> "<="
+  | Model.Ge -> ">="
+  | Model.Eq -> "="
+
+let model ?(name = "model") m =
+  let diags = ref [] in
+  let add severity ?row ?var ?neuron code message =
+    diags :=
+      Diag.make severity ~pass:"lint" ~code
+        ~loc:(Diag.loc ?row ?var ?neuron name)
+        message
+      :: !diags
+  in
+  let n = Model.n_vars m in
+  let constrs = Model.constrs m in
+  let used = Array.make n false in
+  (* --- per-row checks --- *)
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      let seen = Hashtbl.create 8 in
+      let abs_min = ref infinity and abs_max = ref 0.0 in
+      let finite = ref true in
+      List.iter
+        (fun (j, coeff) ->
+          used.(j) <- true;
+          let var = Model.var_name m j in
+          if Float.is_nan coeff || Float.abs coeff = infinity then begin
+            finite := false;
+            add Diag.Error ~row:i ~var "nonfinite-coefficient"
+              (Printf.sprintf "coefficient %g of %s" coeff var)
+          end
+          else if coeff = 0.0 then
+            add Diag.Info ~row:i ~var "zero-coefficient"
+              (Printf.sprintf "zero coefficient of %s" var)
+          else begin
+            let a = Float.abs coeff in
+            if a < pivot_tol then
+              add Diag.Warn ~row:i ~var "negligible-coefficient"
+                (Printf.sprintf
+                   "coefficient %g of %s is below the simplex pivot \
+                    tolerance %g and will be dropped"
+                   coeff var pivot_tol);
+            if a < !abs_min then abs_min := a;
+            if a > !abs_max then abs_max := a
+          end;
+          if Hashtbl.mem seen j then
+            add Diag.Warn ~row:i ~var "duplicate-coefficient"
+              (Printf.sprintf "%s appears more than once in the row" var)
+          else Hashtbl.add seen j ())
+        c.Model.row;
+      if Float.is_nan c.Model.rhs then
+        add Diag.Error ~row:i "nonfinite-rhs" "NaN right-hand side"
+      else if Float.abs c.Model.rhs = infinity then begin
+        let unsatisfiable =
+          match c.Model.sense with
+          | Model.Le -> c.Model.rhs = neg_infinity
+          | Model.Ge -> c.Model.rhs = infinity
+          | Model.Eq -> true
+        in
+        if unsatisfiable then
+          add Diag.Error ~row:i "infeasible-row"
+            (Printf.sprintf "row %s %g cannot be satisfied"
+               (sense_label c.Model.sense) c.Model.rhs)
+        else
+          add Diag.Info ~row:i "vacuous-row"
+            (Printf.sprintf "infinite rhs makes row %s %g trivial"
+               (sense_label c.Model.sense) c.Model.rhs)
+      end;
+      if !finite && Float.is_finite c.Model.rhs then begin
+        if !abs_max > 0.0 && !abs_max /. !abs_min > conditioning_limit then
+          add Diag.Warn ~row:i "ill-conditioned-row"
+            (Printf.sprintf
+               "coefficient magnitudes span [%g, %g] (ratio %.1e > %.0e)"
+               !abs_min !abs_max (!abs_max /. !abs_min) conditioning_limit);
+        let amin, amax = activity m c.Model.row in
+        let tol = activity_tol *. Float.max 1.0 (Float.abs c.Model.rhs) in
+        let infeasible, vacuous =
+          match c.Model.sense with
+          | Model.Le ->
+              (amin > c.Model.rhs +. tol, amax <= c.Model.rhs +. tol)
+          | Model.Ge ->
+              (amax < c.Model.rhs -. tol, amin >= c.Model.rhs -. tol)
+          | Model.Eq ->
+              ( amin > c.Model.rhs +. tol || amax < c.Model.rhs -. tol,
+                amin = amax && Float.abs (amin -. c.Model.rhs) <= tol )
+        in
+        if infeasible then
+          add Diag.Error ~row:i "infeasible-row"
+            (Printf.sprintf
+               "activity range [%g, %g] cannot satisfy %s %g over the \
+                variable boxes"
+               amin amax (sense_label c.Model.sense) c.Model.rhs)
+        else if vacuous then
+          add Diag.Info ~row:i "vacuous-row"
+            (Printf.sprintf
+               "activity range [%g, %g] always satisfies %s %g; the row is \
+                redundant"
+               amin amax (sense_label c.Model.sense) c.Model.rhs)
+      end)
+    constrs;
+  (* --- duplicate / dominated / conflicting rows --- *)
+  let by_sig : ((Model.var * float) list, (int * Model.constr) list ref)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      let key = signature c.Model.row in
+      match Hashtbl.find_opt by_sig key with
+      | Some l -> l := (i, c) :: !l
+      | None -> Hashtbl.add by_sig key (ref [ (i, c) ]))
+    constrs;
+  Hashtbl.iter
+    (fun _ group ->
+      match !group with
+      | [] | [ _ ] -> ()
+      | rows ->
+          let rows = List.rev rows in
+          (* compare each row against the earliest row with the same
+             coefficients and sense *)
+          let first_of = Hashtbl.create 4 in
+          List.iter
+            (fun (i, (c : Model.constr)) ->
+              match Hashtbl.find_opt first_of c.Model.sense with
+              | None -> Hashtbl.add first_of c.Model.sense (i, c)
+              | Some (i0, (c0 : Model.constr)) ->
+                  let rhs = c.Model.rhs and rhs0 = c0.Model.rhs in
+                  let tol =
+                    activity_tol *. Float.max 1.0 (Float.abs rhs0)
+                  in
+                  if Float.abs (rhs -. rhs0) <= tol then
+                    add Diag.Warn ~row:i "duplicate-row"
+                      (Printf.sprintf "identical to row %d" i0)
+                  else begin
+                    match c.Model.sense with
+                    | Model.Eq ->
+                        add Diag.Error ~row:i "conflicting-rows"
+                          (Printf.sprintf
+                             "equality rhs %g contradicts row %d (rhs %g)"
+                             rhs i0 rhs0)
+                    | Model.Le ->
+                        let dom, dom_by, by =
+                          if rhs > rhs0 then (i, rhs, i0) else (i0, rhs0, i)
+                        in
+                        add Diag.Info ~row:dom "dominated-row"
+                          (Printf.sprintf
+                             "rhs %g is implied by the tighter row %d" dom_by
+                             by)
+                    | Model.Ge ->
+                        let dom, dom_by, by =
+                          if rhs < rhs0 then (i, rhs, i0) else (i0, rhs0, i)
+                        in
+                        add Diag.Info ~row:dom "dominated-row"
+                          (Printf.sprintf
+                             "rhs %g is implied by the tighter row %d" dom_by
+                             by)
+                  end)
+            rows)
+    by_sig;
+  (* --- per-variable checks --- *)
+  let _, obj_const, obj = Model.objective m in
+  if Float.is_nan obj_const || Float.abs obj_const = infinity then
+    add Diag.Error "nonfinite-objective"
+      (Printf.sprintf "objective constant %g" obj_const);
+  let obj_seen = Hashtbl.create 16 in
+  List.iter
+    (fun (j, coeff) ->
+      used.(j) <- true;
+      let var = Model.var_name m j in
+      if Float.is_nan coeff || Float.abs coeff = infinity then
+        add Diag.Error ~var "nonfinite-objective"
+          (Printf.sprintf "objective coefficient %g of %s" coeff var);
+      if Hashtbl.mem obj_seen j then
+        add Diag.Warn ~var "duplicate-coefficient"
+          (Printf.sprintf "%s appears more than once in the objective" var)
+      else Hashtbl.add obj_seen j ())
+    obj;
+  for j = 0 to n - 1 do
+    let var = Model.var_name m j in
+    let lo = Model.var_lo m j and hi = Model.var_hi m j in
+    if Float.is_nan lo || Float.is_nan hi then
+      add Diag.Error ~var "nonfinite-bound"
+        (Printf.sprintf "NaN bound on %s" var);
+    if lo > hi then
+      add Diag.Error ~var "empty-bound-range"
+        (Printf.sprintf "%s has empty range [%g, %g]" var lo hi);
+    if not used.(j) then
+      add Diag.Info ~var "unused-column"
+        (Printf.sprintf "%s appears in no row and not in the objective" var)
+    else if lo = hi then
+      add Diag.Info ~var "fixed-column"
+        (Printf.sprintf "%s is fixed at %g; presolve would substitute it"
+           var lo)
+  done;
+  Diag.sort (List.rev !diags)

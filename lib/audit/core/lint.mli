@@ -1,0 +1,34 @@
+(** Static analysis over {!Lp.Model.t} — the model linter.
+
+    Runs before any solve and flags defects an encoder can introduce
+    silently:
+
+    - non-finite ([NaN]/[inf]) coefficients in rows or the objective
+      (Error);
+    - rows whose activity range over the variable boxes cannot satisfy
+      them (Error), or always satisfies them (Info: vacuous);
+    - equal-coefficient rows with contradictory equalities (Error),
+      duplicate rows (Warn) and trivially dominated rows (Info);
+    - duplicate variables within a row (Warn) and zero coefficients
+      (Info);
+    - numeric conditioning: per-row coefficient magnitude ratio above
+      {!conditioning_limit} (Warn) and nonzero coefficients below
+      {!pivot_tol}, which the simplex will effectively drop (Warn);
+    - unused columns — variables in no row and not in the objective
+      (Info) — and fixed columns ([lo = hi], Info), the patterns a
+      presolve would eliminate.
+
+    The linter never mutates the model and performs no solves; it is
+    O(nnz + rows log rows). *)
+
+val pivot_tol : float
+(** Mirrors the simplex pivot tolerance (1e-9): nonzero coefficients
+    below it are numerically invisible to the solver. *)
+
+val conditioning_limit : float
+(** Per-row magnitude-ratio threshold for the conditioning warning
+    (1e8). *)
+
+val model : ?name:string -> Lp.Model.t -> Diag.t list
+(** [model ~name m] returns all findings, most severe first.  [name]
+    labels the diagnostics' locations (default ["model"]). *)

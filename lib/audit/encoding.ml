@@ -1,0 +1,386 @@
+module Diag = Audit_core.Diag
+module Model = Lp.Model
+module I = Cert.Interval
+module Bounds = Cert.Bounds
+module Encode = Cert.Encode
+module Subnet = Cert.Subnet
+
+let pass = "encoding"
+
+(* magnitude-scaled comparison slack *)
+let slack tol m = tol *. Float.max 1.0 (Float.abs m)
+
+let bad_interval (iv : I.t) =
+  Float.is_nan iv.I.lo || Float.is_nan iv.I.hi || iv.I.lo > iv.I.hi
+
+(* --- interval well-formedness ------------------------------------- *)
+
+let intervals ?(name = "bounds") (b : Bounds.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let malformed what loc (iv : I.t) =
+    add
+      (Diag.make Diag.Error ~pass ~code:"invalid-interval" ~loc
+         (Printf.sprintf "%s interval [%g, %g] is malformed" what iv.I.lo
+            iv.I.hi))
+  in
+  let check_arr what arr =
+    Array.iteri
+      (fun k iv ->
+        if bad_interval iv then
+          malformed what (Diag.loc ~var:(Printf.sprintf "%s[%d]" what k) name)
+            iv)
+      arr
+  in
+  check_arr "input" b.Bounds.input;
+  check_arr "input_dist" b.Bounds.input_dist;
+  let check_layers what mat =
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j iv ->
+            if bad_interval iv then
+              malformed what (Diag.loc ~neuron:(i, j) ~var:what name) iv)
+          row)
+      mat
+  in
+  check_layers "y" b.Bounds.y;
+  check_layers "x" b.Bounds.x;
+  check_layers "dy" b.Bounds.dy;
+  check_layers "dx" b.Bounds.dx;
+  List.rev !diags
+
+(* --- ITNE invariants ---------------------------------------------- *)
+
+(* Deterministic sample points of a finite interval: endpoints, interior
+   quarters, and the kink at 0 when it is inside. *)
+let grid (iv : I.t) =
+  if not (I.is_finite iv) then []
+  else begin
+    let lo = iv.I.lo and hi = iv.I.hi in
+    let pts =
+      [ lo;
+        (0.75 *. lo) +. (0.25 *. hi);
+        0.5 *. (lo +. hi);
+        (0.25 *. lo) +. (0.75 *. hi);
+        hi ]
+    in
+    let pts = if lo <= 0.0 && hi >= 0.0 then 0.0 :: pts else pts in
+    List.sort_uniq compare pts
+  end
+
+let relu v = Float.max 0.0 v
+
+(* Violation (if any) of [row sense rhs] at an assignment. *)
+let row_violation (c : Model.constr) value_of =
+  let lhs =
+    List.fold_left (fun acc (v, a) -> acc +. (a *. value_of v)) 0.0 c.Model.row
+  in
+  let mass =
+    List.fold_left
+      (fun acc (v, a) -> acc +. Float.abs (a *. value_of v))
+      (Float.abs c.Model.rhs) c.Model.row
+  in
+  let eps = slack 1e-7 mass in
+  match c.Model.sense with
+  | Model.Le -> if lhs > c.Model.rhs +. eps then Some (lhs -. c.Model.rhs) else None
+  | Model.Ge -> if lhs < c.Model.rhs -. eps then Some (c.Model.rhs -. lhs) else None
+  | Model.Eq ->
+      let d = Float.abs (lhs -. c.Model.rhs) in
+      if d > eps then Some d else None
+
+let itne ?(name = "itne") ~(bounds : Bounds.t) (enc : Encode.itne_enc) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let model = enc.Encode.model in
+  let view = enc.Encode.view in
+  (* window consistency: the encoding's neurons are exactly the cone *)
+  let expected = ref 0 in
+  Array.iteri
+    (fun k actives ->
+      let abs = view.Subnet.first + k in
+      Array.iter
+        (fun j ->
+          incr expected;
+          if not (Hashtbl.mem enc.Encode.vars (abs, j)) then
+            add
+              (Diag.make Diag.Error ~pass ~code:"missing-neuron"
+                 ~loc:(Diag.loc ~neuron:(abs, j) name)
+                 "active cone neuron has no encoded variables"))
+        actives)
+    view.Subnet.active;
+  if Hashtbl.length enc.Encode.vars <> !expected then
+    add
+      (Diag.make Diag.Error ~pass ~code:"window-mismatch"
+         ~loc:(Diag.loc name)
+         (Printf.sprintf
+            "encoding has %d neuron entries but the view's cone has %d"
+            (Hashtbl.length enc.Encode.vars) !expected));
+  (* variable bounds vs the bound state; also map var -> owning neuron *)
+  let owner = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (abs, j) (nv : Encode.neuron_vars) ->
+      let y_iv = bounds.Bounds.y.(abs).(j)
+      and dy_iv = bounds.Bounds.dy.(abs).(j) in
+      let reg v = Hashtbl.replace owner v (abs, j) in
+      reg nv.Encode.y;
+      reg nv.Encode.dy;
+      Option.iter reg nv.Encode.x;
+      Option.iter reg nv.Encode.dx;
+      let mismatch what msg =
+        add
+          (Diag.make Diag.Error ~pass ~code:"encoding-bounds-mismatch"
+             ~loc:(Diag.loc ~neuron:(abs, j) ~var:what name)
+             msg)
+      in
+      let check_equal what v (iv : I.t) =
+        if
+          Float.abs (Model.var_lo model v -. iv.I.lo) > slack 1e-9 iv.I.lo
+          || Float.abs (Model.var_hi model v -. iv.I.hi) > slack 1e-9 iv.I.hi
+        then
+          mismatch what
+            (Printf.sprintf
+               "%s variable bounds [%g, %g] differ from the stored interval %s"
+               what (Model.var_lo model v) (Model.var_hi model v)
+               (I.to_string iv))
+      in
+      check_equal "y" nv.Encode.y y_iv;
+      check_equal "dy" nv.Encode.dy dy_iv;
+      let check_subset what v (stored : I.t) (implied : I.t) implied_what =
+        let lo = Model.var_lo model v and hi = Model.var_hi model v in
+        if
+          lo < stored.I.lo -. slack 1e-9 stored.I.lo
+          || hi > stored.I.hi +. slack 1e-9 stored.I.hi
+        then
+          mismatch what
+            (Printf.sprintf
+               "%s variable bounds [%g, %g] exceed the stored interval %s" what
+               lo hi (I.to_string stored))
+        else if
+          lo < implied.I.lo -. slack 1e-9 implied.I.lo
+          || hi > implied.I.hi +. slack 1e-9 implied.I.hi
+        then
+          (* the encoder fell back to the stored interval because it was
+             disjoint from the semantic enclosure: precision loss at
+             best, an unsound bound state at worst *)
+          add
+            (Diag.make Diag.Warn ~pass ~code:"inconsistent-interval"
+               ~loc:(Diag.loc ~neuron:(abs, j) ~var:what name)
+               (Printf.sprintf
+                  "stored %s interval is inconsistent with %s (%s vs %s)" what
+                  implied_what (I.to_string stored) (I.to_string implied)))
+      in
+      Option.iter
+        (fun xv ->
+          check_subset "x" xv bounds.Bounds.x.(abs).(j) (I.relu y_iv)
+            "relu(y)")
+        nv.Encode.x;
+      Option.iter
+        (fun dxv ->
+          check_subset "dx" dxv bounds.Bounds.dx.(abs).(j)
+            (I.relu_dist ~y:y_iv ~dy:dy_iv)
+            "the relu-distance enclosure")
+        nv.Encode.dx)
+    enc.Encode.vars;
+  (* per-neuron rows (ReLU and distance relaxations) must admit the
+     true semantics x = relu(y), dx = relu(y + dy) - relu(y) on a
+     sample grid over the neuron's encoded ranges *)
+  Array.iteri
+    (fun ci (c : Model.constr) ->
+      let neuron = ref None and single = ref (c.Model.row <> []) in
+      List.iter
+        (fun (v, _) ->
+          match Hashtbl.find_opt owner v with
+          | None -> single := false
+          | Some key -> (
+              match !neuron with
+              | None -> neuron := Some key
+              | Some k -> if k <> key then single := false))
+        c.Model.row;
+      match (!single, !neuron) with
+      | true, Some (abs, j) ->
+          let y_iv = bounds.Bounds.y.(abs).(j)
+          and dy_iv = bounds.Bounds.dy.(abs).(j) in
+          let nv = Hashtbl.find enc.Encode.vars (abs, j) in
+          let worst = ref 0.0 in
+          List.iter
+            (fun yv ->
+              List.iter
+                (fun dyv ->
+                  let value_of v =
+                    if v = nv.Encode.y then yv
+                    else if v = nv.Encode.dy then dyv
+                    else if nv.Encode.x = Some v then relu yv
+                    else relu (yv +. dyv) -. relu yv
+                  in
+                  match row_violation c value_of with
+                  | Some d when d > !worst -> worst := d
+                  | _ -> ())
+                (grid dy_iv))
+            (grid y_iv);
+          if !worst > 0.0 then
+            add
+              (Diag.make Diag.Error ~pass ~code:"unsound-relaxation"
+                 ~loc:(Diag.loc ~row:ci ~neuron:(abs, j) name)
+                 (Printf.sprintf
+                    "true ReLU semantics violates the relaxation row by %g"
+                    !worst))
+      | _ -> ())
+    (Model.constrs model);
+  List.rev !diags
+
+(* --- BTNE twin symmetry ------------------------------------------- *)
+
+let btne ?(name = "btne") (enc : Encode.btne_enc) =
+  let diags = ref [] in
+  let add sev code neuron msg =
+    diags :=
+      Diag.make sev ~pass ~code ~loc:(Diag.loc ?neuron name) msg :: !diags
+  in
+  let model = enc.Encode.model in
+  let eq_bounds v w =
+    Model.var_lo model v = Model.var_lo model w
+    && Model.var_hi model v = Model.var_hi model w
+  in
+  Hashtbl.iter
+    (fun key (cva : Encode.copy_vars) ->
+      match Hashtbl.find_opt enc.Encode.copy_b key with
+      | None ->
+          add Diag.Error "twin-asymmetry" (Some key)
+            "neuron encoded in copy a only"
+      | Some cvb -> (
+          if not (eq_bounds cva.Encode.cy cvb.Encode.cy) then
+            add Diag.Error "twin-asymmetry" (Some key)
+              "twin copies disagree on the y variable bounds";
+          match (cva.Encode.cx, cvb.Encode.cx) with
+          | None, None -> ()
+          | Some xa, Some xb ->
+              if not (eq_bounds xa xb) then
+                add Diag.Error "twin-asymmetry" (Some key)
+                  "twin copies disagree on the x variable bounds"
+          | _ ->
+              add Diag.Error "twin-asymmetry" (Some key)
+                "ReLU encoded in one copy only"))
+    enc.Encode.copy_a;
+  Hashtbl.iter
+    (fun key _ ->
+      if not (Hashtbl.mem enc.Encode.copy_a key) then
+        add Diag.Error "twin-asymmetry" (Some key)
+          "neuron encoded in copy b only")
+    enc.Encode.copy_b;
+  Hashtbl.iter
+    (fun key (sa : Encode.relu_split) ->
+      match Hashtbl.find_opt enc.Encode.split_b key with
+      | None ->
+          add Diag.Error "twin-asymmetry" (Some key)
+            "splittable ReLU recorded in copy a only"
+      | Some sb ->
+          if
+            sa.Encode.sp_slack_hi <> sb.Encode.sp_slack_hi
+            || (not (I.equal sa.Encode.sp_y_iv sb.Encode.sp_y_iv))
+            || not (I.equal sa.Encode.sp_x_iv sb.Encode.sp_x_iv)
+          then
+            add Diag.Error "twin-asymmetry" (Some key)
+              "split bookkeeping differs between the copies")
+    enc.Encode.split_a;
+  Hashtbl.iter
+    (fun key _ ->
+      if not (Hashtbl.mem enc.Encode.split_a key) then
+        add Diag.Error "twin-asymmetry" (Some key)
+          "splittable ReLU recorded in copy b only")
+    enc.Encode.split_b;
+  let ids l = List.sort_uniq compare (List.map fst l) in
+  if ids enc.Encode.input_a <> ids enc.Encode.input_b then
+    add Diag.Error "twin-asymmetry" None
+      "input variable maps cover different neurons";
+  List.rev !diags
+
+(* --- empirical bound soundness ------------------------------------ *)
+
+let bounds_soundness ?(name = "bounds") ?(samples = 32) ?(tol = 1e-6) net
+    (b : Bounds.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let dim = Nn.Network.input_dim net in
+  if
+    Array.length b.Bounds.input <> dim
+    || Array.length b.Bounds.input_dist <> dim
+  then begin
+    add
+      (Diag.make Diag.Error ~pass ~code:"shape-mismatch" ~loc:(Diag.loc name)
+         "bound state input arrays do not match the network input dimension");
+    List.rev !diags
+  end
+  else begin
+    (* fixed-seed pseudo-random stream: reproducible samples *)
+    let state = ref 0x2545F491 in
+    let next () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int !state /. float_of_int 0x40000000
+    in
+    let pick (iv : I.t) u =
+      let lo = Float.max iv.I.lo (-1e6) and hi = Float.min iv.I.hi 1e6 in
+      if lo > hi then lo else lo +. (u *. (hi -. lo))
+    in
+    let within (iv : I.t) v =
+      let eps = slack tol v in
+      v >= iv.I.lo -. eps && v <= iv.I.hi +. eps
+    in
+    let seen = Hashtbl.create 32 in
+    let report i j what iv v =
+      if (not (within iv v)) && not (Hashtbl.mem seen (i, j, what)) then begin
+        Hashtbl.replace seen (i, j, what) ();
+        add
+          (Diag.make Diag.Error ~pass ~code:"unsound-interval"
+             ~loc:(Diag.loc ~neuron:(i, j) ~var:what name)
+             (Printf.sprintf
+                "concrete %s value %g escapes the stored interval %s" what v
+                (I.to_string iv)))
+      end
+    in
+    let check_sample xa xb =
+      let d_ok = ref true in
+      Array.iteri
+        (fun k _ ->
+          if not (within b.Bounds.input_dist.(k) (xb.(k) -. xa.(k))) then
+            d_ok := false)
+        xa;
+      (* clipping can push the pair outside the certified perturbation
+         set; such a sample says nothing about the bound state *)
+      if !d_ok then begin
+        let pres_a, posts_a = Nn.Network.forward_all net xa in
+        let pres_b, posts_b = Nn.Network.forward_all net xb in
+        Array.iteri
+          (fun i pa ->
+            Array.iteri
+              (fun j v ->
+                report i j "y" b.Bounds.y.(i).(j) v;
+                report i j "x" b.Bounds.x.(i).(j) posts_a.(i).(j);
+                report i j "dy" b.Bounds.dy.(i).(j) (pres_b.(i).(j) -. v);
+                report i j "dx" b.Bounds.dx.(i).(j)
+                  (posts_b.(i).(j) -. posts_a.(i).(j)))
+              pa)
+          pres_a
+      end
+    in
+    let clip k v =
+      let iv = b.Bounds.input.(k) in
+      Float.max iv.I.lo (Float.min iv.I.hi v)
+    in
+    let mk fa fd =
+      let xa = Array.init dim (fun k -> pick b.Bounds.input.(k) (fa k)) in
+      let xb =
+        Array.init dim (fun k ->
+            clip k (xa.(k) +. pick b.Bounds.input_dist.(k) (fd k)))
+      in
+      check_sample xa xb
+    in
+    (* corner cases first, then the pseudo-random bulk *)
+    mk (fun _ -> 0.5) (fun _ -> 0.5);
+    mk (fun _ -> 0.0) (fun _ -> 1.0);
+    mk (fun _ -> 1.0) (fun _ -> 0.0);
+    for _ = 1 to Int.max 0 (samples - 3) do
+      mk (fun _ -> next ()) (fun _ -> next ())
+    done;
+    List.rev !diags
+  end

@@ -1,0 +1,50 @@
+(** Encoding auditor: ITNE/BTNE invariant checks.
+
+    Static and sampling-based checks over the certifier's bound state
+    and the LP encodings built from it:
+
+    - {!intervals}: every stored interval is well-formed
+      ([lo <= hi], no NaN);
+    - {!itne}: window consistency (the encoding's variables cover
+      exactly the view's active cone), variable bounds agree with the
+      bound state, and every per-neuron relaxation row (triangle / LPR
+      chord) is sound — the true ReLU semantics
+      [x = relu(y)], [dx = relu(y + dy) - relu(y)] satisfies it on a
+      deterministic sample grid over the neuron's [y] and [dy] ranges;
+    - {!btne}: twin symmetry — the two explicit network copies have
+      identical structure and variable bounds;
+    - {!bounds_soundness}: concrete input pairs, forwarded through the
+      real network, land inside the stored [y]/[x]/[dy]/[dx] intervals.
+
+    All checks return diagnostics ({!Audit_core.Diag.t}); they never
+    raise.  Unsound findings are [Error]-severity, internal fallbacks
+    that merely lose precision are [Warn]. *)
+
+val intervals :
+  ?name:string -> Cert.Bounds.t -> Audit_core.Diag.t list
+(** Well-formedness of every interval in the bound state. *)
+
+val itne :
+  ?name:string ->
+  bounds:Cert.Bounds.t -> Cert.Encode.itne_enc -> Audit_core.Diag.t list
+(** Invariants of an interleaving twin-network encoding built from
+    [bounds]: cone coverage, variable-bound consistency, and sampled
+    soundness of every constraint row that involves only one neuron's
+    variables (the ReLU and distance relaxations). *)
+
+val btne :
+  ?name:string -> Cert.Encode.btne_enc -> Audit_core.Diag.t list
+(** Twin symmetry of a basic twin-network encoding: the two copies
+    must expose the same neurons, with identical variable bounds and
+    identical splittable-ReLU bookkeeping. *)
+
+val bounds_soundness :
+  ?name:string ->
+  ?samples:int ->
+  ?tol:float ->
+  Nn.Network.t -> Cert.Bounds.t -> Audit_core.Diag.t list
+(** Empirical soundness of the bound state: [samples] deterministic
+    input pairs (corner cases plus a fixed pseudo-random sequence) are
+    forwarded through [net]; every pre-/post-activation value and twin
+    distance must lie in its stored interval, within [tol] (scaled by
+    magnitude).  Default [samples] is 32, [tol] is 1e-6. *)

@@ -95,7 +95,7 @@ let merge_stats into from =
    integer marks fall through to branch & bound. *)
 type engine = { run : Model.dir -> (Model.var * float) list -> float option }
 
-let session_engine stats session =
+let session_engine stats ~name ~model session =
   { run =
       (fun dir terms ->
         stats.lp_solves <- stats.lp_solves + 1;
@@ -104,6 +104,13 @@ let session_engine stats session =
         let sol = Lp.Simplex.solve_session ~objective:(dir, terms) session in
         stats.lp_pivots <- stats.lp_pivots + sol.Lp.Simplex.pivots;
         stats.lp_warm <- stats.lp_warm + (live.Lp.Simplex.warm_solves - warm0);
+        if Audit_core.Mode.enabled () then begin
+          (* independent certificate check against the original model *)
+          let lo, hi = Lp.Simplex.session_bounds session in
+          Audit_core.Mode.report
+            (Audit_core.Certificate.check ~name ~lo ~hi
+               ~objective:(dir, terms) ~model sol)
+        end;
         match sol.Lp.Simplex.status with
         | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
         | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
@@ -124,20 +131,22 @@ let milp_engine stats milp_options model =
             if Float.is_nan r.Milp.bound then None else Some r.Milp.bound
         | Milp.Infeasible | Milp.Unbounded -> None) }
 
-(* [engine_for_model stats options model] builds an engine for a model
-   queried a handful of times (compile once, warm across the queries). *)
-let engine_for_model stats milp_options model =
+(* [engine_for_model stats options ~name model] builds an engine for a
+   model queried a handful of times (compile once, warm across the
+   queries).  [name] labels audit diagnostics. *)
+let engine_for_model stats milp_options ~name model =
   if Model.integer_vars model = [] then
-    session_engine stats (Lp.Simplex.create_session (Lp.Simplex.compile model))
+    session_engine stats ~name ~model
+      (Lp.Simplex.create_session (Lp.Simplex.compile model))
   else milp_engine stats milp_options model
 
-(* [shared_engine options model] compiles the model once and returns a
-   factory of engines over the shared read-only matrix, one session per
-   worker, each charging its own statistics record. *)
-let shared_engine milp_options model =
+(* [shared_engine options ~name model] compiles the model once and
+   returns a factory of engines over the shared read-only matrix, one
+   session per worker, each charging its own statistics record. *)
+let shared_engine milp_options ~name model =
   if Model.integer_vars model = [] then begin
     let cp = Lp.Simplex.compile model in
-    fun stats -> session_engine stats (Lp.Simplex.create_session cp)
+    fun stats -> session_engine stats ~name ~model (Lp.Simplex.create_session cp)
   end
   else fun stats -> milp_engine stats milp_options model
 
@@ -269,7 +278,11 @@ let certify ?(config = default_config) net ~input ~delta =
            the shared read-only matrix, so the whole per-neuron min/max
            sweep runs as objective-only hot starts; solve counts merge
            after the join *)
-        let engine_for = shared_engine config.milp_options enc.Encode.model in
+        let engine_for =
+          shared_engine config.milp_options
+            ~name:(Printf.sprintf "itne-y:layer%d" i)
+            enc.Encode.model
+        in
         let init () =
           let local = zero_stats () in
           (local, engine_for local)
@@ -354,7 +367,9 @@ let certify ?(config = default_config) net ~input ~delta =
               (* per-neuron model: compile once, the min query warm-starts
                  from the max query's basis *)
               let engine =
-                engine_for_model local config.milp_options enc.Encode.model
+                engine_for_model local config.milp_options
+                  ~name:(Printf.sprintf "itne-x:layer%d:neuron%d" i j)
+                  enc.Encode.model
               in
               let dx_hi = engine.run Model.Maximize [ (dxv, 1.0) ] in
               let dx_lo = engine.run Model.Minimize [ (dxv, 1.0) ] in

@@ -71,6 +71,13 @@ let maximise net bounds (enc : Encode.btne_enc) session ~max_nodes ~nodes
       | Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit ->
           completed := false
       | Lp.Simplex.Optimal ->
+          if Audit_core.Mode.enabled () then begin
+            let lo, hi = Lp.Simplex.session_bounds session in
+            Audit_core.Mode.report
+              (Audit_core.Certificate.check ~name:"reluplex-node" ~lo ~hi
+                 ~objective:(Model.Maximize, terms)
+                 ~model:enc.Encode.model sol)
+          end;
           if sol.Lp.Simplex.obj > !best +. split_tol then begin
             (* feasible incumbent: the relaxation optimiser's input pair
                satisfies the input-distance constraints, so the true

@@ -1,6 +1,21 @@
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
-type solution = { status : status; obj : float; x : float array; pivots : int }
+type solution = {
+  status : status;
+  obj : float;
+  x : float array;
+  pivots : int;
+  duals : float array;
+}
+
+(* Opt-in audit mode (GRC_AUDIT, or Audit_core.Mode.set): every
+   warm-started session solve is cross-checked against a cold solve and
+   the retained basis is dropped on disagreement. *)
+let audit_mode =
+  ref
+    (match Sys.getenv_opt "GRC_AUDIT" with
+     | None | Some "" | Some "0" -> false
+     | Some _ -> true)
 
 type compiled = {
   m : int;                                   (* constraint rows *)
@@ -583,7 +598,8 @@ let solve_on_state st ~n_art ~prm ~max_iter =
   let nt0 = n + cp.m in
   let cost_full = Array.make nt 0.0 in
   let finish_infeasible () =
-    { status = Infeasible; obj = nan; x = extract_x st; pivots = st.pivots }
+    { status = Infeasible; obj = nan; x = extract_x st; pivots = st.pivots;
+      duals = [||] }
   in
   let phase2 () =
     Array.fill cost_full 0 nt 0.0;
@@ -594,12 +610,15 @@ let solve_on_state st ~n_art ~prm ~max_iter =
         let raw = objective_value st cost_full +.
                   (if prm.pnegate then -.prm.pconst else prm.pconst) in
         let obj = if prm.pnegate then -.raw else raw in
-        { status = Optimal; obj; x = extract_x st; pivots = st.pivots }
+        compute_pi st cost_full;
+        { status = Optimal; obj; x = extract_x st; pivots = st.pivots;
+          duals = Array.copy st.pi }
     | `Unbounded ->
-        { status = Unbounded; obj = nan; x = extract_x st; pivots = st.pivots }
+        { status = Unbounded; obj = nan; x = extract_x st; pivots = st.pivots;
+          duals = [||] }
     | `Iteration_limit ->
         { status = Iteration_limit; obj = nan; x = extract_x st;
-          pivots = st.pivots }
+          pivots = st.pivots; duals = [||] }
   in
   if n_art = 0 then phase2 ()
   else begin
@@ -613,7 +632,7 @@ let solve_on_state st ~n_art ~prm ~max_iter =
         finish_infeasible ()
     | `Iteration_limit ->
         { status = Iteration_limit; obj = nan; x = extract_x st;
-          pivots = st.pivots }
+          pivots = st.pivots; duals = [||] }
     | `Optimal ->
         let infeas = objective_value st cost_full in
         if infeas > 1e-6 then finish_infeasible ()
@@ -642,11 +661,13 @@ let solve_compiled ?max_iter ?objective cp ~lo ~hi =
   let fail_bounds = ref false in
   Array.iteri (fun j l -> if l > hi.(j) then fail_bounds := true) lo;
   if !fail_bounds then
-    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0;
+      duals = [||] }
   else
     match build_state cp ~lo ~hi with
     | None ->
-        { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+        { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0;
+          duals = [||] }
     | Some (st, n_art) -> solve_on_state st ~n_art ~prm ~max_iter
 
 let solve ?max_iter model =
@@ -663,6 +684,7 @@ type session_stats = {
   mutable dual_restarts : int;
   mutable fallbacks : int;
   mutable total_pivots : int;
+  mutable audit_mismatches : int;
 }
 
 type session = {
@@ -691,7 +713,8 @@ let create_session ?lo ?hi cp =
   { scp = cp; s_lo; s_hi; sstate = None; last_c = None; dual_ok = false;
     inverted = !inverted; solves_since_refactor = 0;
     stats = { solves = 0; cold_solves = 0; warm_solves = 0;
-              dual_restarts = 0; fallbacks = 0; total_pivots = 0 } }
+              dual_restarts = 0; fallbacks = 0; total_pivots = 0;
+              audit_mismatches = 0 } }
 
 let session_stats sn = sn.stats
 
@@ -767,8 +790,40 @@ let solve_session ?max_iter ?objective sn =
   in
   sn.stats.solves <- sn.stats.solves + 1;
   if sn.inverted > 0 then
-    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+    { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0;
+      duals = [||] }
   else begin
+    (* In audit mode, every result served from a retained basis is
+       cross-checked against a cold solve of the same query; on
+       disagreement the retained basis is dropped and the cold result
+       returned, so a warm-start bug cannot corrupt a certification. *)
+    let audit_cross_check res =
+      if not !audit_mode then res
+      else begin
+        let cold_sol =
+          solve_compiled ~max_iter ?objective cp ~lo:sn.s_lo ~hi:sn.s_hi
+        in
+        let agree =
+          match (res.status, cold_sol.status) with
+          | Optimal, Optimal ->
+              Float.abs (res.obj -. cold_sol.obj)
+              <= 5e-5 *. Float.max 1.0 (Float.abs cold_sol.obj)
+          | a, b -> a = b
+        in
+        if agree then res
+        else begin
+          sn.stats.audit_mismatches <- sn.stats.audit_mismatches + 1;
+          sn.sstate <- None;
+          sn.dual_ok <- false;
+          sn.last_c <- None;
+          Printf.eprintf
+            "[audit] Simplex warm solve disagrees with cold re-solve \
+             (warm: obj %g, cold: obj %g); dropping the retained basis\n%!"
+            res.obj cold_sol.obj;
+          cold_sol
+        end
+      end
+    in
     let cold () =
       sn.stats.cold_solves <- sn.stats.cold_solves + 1;
       sn.sstate <- None;
@@ -777,7 +832,8 @@ let solve_session ?max_iter ?objective sn =
       sn.solves_since_refactor <- 0;
       match build_state cp ~lo:sn.s_lo ~hi:sn.s_hi with
       | None ->
-          { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0 }
+          { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0;
+            duals = [||] }
       | Some (st, n_art) ->
           let res = solve_on_state st ~n_art ~prm ~max_iter in
           sn.stats.total_pivots <- sn.stats.total_pivots + st.pivots;
@@ -815,22 +871,23 @@ let solve_session ?max_iter ?objective sn =
               let raw = objective_value st cost_full +.
                         (if prm.pnegate then -.prm.pconst else prm.pconst) in
               let obj = if prm.pnegate then -.raw else raw in
+              compute_pi st cost_full;
               charge ();
               { status = Optimal; obj; x = extract_x st;
-                pivots = st.pivots - pivots0 }
+                pivots = st.pivots - pivots0; duals = Array.copy st.pi }
           | `Unbounded ->
               sn.dual_ok <- false;
               sn.last_c <- None;
               charge ();
               { status = Unbounded; obj = nan; x = extract_x st;
-                pivots = st.pivots - pivots0 }
+                pivots = st.pivots - pivots0; duals = [||] }
           | `Iteration_limit ->
               charge ();
               sn.sstate <- None;
               sn.dual_ok <- false;
               sn.last_c <- None;
               { status = Iteration_limit; obj = nan; x = extract_x st;
-                pivots = st.pivots - pivots0 }
+                pivots = st.pivots - pivots0; duals = [||] }
         in
         (* primal feasibility of the retained basis under current bounds *)
         let feas = ref true in
@@ -843,7 +900,7 @@ let solve_session ?max_iter ?objective sn =
         if !feas then begin
           (* objective-only hot start: re-price, primal phase 2 *)
           sn.stats.warm_solves <- sn.stats.warm_solves + 1;
-          primal_finish ()
+          audit_cross_check (primal_finish ())
         end
         else if sn.dual_ok then begin
           (* bound-change restart: dual phase under the last optimal
@@ -860,13 +917,14 @@ let solve_session ?max_iter ?objective sn =
             | _ -> cost_full
           in
           match run_dual st dual_cost max_iter with
-          | `Feasible -> primal_finish ()
+          | `Feasible -> audit_cross_check (primal_finish ())
           | `Infeasible ->
               (* dual unbounded: no feasible point under these bounds;
                  the basis stays dual feasible for [last_c] *)
               charge ();
-              { status = Infeasible; obj = nan; x = Array.make n nan;
-                pivots = st.pivots - pivots0 }
+              audit_cross_check
+                { status = Infeasible; obj = nan; x = Array.make n nan;
+                  pivots = st.pivots - pivots0; duals = [||] }
           | `Iteration_limit ->
               charge ();
               sn.stats.warm_solves <- sn.stats.warm_solves - 1;

@@ -27,7 +27,24 @@ type solution = {
                         when [status = Optimal] *)
   x : float array;  (** structural variable values, model index order *)
   pivots : int;     (** simplex pivots performed by this solve *)
+  duals : float array;
+      (** row multipliers at the optimum, one per constraint, in the
+          {e minimisation} sense (the internal cost is the negated
+          objective for [Maximize] solves): reduced costs
+          [c~_j - duals . A_j] satisfy the usual sign conditions at a
+          minimisation optimum.  Empty unless [status = Optimal].
+          Consumed by the independent certificate checker
+          ([Audit_core.Certificate]). *)
 }
+
+val audit_mode : bool ref
+(** Opt-in self-check switch, initialised from the [GRC_AUDIT]
+    environment variable (any value but ["0"]/empty) and kept in step
+    with [Audit_core.Mode.set].  When on, every {!solve_session} result
+    served from a retained basis is cross-checked against a cold
+    {!solve_compiled} of the same query; disagreement drops the basis,
+    returns the cold result and increments
+    [session_stats.audit_mismatches]. *)
 
 val solve : ?max_iter:int -> Model.t -> solution
 
@@ -111,6 +128,8 @@ type session_stats = {
   mutable dual_restarts : int;   (** warm solves that needed a dual phase *)
   mutable fallbacks : int;       (** warm attempts abandoned to a cold solve *)
   mutable total_pivots : int;    (** pivots across all solves *)
+  mutable audit_mismatches : int;
+      (** warm results contradicted by the audit-mode cold cross-check *)
 }
 
 val session_stats : session -> session_stats

@@ -83,6 +83,36 @@ module Heap = struct
     top
 end
 
+(* Audit-mode incumbent check: the claimed MILP solution must satisfy
+   the original model's rows and bounds, be integral on the marked
+   variables, and reproduce the reported objective — verified
+   independently of the branch & bound bookkeeping. *)
+let audit_incumbent ?objective model (r : result) =
+  match r.status with
+  | Optimal | Limit when Float.is_finite r.obj ->
+      let diags =
+        Audit_core.Certificate.check_point ~name:"milp-incumbent" ?objective
+          ~model ~obj:r.obj r.x
+      in
+      let int_diags =
+        List.filter_map
+          (fun j ->
+            let v = r.x.(j) in
+            if Float.abs (v -. Float.round v) > 1e-5 then
+              Some
+                (Audit_core.Diag.make Audit_core.Diag.Error
+                   ~pass:"certificate" ~code:"fractional-incumbent"
+                   ~loc:
+                     (Audit_core.Diag.loc
+                        ~var:(Lp.Model.var_name model j)
+                        "milp-incumbent")
+                   (Printf.sprintf "integer-marked variable has value %g" v))
+            else None)
+          (Lp.Model.integer_vars model)
+      in
+      Audit_core.Mode.report (diags @ int_diags)
+  | _ -> ()
+
 let solve ?(options = default_options) ?objective model =
   let cp = Lp.Simplex.compile model in
   let n = Lp.Simplex.n_struct cp in
@@ -218,20 +248,25 @@ let solve ?(options = default_options) ?objective model =
   let proven_key = Float.min !best_key heap_key in
   let incumbent_obj = if !have_incumbent then of_key !best_key else nan in
   let pivots = (Lp.Simplex.session_stats session).Lp.Simplex.total_pivots in
-  if !unbounded then
-    { status = Unbounded; obj = nan; bound = of_key neg_infinity;
-      x = Array.make n nan; nodes = !nodes; pivots }
-  else if !lp_failed then
-    { status = Lp_failure; obj = incumbent_obj; bound = of_key proven_key;
-      x = !best_x; nodes = !nodes; pivots }
-  else if Heap.is_empty heap || heap_key >= !best_key -. options.gap_abs then begin
-    if !have_incumbent then
-      { status = Optimal; obj = of_key !best_key; bound = of_key !best_key;
-        x = !best_x; nodes = !nodes; pivots }
-    else
-      { status = Infeasible; obj = nan; bound = nan;
+  let result =
+    if !unbounded then
+      { status = Unbounded; obj = nan; bound = of_key neg_infinity;
         x = Array.make n nan; nodes = !nodes; pivots }
-  end
-  else
-    { status = Limit; obj = incumbent_obj; bound = of_key proven_key;
-      x = !best_x; nodes = !nodes; pivots }
+    else if !lp_failed then
+      { status = Lp_failure; obj = incumbent_obj; bound = of_key proven_key;
+        x = !best_x; nodes = !nodes; pivots }
+    else if Heap.is_empty heap || heap_key >= !best_key -. options.gap_abs
+    then begin
+      if !have_incumbent then
+        { status = Optimal; obj = of_key !best_key; bound = of_key !best_key;
+          x = !best_x; nodes = !nodes; pivots }
+      else
+        { status = Infeasible; obj = nan; bound = nan;
+          x = Array.make n nan; nodes = !nodes; pivots }
+    end
+    else
+      { status = Limit; obj = incumbent_obj; bound = of_key proven_key;
+        x = !best_x; nodes = !nodes; pivots }
+  in
+  if Audit_core.Mode.enabled () then audit_incumbent ?objective model result;
+  result

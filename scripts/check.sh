@@ -1,7 +1,7 @@
 #!/bin/sh
-# Repo check: full build, test suite, and (when ocamlformat is
-# available) a formatting gate.  Run from the repo root; exits nonzero
-# on the first failure.
+# Repo check: full build, test suite, audited test suite, encoding
+# lint, and (when ocamlformat is available) a formatting gate.  Run
+# from the repo root; exits nonzero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,6 +11,25 @@ dune build @all
 
 echo "== dune runtest =="
 dune runtest
+
+echo "== dune runtest (GRC_AUDIT=1) =="
+GRC_AUDIT=1 dune runtest --force
+
+echo "== grc lint (small auto-mpg encoding) =="
+dune exec -- grc lint --family auto-mpg --id lint-ci --size 4,4 \
+  --artifacts _build/lint-artifacts
+
+echo "== grc lint --seed-fault must fail =="
+if dune exec -- grc lint --family auto-mpg --id lint-ci --size 4,4 \
+    --artifacts _build/lint-artifacts --seed-fault nan-coeff \
+    >/dev/null 2>&1; then
+  echo "seeded fault was not reported" >&2
+  exit 1
+fi
+
+echo "== audited certification sweep (GRC_AUDIT=1 grc certify) =="
+GRC_AUDIT=1 dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt check =="

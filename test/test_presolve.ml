@@ -121,6 +121,65 @@ let presolve_preserves_milp =
            | _ -> false
          end))
 
+(* property: on lint-clean models, presolve preserves the LP optimum
+   (models the linter rejects are out of contract and skipped) *)
+let lint_clean_presolve_same_optimum =
+  let gen = QCheck.Gen.(pair (int_range 2 6) (int_range 0 1000000)) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80
+       ~name:"lint-clean models presolve to the same optimum"
+       (QCheck.make gen)
+       (fun (n, seed) ->
+         let build () =
+           let rng = Random.State.make [| seed; 0x51 |] in
+           let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+           let m = Model.create () in
+           let vars =
+             Array.init n (fun _ -> Model.add_var ~lo:0.0 ~hi:(rf 1.0 4.0) m)
+           in
+           for _ = 1 to 2 do
+             let w = Array.init n (fun _ -> rf (-2.0) 2.0) in
+             Model.add_constr m
+               (Array.to_list (Array.mapi (fun k v -> (v, w.(k))) vars))
+               Model.Le (rf 0.5 5.0)
+           done;
+           let v = Array.init n (fun _ -> rf (-2.0) 2.0) in
+           Model.set_objective m Model.Maximize
+             (Array.to_list (Array.mapi (fun k var -> (var, v.(k))) vars));
+           m
+         in
+         let m1 = build () and m2 = build () in
+         if Audit_core.Diag.errors (Audit_core.Lint.model m1) <> [] then true
+         else begin
+           ignore (Lp.Presolve.tighten m2);
+           let s1 = Lp.Simplex.solve m1 and s2 = Lp.Simplex.solve m2 in
+           match (s1.Lp.Simplex.status, s2.Lp.Simplex.status) with
+           | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+               feq ~eps:1e-6 s1.Lp.Simplex.obj s2.Lp.Simplex.obj
+           | a, b -> a = b
+         end))
+
+let test_lint_flags_presolvable_patterns () =
+  (* the patterns presolve removes (fixed and unused columns, vacuous
+     and infeasible rows) are exactly what the linter reports *)
+  let m = Model.create () in
+  let x = Model.add_var ~lo:0.0 ~hi:2.0 m in
+  let _unused = Model.add_var ~lo:0.0 ~hi:1.0 m in
+  let fixed = Model.add_var ~lo:1.5 ~hi:1.5 m in
+  Model.add_constr m [ (x, 1.0); (fixed, 1.0) ] Model.Le 10.0;
+  Model.set_objective m Model.Maximize [ (x, 1.0) ];
+  let diags = Audit_core.Lint.model m in
+  let has code = List.exists (fun d -> d.Audit_core.Diag.code = code) diags in
+  Alcotest.(check bool) "vacuous row" true (has "vacuous-row");
+  Alcotest.(check bool) "unused column" true (has "unused-column");
+  Alcotest.(check bool) "fixed column" true (has "fixed-column");
+  (* and removing them (presolve) keeps the optimum *)
+  let s1 = Lp.Simplex.solve m in
+  ignore (Lp.Presolve.tighten m);
+  let s2 = Lp.Simplex.solve m in
+  Alcotest.(check bool) "optimum preserved" true
+    (feq ~eps:1e-6 s1.Lp.Simplex.obj s2.Lp.Simplex.obj)
+
 let suites =
   [ ( "lp:presolve",
       [ Alcotest.test_case "simple tightening" `Quick test_simple_tightening;
@@ -132,4 +191,7 @@ let suites =
           test_detect_infeasible;
         Alcotest.test_case "fixpoint chain" `Quick test_fixpoint_chain;
         Alcotest.test_case "preserves optimum" `Quick test_preserves_optimum;
-        presolve_preserves_milp ] ) ]
+        Alcotest.test_case "lint flags presolvable patterns" `Quick
+          test_lint_flags_presolvable_patterns;
+        presolve_preserves_milp;
+        lint_clean_presolve_same_optimum ] ) ]
