@@ -298,18 +298,23 @@ let run_lp_bench () =
   let cert_case name net ~lo ~hi ~delta =
     let r = Cert.Certifier.certify_box net ~lo ~hi ~delta in
     Format.fprintf fmt
-      "%-8s certify: %.4fs, %d LP solves (%d warm), %d pivots, %d MILP, \
-       eps0 %.6g@."
-      name r.Cert.Certifier.runtime r.Cert.Certifier.lp_solves
-      r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.lp_pivots
-      r.Cert.Certifier.milp_solves r.Cert.Certifier.eps.(0);
+      "%-8s certify: %.4fs, %d queries (%d encoded, %d dedup), %d LP solves \
+       (%d warm), %d pivots, %d MILP, eps0 %.6g@."
+      name r.Cert.Certifier.runtime r.Cert.Certifier.bound_queries
+      r.Cert.Certifier.encoded_models r.Cert.Certifier.dedup_hits
+      r.Cert.Certifier.lp_solves r.Cert.Certifier.lp_warm_solves
+      r.Cert.Certifier.lp_pivots r.Cert.Certifier.milp_solves
+      r.Cert.Certifier.eps.(0);
     Printf.sprintf
       "    { \"name\": %S, \"delta\": %g, \"runtime_s\": %.6f,\n\
+      \      \"bound_queries\": %d, \"encoded_models\": %d, \
+       \"dedup_hits\": %d,\n\
       \      \"lp_solves\": %d, \"lp_warm_solves\": %d, \"lp_pivots\": %d,\n\
       \      \"milp_solves\": %d, \"eps\": [%s] }"
-      name delta r.Cert.Certifier.runtime r.Cert.Certifier.lp_solves
-      r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.lp_pivots
-      r.Cert.Certifier.milp_solves
+      name delta r.Cert.Certifier.runtime r.Cert.Certifier.bound_queries
+      r.Cert.Certifier.encoded_models r.Cert.Certifier.dedup_hits
+      r.Cert.Certifier.lp_solves r.Cert.Certifier.lp_warm_solves
+      r.Cert.Certifier.lp_pivots r.Cert.Certifier.milp_solves
       (String.concat ", "
          (List.map (Printf.sprintf "%.9g")
             (Array.to_list r.Cert.Certifier.eps)))

@@ -39,6 +39,21 @@ let dims_conv : dims Arg.conv =
   in
   Arg.conv ~docv:"N[,M]" (parse, print)
 
+(* Integer converters with range checks: a bad [--domains 0] should be
+   a usage error at parse time, not a crash deep inside the executor's
+   chunking arithmetic. *)
+let bounded_int ~what ~min : int Arg.conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= min -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%d: %s" v what))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let pos_int = bounded_int ~what:"must be at least 1" ~min:1
+let nonneg_int = bounded_int ~what:"must be non-negative" ~min:0
+
 let family_arg =
   let doc = "Model family: auto-mpg, digits or camera." in
   Arg.(required & opt (some (enum [ ("auto-mpg", `Auto); ("digits", `Digits);
@@ -114,10 +129,10 @@ let hi_arg =
 
 let certify_cmd =
   let window =
-    Arg.(value & opt int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+    Arg.(value & opt pos_int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
   in
   let refine =
-    Arg.(value & opt int 0
+    Arg.(value & opt nonneg_int 0
          & info [ "refine"; "r" ] ~doc:"Neurons refined per sub-problem.")
   in
   let refine_frac =
@@ -126,9 +141,15 @@ let certify_cmd =
              ~doc:"Fraction of relaxable neurons refined (overrides --refine).")
   in
   let domains =
-    Arg.(value & opt int 1
+    Arg.(value & opt pos_int 1
          & info [ "domains" ]
              ~doc:"Parallel OCaml domains for per-neuron sub-problems.")
+  in
+  let no_dedup =
+    Arg.(value & flag
+         & info [ "no-dedup" ]
+             ~doc:"Encode every cone separately (disable the planner's \
+                   structural cone deduplication).")
   in
   let symbolic =
     Arg.(value & flag
@@ -150,11 +171,12 @@ let certify_cmd =
              `Algo1
          & info [ "method" ] ~doc)
   in
-  let run net_path delta lo hi window refine refine_frac domains symbolic
-      meth =
+  let run net_path delta lo hi window refine refine_frac domains no_dedup
+      symbolic meth =
     let net = Nn.Io.load net_path in
     let input = Cert.Bounds.box_domain net ~lo ~hi in
     let t0 = Unix.gettimeofday () in
+    let plan_stats = ref None in
     let eps =
       match meth with
       | `Algo1 ->
@@ -168,9 +190,11 @@ let certify_cmd =
           let config =
             { Cert.Certifier.default_config with
               Cert.Certifier.window; refine = refine_rule; domains;
-              symbolic }
+              dedup = not no_dedup; symbolic }
           in
-          (Cert.Certifier.certify ~config net ~input ~delta).Cert.Certifier.eps
+          let r = Cert.Certifier.certify ~config net ~input ~delta in
+          plan_stats := Some r;
+          r.Cert.Certifier.eps
       | `Exact -> (Cert.Exact.global_btne net ~input ~delta).Cert.Exact.eps
       | `Reluplex ->
           (Cert.Reluplex_style.global net ~input ~delta)
@@ -196,6 +220,15 @@ let certify_cmd =
     Array.iteri
       (fun j e -> Printf.printf "output %d: eps <= %.6f\n" j e)
       eps;
+    (match !plan_stats with
+     | Some r ->
+         Printf.printf
+           "plan: %d queries, %d encodes, %d dedup hits; %d LP solves \
+            (%d warm), %d MILP solves\n"
+           r.Cert.Certifier.bound_queries r.Cert.Certifier.encoded_models
+           r.Cert.Certifier.dedup_hits r.Cert.Certifier.lp_solves
+           r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.milp_solves
+     | None -> ());
     Printf.printf "time: %.2fs\n" dt
   in
   let info_ =
@@ -204,11 +237,12 @@ let certify_cmd =
   in
   Cmd.v info_
     Term.(const run $ net_arg $ delta_arg $ lo_arg $ hi_arg
-          $ window $ refine $ refine_frac $ domains $ symbolic $ meth)
+          $ window $ refine $ refine_frac $ domains $ no_dedup $ symbolic
+          $ meth)
 
 let attack_cmd =
   let samples =
-    Arg.(value & opt int 50
+    Arg.(value & opt pos_int 50
          & info [ "samples" ] ~doc:"Random starting points for PGD.")
   in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
@@ -249,10 +283,10 @@ let info_cmd =
 
 let lint_cmd =
   let window =
-    Arg.(value & opt int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+    Arg.(value & opt pos_int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
   in
   let samples =
-    Arg.(value & opt int 32
+    Arg.(value & opt pos_int 32
          & info [ "samples" ]
              ~doc:"Concrete input pairs for the bound-soundness check.")
   in
@@ -290,7 +324,24 @@ let lint_cmd =
         let push ds = all := !all @ ds in
         push (Audit.Encoding.intervals bounds);
         push (Audit.Encoding.bounds_soundness ~samples net bounds);
+        (* the planner's layer-pass plans, audited without executing:
+           counter consistency, variable ranges, replay overrides *)
+        let pconfig =
+          { Cert.Planner.window; refine = Cert.Refine.No_refine;
+            mode = Cert.Encode.Relaxed; exact_output_relation = true;
+            dedup = true }
+        in
         let n = Nn.Network.n_layers net in
+        for i = 0 to n - 1 do
+          let name = Printf.sprintf "plan:layer%d" i in
+          push
+            (Audit.Plan_check.check ~name
+               (Cert.Planner.plan_values pconfig bounds net ~layer:i));
+          if (Nn.Network.layer net i).Nn.Layer.relu then
+            push
+              (Audit.Plan_check.check ~name:(name ^ ":dx")
+                 (Cert.Planner.plan_dx pconfig bounds net ~layer:i))
+        done;
         for i = 0 to n - 1 do
           let out_dim = Nn.Layer.out_dim (Nn.Network.layer net i) in
           let targets = Array.init out_dim Fun.id in
@@ -357,7 +408,8 @@ let fig4_cmd =
 
 let case_study_cmd =
   let episodes =
-    Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"Simulation episodes.")
+    Arg.(value & opt pos_int 20
+         & info [ "episodes" ] ~doc:"Simulation episodes.")
   in
   let run cache episodes =
     setup_cache cache;

@@ -1,7 +1,4 @@
-module Model = Lp.Model
-module Sparse_row = Linalg.Sparse_row
-
-type refine_rule = No_refine | Count of int | Fraction of float
+type refine_rule = Refine.rule = No_refine | Count of int | Fraction of float
 
 type config = {
   window : int;
@@ -12,56 +9,13 @@ type config = {
   exact_output_relation : bool;
   domains : int;
   symbolic : bool;
+  dedup : bool;
 }
 
 let default_config =
   { window = 2; refine = No_refine; milp_options = Milp.default_options;
     margin = 1e-6; mode = Encode.Relaxed; exact_output_relation = true;
-    domains = 1; symbolic = false }
-
-(* The paper's future-work item: the per-neuron sub-problems of one
-   layer are independent, so fan them out over OCaml 5 domains.  Each
-   worker only reads shared state (bounds of earlier layers, compiled
-   matrices); results are applied sequentially after the join.
-
-   [init] builds one context per worker (a solver session plus a
-   statistics record): warm starts need per-worker mutable state, and
-   the contexts are returned so the caller can merge the statistics. *)
-let parallel_map n_domains ~(init : unit -> 'c) (items : 'a array)
-    (f : 'c -> 'a -> 'b) : 'b array * 'c list =
-  let n = Array.length items in
-  if n_domains <= 1 || n <= 1 then begin
-    let ctx = init () in
-    (Array.map (f ctx) items, [ ctx ])
-  end
-  else begin
-    let k = min n_domains n in
-    let chunk d =
-      let per = (n + k - 1) / k in
-      let start = d * per in
-      let stop = min n (start + per) in
-      (start, stop)
-    in
-    let workers =
-      List.init k (fun d ->
-          Domain.spawn (fun () ->
-              let ctx = init () in
-              let start, stop = chunk d in
-              ( List.init (stop - start) (fun i ->
-                    (start + i, f ctx items.(start + i))),
-                ctx )))
-    in
-    let out = Array.make n None in
-    let ctxs =
-      List.map
-        (fun w ->
-          let rs, ctx = Domain.join w in
-          List.iter (fun (i, r) -> out.(i) <- Some r) rs;
-          ctx)
-        workers
-    in
-    (Array.map Option.get out, ctxs)
-  end
+    domains = 1; symbolic = false; dedup = true }
 
 type report = {
   eps : float array;
@@ -70,85 +24,11 @@ type report = {
   milp_solves : int;
   lp_pivots : int;
   lp_warm_solves : int;
+  bound_queries : int;
+  encoded_models : int;
+  dedup_hits : int;
   runtime : float;
 }
-
-type stats = {
-  mutable lp_solves : int;
-  mutable milp_solves : int;
-  mutable lp_pivots : int;
-  mutable lp_warm : int;
-}
-
-let zero_stats () =
-  { lp_solves = 0; milp_solves = 0; lp_pivots = 0; lp_warm = 0 }
-
-let merge_stats into from =
-  into.lp_solves <- into.lp_solves + from.lp_solves;
-  into.milp_solves <- into.milp_solves + from.milp_solves;
-  into.lp_pivots <- into.lp_pivots + from.lp_pivots;
-  into.lp_warm <- into.lp_warm + from.lp_warm
-
-(* A bound-query engine over one encoded model.  For pure-LP encodings
-   the model is compiled once and every min/max query warm-starts from
-   the previous optimal basis (objective-only hot start); models with
-   integer marks fall through to branch & bound. *)
-type engine = { run : Model.dir -> (Model.var * float) list -> float option }
-
-let session_engine stats ~name ~model session =
-  { run =
-      (fun dir terms ->
-        stats.lp_solves <- stats.lp_solves + 1;
-        let live = Lp.Simplex.session_stats session in
-        let warm0 = live.Lp.Simplex.warm_solves in
-        let sol = Lp.Simplex.solve_session ~objective:(dir, terms) session in
-        stats.lp_pivots <- stats.lp_pivots + sol.Lp.Simplex.pivots;
-        stats.lp_warm <- stats.lp_warm + (live.Lp.Simplex.warm_solves - warm0);
-        if Audit_core.Mode.enabled () then begin
-          (* independent certificate check against the original model *)
-          let lo, hi = Lp.Simplex.session_bounds session in
-          Audit_core.Mode.report
-            (Audit_core.Certificate.check ~name ~lo ~hi
-               ~objective:(dir, terms) ~model sol)
-        end;
-        match sol.Lp.Simplex.status with
-        | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
-        | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
-        | Lp.Simplex.Iteration_limit -> None) }
-
-let milp_engine stats milp_options model =
-  { run =
-      (fun dir terms ->
-        stats.milp_solves <- stats.milp_solves + 1;
-        let r =
-          Milp.solve ~options:milp_options ~objective:(dir, terms) model
-        in
-        stats.lp_pivots <- stats.lp_pivots + r.Milp.pivots;
-        match r.Milp.status with
-        | Milp.Optimal | Milp.Limit | Milp.Lp_failure ->
-            (* [bound] is a sound over-approximation in the query
-               direction even under Limit / Lp_failure *)
-            if Float.is_nan r.Milp.bound then None else Some r.Milp.bound
-        | Milp.Infeasible | Milp.Unbounded -> None) }
-
-(* [engine_for_model stats options ~name model] builds an engine for a
-   model queried a handful of times (compile once, warm across the
-   queries).  [name] labels audit diagnostics. *)
-let engine_for_model stats milp_options ~name model =
-  if Model.integer_vars model = [] then
-    session_engine stats ~name ~model
-      (Lp.Simplex.create_session (Lp.Simplex.compile model))
-  else milp_engine stats milp_options model
-
-(* [shared_engine options ~name model] compiles the model once and
-   returns a factory of engines over the shared read-only matrix, one
-   session per worker, each charging its own statistics record. *)
-let shared_engine milp_options ~name model =
-  if Model.integer_vars model = [] then begin
-    let cp = Lp.Simplex.compile model in
-    fun stats -> session_engine stats ~name ~model (Lp.Simplex.create_session cp)
-  end
-  else fun stats -> milp_engine stats milp_options model
 
 (* Tighten [current] with a (max-query upper, min-query lower) pair,
    falling back to [current] on query failure. *)
@@ -159,245 +39,108 @@ let refreshed_interval current ~lo_query ~hi_query =
   and hi = Float.min hi current.Interval.hi in
   if lo > hi then current else Interval.make lo hi
 
-(* Compose the affine rows of a window with no interior ReLUs into a
-   single row over the window inputs; exact interval evaluation then
-   beats any LP. [with_bias = false] composes the distance map. *)
-let compose_affine (view : Subnet.view) j ~with_bias =
-  let net = view.Subnet.net in
-  let strip row =
-    if with_bias then row else { row with Sparse_row.const = 0.0 }
-  in
-  let rec back k row =
-    (* [row] ranges over outputs of layer [first + k]; substitute until
-       it ranges over the window inputs *)
-    if k < 0 then row
-    else begin
-      let layer = Nn.Network.layer net (view.Subnet.first + k) in
-      let subst =
-        List.fold_left
-          (fun acc (id, coeff) ->
-            Sparse_row.add acc
-              (Sparse_row.scale coeff (strip (Nn.Layer.linear_row layer id))))
-          (Sparse_row.make [] row.Sparse_row.const)
-          row.Sparse_row.coeffs
-      in
-      back (k - 1) subst
-    end
-  in
-  let depth = Subnet.depth view in
-  let last_layer = Nn.Network.layer net view.Subnet.last in
-  let row = strip (Nn.Layer.linear_row last_layer j) in
-  back (depth - 2) row
-
-let eval_row_box row lookup =
-  List.fold_left
-    (fun acc (k, c) -> Interval.add acc (Interval.scale c (lookup k)))
-    (Interval.point row.Sparse_row.const)
-    row.Sparse_row.coeffs
-
-let window_has_interior_relu (view : Subnet.view) =
-  let depth = Subnet.depth view in
-  let rec go k =
-    if k >= depth - 1 then false
-    else
-      (Nn.Network.layer view.Subnet.net (view.Subnet.first + k)).Nn.Layer.relu
-      || go (k + 1)
-  in
-  go 0
-
-let interior_relu_neurons (view : Subnet.view) =
-  let depth = Subnet.depth view in
-  let acc = ref [] in
-  for k = 0 to depth - 2 do
-    let abs = view.Subnet.first + k in
-    if (Nn.Network.layer view.Subnet.net abs).Nn.Layer.relu then
-      Array.iter (fun j -> acc := (abs, j) :: !acc) view.Subnet.active.(k)
-  done;
-  List.rev !acc
-
-let refine_count rule candidates =
-  match rule with
-  | No_refine -> 0
-  | Count r -> r
-  | Fraction f ->
-      int_of_float (Float.round (f *. float_of_int (List.length candidates)))
-
 let certify ?(config = default_config) net ~input ~delta =
   let t0 = Unix.gettimeofday () in
-  let stats = zero_stats () in
+  let stats = Plan.Engine.zero_stats () in
+  let bound_queries = ref 0 and encoded_models = ref 0 and dedup_hits = ref 0 in
   let bounds =
     Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
   in
   Interval_prop.propagate net bounds;
   if config.symbolic then Symbolic.propagate net bounds;
+  let pconfig =
+    { Planner.window = config.window; refine = config.refine;
+      mode = config.mode;
+      exact_output_relation = config.exact_output_relation;
+      dedup = config.dedup }
+  in
+  let exec_config =
+    { Plan.Executor.domains = config.domains;
+      milp_options = config.milp_options }
+  in
+  (* pick the bound table a query's quantity refreshes *)
+  let table = function
+    | Plan.Query.Y -> bounds.Bounds.y
+    | Plan.Query.Dy -> bounds.Bounds.dy
+    | Plan.Query.Dx -> bounds.Bounds.dx
+  in
+  (* run one layer-pass plan and fold its answers into [bounds] *)
+  let run_plan plan =
+    bound_queries := !bound_queries + plan.Plan.n_queries;
+    encoded_models := !encoded_models + plan.Plan.n_encodes;
+    dedup_hits := !dedup_hits + plan.Plan.dedup_hits;
+    let outcome = Plan.Executor.run exec_config plan in
+    Plan.Engine.merge_stats ~into:stats outcome.Plan.Executor.stats;
+    (* affine fast-path answers are exact: intersect *)
+    Array.iter
+      (fun ((a : Plan.affine), (r : Plan.range)) ->
+        let t = table a.Plan.a_quantity in
+        match
+          Interval.meet
+            t.(a.Plan.a_layer).(a.Plan.a_neuron)
+            { Interval.lo = r.Plan.lo; hi = r.Plan.hi }
+        with
+        | Some iv -> t.(a.Plan.a_layer).(a.Plan.a_neuron) <- iv
+        | None -> ())
+      outcome.Plan.Executor.affine;
+    (* LP answers arrive as (hi, lo) pairs per quantity: refresh *)
+    let solved = outcome.Plan.Executor.solved in
+    let n = Array.length solved in
+    let k = ref 0 in
+    while !k + 1 < n do
+      let q, hi_query = solved.(!k) in
+      let q', lo_query = solved.(!k + 1) in
+      assert (Plan.Query.same_cell q q');
+      let t = table q.Plan.Query.quantity in
+      let i = q.Plan.Query.layer and j = q.Plan.Query.neuron in
+      t.(i).(j) <- refreshed_interval t.(i).(j) ~lo_query ~hi_query;
+      k := !k + 2
+    done
+  in
   let n = Nn.Network.n_layers net in
   for i = 0 to n - 1 do
     let layer = Nn.Network.layer net i in
     let m = Nn.Layer.out_dim layer in
-    let w = min (i + 1) config.window in
-    let all_targets = Array.init m Fun.id in
-    (* dense layers share one cone (and one encoded model) for the whole
-       layer; conv/pool layers get per-neuron cones to stay small *)
-    let groups =
-      match layer.Nn.Layer.kind with
-      | Nn.Layer.Dense _ | Nn.Layer.Normalize _ -> [ all_targets ]
-      | Nn.Layer.Conv2d _ | Nn.Layer.Avg_pool _ ->
-          Array.to_list (Array.map (fun j -> [| j |]) all_targets)
-    in
-    let process_group targets =
-      let view = Subnet.cone net ~last:i ~targets ~window:w in
-      (* --- y / dy ranges (LpRelaxY) --- *)
-      if not (window_has_interior_relu view) then
-        (* the whole window is affine: composed rows evaluated over the
-           input boxes are exact, no LP needed *)
-        Array.iter
-          (fun j ->
-            let vrow = compose_affine view j ~with_bias:true in
-            let drow = compose_affine view j ~with_bias:false in
-            let y =
-              eval_row_box vrow (fun id ->
-                  Encode.input_interval bounds view id)
-            in
-            let dy =
-              eval_row_box drow (fun id ->
-                  Encode.input_dist_interval bounds view id)
-            in
-            (match Interval.meet bounds.Bounds.y.(i).(j) y with
-             | Some iv -> bounds.Bounds.y.(i).(j) <- iv
-             | None -> ());
-            match Interval.meet bounds.Bounds.dy.(i).(j) dy with
-            | Some iv -> bounds.Bounds.dy.(i).(j) <- iv
-            | None -> ())
-          targets
-      else begin
-        let candidates = interior_relu_neurons view in
-        let r = refine_count config.refine candidates in
-        let refined = Refine.select bounds ~candidates ~r in
-        let enc = Encode.itne ~refined ~mode:config.mode ~bounds view in
-        (* compile once; each worker gets one persistent session over
-           the shared read-only matrix, so the whole per-neuron min/max
-           sweep runs as objective-only hot starts; solve counts merge
-           after the join *)
-        let engine_for =
-          shared_engine config.milp_options
-            ~name:(Printf.sprintf "itne-y:layer%d" i)
-            enc.Encode.model
-        in
-        let init () =
-          let local = zero_stats () in
-          (local, engine_for local)
-        in
-        let compute (_, engine) j =
-          let nv = Encode.itne_vars enc i j in
-          let y_hi = engine.run Model.Maximize [ (nv.Encode.y, 1.0) ] in
-          let y_lo = engine.run Model.Minimize [ (nv.Encode.y, 1.0) ] in
-          let dy_hi = engine.run Model.Maximize [ (nv.Encode.dy, 1.0) ] in
-          let dy_lo = engine.run Model.Minimize [ (nv.Encode.dy, 1.0) ] in
-          (j, y_lo, y_hi, dy_lo, dy_hi)
-        in
-        let results, ctxs =
-          parallel_map config.domains ~init targets compute
-        in
-        List.iter (fun (local, _) -> merge_stats stats local) ctxs;
-        Array.iter
-          (fun (j, y_lo, y_hi, dy_lo, dy_hi) ->
-            bounds.Bounds.y.(i).(j) <-
-              refreshed_interval bounds.Bounds.y.(i).(j) ~lo_query:y_lo
-                ~hi_query:y_hi;
-            bounds.Bounds.dy.(i).(j) <-
-              refreshed_interval bounds.Bounds.dy.(i).(j) ~lo_query:dy_lo
-                ~hi_query:dy_hi)
-          results
-      end;
-      (* --- x / dx ranges (LpRelaxX) --- *)
-      if not layer.Nn.Layer.relu then
-        Array.iter
-          (fun j ->
-            bounds.Bounds.x.(i).(j) <- bounds.Bounds.y.(i).(j);
-            bounds.Bounds.dx.(i).(j) <- bounds.Bounds.dy.(i).(j))
-          targets
-      else begin
-        (* x = relu(y) is monotone: the interval transfer is exact given
-           the y range; apply it (and the distance transfer) first *)
-        Array.iter
-          (fun j ->
-            let y_iv = bounds.Bounds.y.(i).(j) in
-            let dy_iv = bounds.Bounds.dy.(i).(j) in
-            (match Interval.meet bounds.Bounds.x.(i).(j) (Interval.relu y_iv)
-             with
-             | Some iv -> bounds.Bounds.x.(i).(j) <- iv
-             | None -> ());
-            match
-              Interval.meet bounds.Bounds.dx.(i).(j)
-                (Interval.relu_dist ~y:y_iv ~dy:dy_iv)
-            with
-            | Some iv -> bounds.Bounds.dx.(i).(j) <- iv
-            | None -> ())
-          targets;
-        (* when the distance relation is informative, solve the LpRelaxX
-           problem with the target's own relation exact: correlations
-           between y_j and dy_j through the window can beat the box
-           transfer *)
-        let lp_targets =
-          Array.of_list
-            (List.filter
-               (fun j ->
-                 Refine.chord_score ~y:bounds.Bounds.y.(i).(j)
-                   ~dy:bounds.Bounds.dy.(i).(j)
-                 > 0.0)
-               (Array.to_list targets))
-        in
-        let compute local j =
-          let view_j = Subnet.cone net ~last:i ~targets:[| j |] ~window:w in
-          let candidates = interior_relu_neurons view_j in
-          let r = refine_count config.refine candidates in
-          let refined = Refine.select bounds ~candidates ~r in
-          let refined =
-            if config.exact_output_relation then (i, j) :: refined
-            else refined
-          in
-          let enc =
-            Encode.itne ~refined ~include_output_relu:true ~mode:config.mode
-              ~bounds view_j
-          in
-          let nv = Encode.itne_vars enc i j in
-          match nv.Encode.dx with
-          | None -> (j, None, None)
-          | Some dxv ->
-              (* per-neuron model: compile once, the min query warm-starts
-                 from the max query's basis *)
-              let engine =
-                engine_for_model local config.milp_options
-                  ~name:(Printf.sprintf "itne-x:layer%d:neuron%d" i j)
-                  enc.Encode.model
-              in
-              let dx_hi = engine.run Model.Maximize [ (dxv, 1.0) ] in
-              let dx_lo = engine.run Model.Minimize [ (dxv, 1.0) ] in
-              (j, dx_lo, dx_hi)
-        in
-        let results, ctxs =
-          parallel_map config.domains ~init:zero_stats lp_targets compute
-        in
-        List.iter (fun local -> merge_stats stats local) ctxs;
-        Array.iter
-          (fun (j, dx_lo, dx_hi) ->
-            bounds.Bounds.dx.(i).(j) <-
-              refreshed_interval bounds.Bounds.dx.(i).(j) ~lo_query:dx_lo
-                ~hi_query:dx_hi)
-          results
-      end
-    in
-    List.iter process_group groups
+    (* --- y / dy ranges (LpRelaxY) --- *)
+    run_plan (Planner.plan_values pconfig bounds net ~layer:i);
+    (* --- x / dx ranges (LpRelaxX) --- *)
+    if not layer.Nn.Layer.relu then
+      for j = 0 to m - 1 do
+        bounds.Bounds.x.(i).(j) <- bounds.Bounds.y.(i).(j);
+        bounds.Bounds.dx.(i).(j) <- bounds.Bounds.dy.(i).(j)
+      done
+    else begin
+      (* x = relu(y) is monotone: the interval transfer is exact given
+         the y range; apply it (and the distance transfer) first *)
+      for j = 0 to m - 1 do
+        let y_iv = bounds.Bounds.y.(i).(j) in
+        let dy_iv = bounds.Bounds.dy.(i).(j) in
+        (match Interval.meet bounds.Bounds.x.(i).(j) (Interval.relu y_iv) with
+         | Some iv -> bounds.Bounds.x.(i).(j) <- iv
+         | None -> ());
+        match
+          Interval.meet bounds.Bounds.dx.(i).(j)
+            (Interval.relu_dist ~y:y_iv ~dy:dy_iv)
+        with
+        | Some iv -> bounds.Bounds.dx.(i).(j) <- iv
+        | None -> ()
+      done;
+      run_plan (Planner.plan_dx pconfig bounds net ~layer:i)
+    end
   done;
   let eps =
     Array.map
       (fun iv -> Interval.abs_max iv +. config.margin)
       (Bounds.output_dist bounds net)
   in
-  { eps; bounds; lp_solves = stats.lp_solves;
-    milp_solves = stats.milp_solves;
-    lp_pivots = stats.lp_pivots;
-    lp_warm_solves = stats.lp_warm;
+  { eps; bounds;
+    lp_solves = stats.Plan.Engine.lp_solves;
+    milp_solves = stats.Plan.Engine.milp_solves;
+    lp_pivots = stats.Plan.Engine.lp_pivots;
+    lp_warm_solves = stats.Plan.Engine.lp_warm;
+    bound_queries = !bound_queries;
+    encoded_models = !encoded_models;
+    dedup_hits = !dedup_hits;
     runtime = Unix.gettimeofday () -. t0 }
 
 let certify_box ?config net ~lo ~hi ~delta =

@@ -8,9 +8,14 @@
     problems over a sliding window; earlier layers' ranges feed later
     windows.  The result is a sound, deterministic over-approximation
     [eps >= eps_exact] of the output variation bound for every network
-    output. *)
+    output.
 
-type refine_rule =
+    Each layer pass is planned by {!Planner} (affine fast path, shared
+    dense encodings, per-neuron conv cones, cone deduplication) and run
+    by {!Plan.Executor} (domain fan-out, warm solver sessions, solve
+    accounting); this module only applies the answers to {!Bounds}. *)
+
+type refine_rule = Refine.rule =
   | No_refine
   | Count of int        (** refine the top-[r] neurons per sub-problem *)
   | Fraction of float   (** refine this fraction of relaxable neurons *)
@@ -38,6 +43,11 @@ type config = {
       (** run the {!Symbolic} affine pre-pass before the layer sweep
           (extension beyond the paper); every relaxation constant can
           only tighten. *)
+  dedup : bool;
+      (** encode structurally identical cones once (translated conv/pool
+          windows with bit-equal interior intervals) and replay them
+          under the instance's input bounds.  Certified bounds are
+          bit-identical with or without; see {!Planner.signature}. *)
 }
 
 val default_config : config
@@ -54,6 +64,12 @@ type report = {
                                 solves *)
   lp_warm_solves : int;     (** LP queries served from a retained basis
                                 instead of a cold two-phase solve *)
+  bound_queries : int;      (** LP/MILP bound queries planned *)
+  encoded_models : int;     (** distinct models actually encoded; strictly
+                                less than [bound_queries] whenever cone
+                                deduplication fired *)
+  dedup_hits : int;         (** cones answered by replaying another cone's
+                                encoding *)
   runtime : float;          (** seconds *)
 }
 

@@ -14,6 +14,7 @@ type itne_enc = {
   model : Model.t;
   view : Subnet.view;
   vars : (int * int, neuron_vars) Hashtbl.t;
+  in_vars : (Model.var * Model.var) array;
 }
 
 let require_finite what (iv : Interval.t) =
@@ -116,15 +117,20 @@ let itne ?(refined = []) ?(include_output_relu = false) ~mode
   let refined_set = Hashtbl.create 16 in
   List.iter (fun key -> Hashtbl.replace refined_set key ()) refined;
   let vars = Hashtbl.create 64 in
-  (* window input variables *)
+  (* window input variables, (value, distance) pairs in input_active
+     order — the first variables of the model, a creation-order
+     invariant the cone-deduplication replay relies on *)
   let in_val = Hashtbl.create 16 and in_dist = Hashtbl.create 16 in
-  Array.iter
-    (fun id ->
-      Hashtbl.replace in_val id
-        (var_of_interval model (input_interval bounds view id));
-      Hashtbl.replace in_dist id
-        (var_of_interval model (input_dist_interval bounds view id)))
-    view.Subnet.input_active;
+  let in_vars =
+    Array.map
+      (fun id ->
+        let v = var_of_interval model (input_interval bounds view id) in
+        let d = var_of_interval model (input_dist_interval bounds view id) in
+        Hashtbl.replace in_val id v;
+        Hashtbl.replace in_dist id d;
+        (v, d))
+      view.Subnet.input_active
+  in
   let depth = Subnet.depth view in
   for k = 0 to depth - 1 do
     let abs = view.Subnet.first + k in
@@ -183,7 +189,7 @@ let itne ?(refined = []) ?(include_output_relu = false) ~mode
         Hashtbl.replace vars (abs, j) { y; dy; x; dx })
       view.Subnet.active.(k)
   done;
-  { model; view; vars }
+  { model; view; vars; in_vars }
 
 let itne_vars enc abs j = Hashtbl.find enc.vars (abs, j)
 

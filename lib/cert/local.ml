@@ -31,15 +31,15 @@ let out_var enc j =
   match cv.Encode.cx with Some x -> x | None -> cv.Encode.cy
 
 let solve_range ~milp_options model var =
-  let run dir =
-    let r = Milp.solve ~options:milp_options ~objective:(dir, [ (var, 1.0) ])
-        model in
-    r.Milp.bound
+  let engine =
+    Plan.Engine.of_milp (Plan.Engine.zero_stats ()) ~options:milp_options
+      model
   in
-  let hi = run Model.Maximize in
-  let lo = run Model.Minimize in
-  if Float.is_nan lo || Float.is_nan hi then Interval.top
-  else Interval.make (Float.min lo hi) (Float.max lo hi)
+  let hi = engine.Plan.Engine.run Model.Maximize [ (var, 1.0) ] in
+  let lo = engine.Plan.Engine.run Model.Minimize [ (var, 1.0) ] in
+  match (lo, hi) with
+  | Some lo, Some hi -> Interval.make (Float.min lo hi) (Float.max lo hi)
+  | _ -> Interval.top
 
 let exact ?(milp_options = Milp.default_options) ?domain net ~x0 ~delta =
   let t0 = Unix.gettimeofday () in
@@ -95,22 +95,18 @@ let lpr ?domain net ~x0 ~delta =
       ~window:n
   in
   let enc = Encode.single ~mode:Encode.Relaxed ~bounds view in
-  (* one warm session serves all 2·out_dim objective-only queries *)
-  let session =
-    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  (* one warm engine serves all 2·out_dim objective-only queries *)
+  let engine =
+    Plan.Engine.of_session (Plan.Engine.zero_stats ()) ~name:"local-lpr"
+      ~model:enc.Encode.model
+      (Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model))
   in
   let range =
     Array.init out_dim (fun j ->
         let var = out_var enc j in
-        let run dir =
-          let sol =
-            Lp.Simplex.solve_session ~objective:(dir, [ (var, 1.0) ]) session
-          in
-          match sol.Lp.Simplex.status with
-          | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
-          | _ -> None
-        in
-        match (run Model.Minimize, run Model.Maximize) with
+        let hi = engine.Plan.Engine.run Model.Maximize [ (var, 1.0) ] in
+        let lo = engine.Plan.Engine.run Model.Minimize [ (var, 1.0) ] in
+        match (lo, hi) with
         | Some lo, Some hi when lo <= hi -> Interval.make lo hi
         | _ -> bounds.Bounds.x.(n - 1).(j))
   in

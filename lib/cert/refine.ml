@@ -1,3 +1,12 @@
+type rule = No_refine | Count of int | Fraction of float
+
+let budget rule candidates =
+  match rule with
+  | No_refine -> 0
+  | Count r -> r
+  | Fraction f ->
+      int_of_float (Float.round (f *. float_of_int (List.length candidates)))
+
 let triangle_score (iv : Interval.t) =
   let a = iv.Interval.lo and b = iv.Interval.hi in
   if a >= 0.0 || b <= 0.0 then 0.0 else -.b *. a /. (b -. a)

@@ -8,6 +8,13 @@
     score is the larger of the two applicable scores; stable neurons
     and degenerate distance relations score 0. *)
 
+type rule = No_refine | Count of int | Fraction of float
+(** Refinement budget: none, a fixed count, or a fraction of the
+    window's candidate ReLUs (rounded to nearest). *)
+
+val budget : rule -> (int * int) list -> int
+(** Number of neurons to refine among [candidates] under the rule. *)
+
 val triangle_score : Interval.t -> float
 
 val chord_score : y:Interval.t -> dy:Interval.t -> float

@@ -5,6 +5,7 @@ type result = {
   per_output : Interval.t array;
   exact : bool;
   nodes : int;
+  pivots : int;
   runtime : float;
 }
 
@@ -45,8 +46,8 @@ let unfix session (sp : Encode.relu_split) =
    solve per node.  [eval_true xa xb] evaluates the objective on a real
    forward pass, providing feasible incumbents for pruning.  Returns
    (exact_max_or_upper_bound, completed). *)
-let maximise net bounds (enc : Encode.btne_enc) session ~max_nodes ~nodes
-    ~terms ~eval_true =
+let maximise net bounds (enc : Encode.btne_enc) session stats ~max_nodes
+    ~nodes ~terms ~eval_true =
   let input_dim = Nn.Network.input_dim net in
   let best = ref neg_infinity in
   let completed = ref true in
@@ -63,21 +64,18 @@ let maximise net bounds (enc : Encode.btne_enc) session ~max_nodes ~nodes
     if !nodes >= max_nodes then completed := false
     else begin
       incr nodes;
+      (* counted, audited solve returning the full solution: the
+         optimiser's point drives incumbents and split selection *)
       let sol =
-        Lp.Simplex.solve_session ~objective:(Model.Maximize, terms) session
+        Plan.Engine.session_solution stats ~name:"reluplex-node"
+          ~model:enc.Encode.model session
+          ~objective:(Model.Maximize, terms)
       in
       match sol.Lp.Simplex.status with
       | Lp.Simplex.Infeasible -> ()
       | Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit ->
           completed := false
       | Lp.Simplex.Optimal ->
-          if Audit_core.Mode.enabled () then begin
-            let lo, hi = Lp.Simplex.session_bounds session in
-            Audit_core.Mode.report
-              (Audit_core.Certificate.check ~name:"reluplex-node" ~lo ~hi
-                 ~objective:(Model.Maximize, terms)
-                 ~model:enc.Encode.model sol)
-          end;
           if sol.Lp.Simplex.obj > !best +. split_tol then begin
             (* feasible incumbent: the relaxation optimiser's input pair
                satisfies the input-distance constraints, so the true
@@ -158,6 +156,7 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
   let session =
     Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
   in
+  let stats = Plan.Engine.zero_stats () in
   let nodes = ref 0 in
   let all_exact = ref true in
   let per_output =
@@ -171,11 +170,11 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
           sign *. (fb.(j) -. fa.(j))
         in
         let hi, ok1 =
-          maximise net bounds enc session ~max_nodes ~nodes
+          maximise net bounds enc session stats ~max_nodes ~nodes
             ~terms:(terms 1.0) ~eval_true:(eval_true 1.0)
         in
         let neg_lo, ok2 =
-          maximise net bounds enc session ~max_nodes ~nodes
+          maximise net bounds enc session stats ~max_nodes ~nodes
             ~terms:(terms (-1.0)) ~eval_true:(eval_true (-1.0))
         in
         if not (ok1 && ok2) then all_exact := false;
@@ -191,4 +190,5 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
     per_output;
     exact = !all_exact;
     nodes = !nodes;
+    pivots = stats.Plan.Engine.lp_pivots;
     runtime = Unix.gettimeofday () -. t0 }

@@ -12,6 +12,7 @@ type result = {
   per_output : Interval.t array;
   exact : bool;        (** search completed within the node budget *)
   nodes : int;         (** LP relaxations solved *)
+  pivots : int;        (** simplex pivots across all node LPs *)
   runtime : float;
 }
 

@@ -15,23 +15,21 @@ let full_view net =
   Subnet.cone net ~last:(n - 1) ~targets:(Array.init out_dim Fun.id) ~window:n
 
 let milp_range ~milp_options model terms =
-  let run dir =
-    (Milp.solve ~options:milp_options ~objective:(dir, terms) model).Milp.bound
+  let engine =
+    Plan.Engine.of_milp (Plan.Engine.zero_stats ()) ~options:milp_options
+      model
   in
-  let hi = run Model.Maximize in
-  let lo = run Model.Minimize in
-  if Float.is_nan lo || Float.is_nan hi then Interval.top
-  else Interval.make (Float.min lo hi) (Float.max lo hi)
+  let hi = engine.Plan.Engine.run Model.Maximize terms in
+  let lo = engine.Plan.Engine.run Model.Minimize terms in
+  match (lo, hi) with
+  | Some lo, Some hi -> Interval.make (Float.min lo hi) (Float.max lo hi)
+  | _ -> Interval.top
 
-(* all queries share one warm session (objective-only hot starts) *)
-let lp_range session terms fallback =
-  let run dir =
-    let sol = Lp.Simplex.solve_session ~objective:(dir, terms) session in
-    match sol.Lp.Simplex.status with
-    | Lp.Simplex.Optimal -> Some sol.Lp.Simplex.obj
-    | _ -> None
-  in
-  match (run Model.Minimize, run Model.Maximize) with
+(* all queries share one warm engine (objective-only hot starts) *)
+let lp_range (engine : Plan.Engine.t) terms fallback =
+  let hi = engine.Plan.Engine.run Model.Maximize terms in
+  let lo = engine.Plan.Engine.run Model.Minimize terms in
+  match (lo, hi) with
   | Some lo, Some hi when lo <= hi -> Interval.make lo hi
   | _ -> fallback
 
@@ -88,14 +86,16 @@ let btne_lpr net ~input ~delta =
   let view = full_view net in
   let enc = Encode.btne ~link_input_dist:true ~mode:Encode.Relaxed ~bounds
       view in
-  let session =
-    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  let engine =
+    Plan.Engine.of_session (Plan.Engine.zero_stats ()) ~name:"btne-lpr"
+      ~model:enc.Encode.model
+      (Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model))
   in
   let out_dim = Nn.Network.output_dim net in
   let n = Nn.Network.n_layers net in
   let delta_out =
     Array.init out_dim (fun j ->
-        lp_range session
+        lp_range engine
           (Encode.btne_out_delta enc j)
           (Interval.sub bounds.Bounds.x.(n - 1).(j)
              bounds.Bounds.x.(n - 1).(j)))
@@ -122,8 +122,10 @@ let itne_lpr net ~input ~delta =
   let enc =
     Encode.itne ~mode:Encode.Relaxed ~include_output_relu:true ~bounds view
   in
-  let session =
-    Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
+  let engine =
+    Plan.Engine.of_session (Plan.Engine.zero_stats ()) ~name:"itne-lpr"
+      ~model:enc.Encode.model
+      (Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model))
   in
   let out_dim = Nn.Network.output_dim net in
   let last = Nn.Network.n_layers net - 1 in
@@ -133,6 +135,6 @@ let itne_lpr net ~input ~delta =
         let var =
           match nv.Encode.dx with Some v -> v | None -> nv.Encode.dy
         in
-        lp_range session [ (var, 1.0) ] bounds.Bounds.dx.(last).(j))
+        lp_range engine [ (var, 1.0) ] bounds.Bounds.dx.(last).(j))
   in
   { delta_out; runtime = Unix.gettimeofday () -. t0 }

@@ -106,6 +106,30 @@ let integer_vars t =
 
 let constrs t = Array.of_list (List.rev t.constrs_rev)
 
+let same_structure ?(except = []) a b =
+  let bits = Int64.bits_of_float in
+  let row_eq r s =
+    List.length r = List.length s
+    && List.for_all2
+         (fun (j, c) (j', c') -> j = j' && bits c = bits c')
+         r s
+  in
+  let constr_eq (c : constr) (d : constr) =
+    c.sense = d.sense && bits c.rhs = bits d.rhs && row_eq c.row d.row
+  in
+  a.n_vars = b.n_vars && a.n_constrs = b.n_constrs
+  && (let ok = ref true in
+      for j = 0 to a.n_vars - 1 do
+        let va = a.vars.(j) and vb = b.vars.(j) in
+        if va.integer <> vb.integer then ok := false;
+        if (not (List.mem j except))
+           && (bits va.lo <> bits vb.lo || bits va.hi <> bits vb.hi)
+        then ok := false
+      done;
+      !ok)
+  && List.for_all2 constr_eq (List.rev a.constrs_rev)
+       (List.rev b.constrs_rev)
+
 let objective t = (t.obj_dir, t.obj_const, t.obj)
 
 let pp_sense fmt = function

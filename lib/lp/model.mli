@@ -59,6 +59,14 @@ val integer_vars : t -> var list
 val constrs : t -> constr array
 (** Snapshot of the constraints (do not mutate the rows). *)
 
+val same_structure : ?except:var list -> t -> t -> bool
+(** Bit-exact structural equality: same variable count, integrality
+    marks and bounds (variables in [except] have their bounds ignored),
+    and identical constraints — sense, right-hand side and sparse rows
+    compared by float bit pattern, in order.  Names and objectives are
+    ignored.  Used by audit mode to cross-check that a deduplicated
+    certification cone really encodes to the model it replays. *)
+
 val objective : t -> dir * float * (var * float) list
 (** Direction, constant term, sparse coefficients. *)
 

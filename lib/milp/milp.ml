@@ -113,7 +113,7 @@ let audit_incumbent ?objective model (r : result) =
       Audit_core.Mode.report (diags @ int_diags)
   | _ -> ()
 
-let solve ?(options = default_options) ?objective model =
+let solve ?(options = default_options) ?objective ?bounds model =
   let cp = Lp.Simplex.compile model in
   let n = Lp.Simplex.n_struct cp in
   (* one persistent solver session: each node's LP warm-starts from the
@@ -135,6 +135,13 @@ let solve ?(options = default_options) ?objective model =
   let of_key key = if maximize then -.key else key in
   let ints = Array.of_list (Lp.Model.integer_vars model) in
   let root_lo, root_hi = Lp.Simplex.default_bounds cp in
+  (match bounds with
+   | None -> ()
+   | Some (lo, hi) ->
+       if Array.length lo <> n || Array.length hi <> n then
+         invalid_arg "Milp.solve: bounds arrays must have length n_vars";
+       Array.blit lo 0 root_lo 0 n;
+       Array.blit hi 0 root_hi 0 n);
   (* round integer bounds inward *)
   Array.iter
     (fun j ->

@@ -37,6 +37,11 @@ val default_options : options
 val solve :
   ?options:options ->
   ?objective:Lp.Model.dir * (int * float) list ->
+  ?bounds:float array * float array ->
   Lp.Model.t -> result
 (** [objective] overrides the model's objective (constant term 0),
-    allowing one model to serve many bound queries. *)
+    allowing one model to serve many bound queries.  [bounds] replaces
+    the structural root bounds (arrays of length [n_vars]; integer
+    bounds are still rounded inward afterwards), allowing one model to
+    be replayed under different input intervals — e.g. a deduplicated
+    certification cone. *)

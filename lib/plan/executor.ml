@@ -1,0 +1,159 @@
+module Model = Lp.Model
+
+(* The paper's future-work item: the per-neuron sub-problems of one
+   layer are independent, so fan them out over OCaml 5 domains.  Each
+   worker only reads shared state (compiled matrices, the plan itself);
+   results are applied sequentially after the join.
+
+   [init] builds one context per worker (solver sessions plus a
+   statistics record): warm starts need per-worker mutable state, and
+   the contexts are returned so the caller can merge the statistics. *)
+let parallel_map n_domains ~(init : unit -> 'c) (items : 'a array)
+    (f : 'c -> 'a -> 'b) : 'b array * 'c list =
+  let n = Array.length items in
+  if n_domains <= 1 || n <= 1 then begin
+    let ctx = init () in
+    (Array.map (f ctx) items, [ ctx ])
+  end
+  else begin
+    let k = min n_domains n in
+    let chunk d =
+      let per = (n + k - 1) / k in
+      (* ceil division can overshoot: with n = 5, k = 4 the last chunk
+         would start at 6 > n, so clamp both ends into [0, n] (an empty
+         chunk, not a negative-length List.init) *)
+      let start = min n (d * per) in
+      let stop = min n (start + per) in
+      (start, stop)
+    in
+    let workers =
+      List.init k (fun d ->
+          Domain.spawn (fun () ->
+              let ctx = init () in
+              let start, stop = chunk d in
+              ( List.init (stop - start) (fun i ->
+                    (start + i, f ctx items.(start + i))),
+                ctx )))
+    in
+    let out = Array.make n None in
+    let ctxs =
+      List.map
+        (fun w ->
+          let rs, ctx = Domain.join w in
+          List.iter (fun (i, r) -> out.(i) <- Some r) rs;
+          ctx)
+        workers
+    in
+    (Array.map Option.get out, ctxs)
+  end
+
+type config = {
+  domains : int;
+  milp_options : Milp.options;
+}
+
+type request = {
+  query : Query.t;
+  label : string;
+  dir : Model.dir;
+  terms : (Model.var * float) list;
+}
+
+type solve = request -> float option
+
+type outcome = {
+  affine : (Spec.affine * Spec.range) array;
+  solved : (Query.t * float option) array;
+  stats : Engine.stats;
+}
+
+(* Bounds arrays for a replayed unit: the task model's own structural
+   bounds with the instance's input intervals overlaid. *)
+let override_bounds (model : Model.t) overrides =
+  let n = Model.n_vars model in
+  let lo = Array.init n (Model.var_lo model) in
+  let hi = Array.init n (Model.var_hi model) in
+  List.iter
+    (fun (v, (r : Spec.range)) ->
+      lo.(v) <- r.Spec.lo;
+      hi.(v) <- r.Spec.hi)
+    overrides;
+  (lo, hi)
+
+let run ?hook config (plan : Spec.t) =
+  let affine =
+    Array.map (fun a -> (a, Spec.eval_affine a)) plan.Spec.affine
+  in
+  (* compile LP task matrices once, up front and sequentially: every
+     unit that shares a task shares the read-only compiled form *)
+  let compiled =
+    Array.map
+      (fun (t : Spec.task) ->
+        if t.Spec.integer then None else Some (Lp.Simplex.compile t.Spec.model))
+      plan.Spec.tasks
+  in
+  let engine_for (stats, cache) (u : Spec.unit_of_work) =
+    let task = plan.Spec.tasks.(u.Spec.task_id) in
+    if u.Spec.overrides = [] then begin
+      (* the task's defining instance: one persistent engine per worker
+         per task, so a per-neuron min/max sweep over a shared dense
+         encoding runs as objective-only hot starts *)
+      match Hashtbl.find_opt cache u.Spec.task_id with
+      | Some e -> e
+      | None ->
+          let e =
+            match compiled.(u.Spec.task_id) with
+            | Some cp ->
+                Engine.of_session stats ~name:task.Spec.label
+                  ~model:task.Spec.model
+                  (Lp.Simplex.create_session cp)
+            | None ->
+                Engine.of_milp stats ~options:config.milp_options
+                  task.Spec.model
+          in
+          Hashtbl.add cache u.Spec.task_id e;
+          e
+    end
+    else begin
+      (* a deduplicated replay: fresh engine over the shared matrix with
+         the instance's input bounds, never a warm-started carry-over —
+         results must be bitwise-identical to a fresh encoding *)
+      match compiled.(u.Spec.task_id) with
+      | Some cp ->
+          let lo, hi = Lp.Simplex.default_bounds cp in
+          List.iter
+            (fun (v, (r : Spec.range)) ->
+              lo.(v) <- r.Spec.lo;
+              hi.(v) <- r.Spec.hi)
+            u.Spec.overrides;
+          Engine.of_session stats ~name:task.Spec.label
+            ~model:task.Spec.model
+            (Lp.Simplex.create_session ~lo ~hi cp)
+      | None ->
+          let bounds = override_bounds task.Spec.model u.Spec.overrides in
+          Engine.of_milp stats ~options:config.milp_options ~bounds
+            task.Spec.model
+    end
+  in
+  let init () = (Engine.zero_stats (), Hashtbl.create 8) in
+  let compute ctx (u : Spec.unit_of_work) =
+    let engine = engine_for ctx u in
+    let task = plan.Spec.tasks.(u.Spec.task_id) in
+    let base (req : request) = engine.Engine.run req.dir req.terms in
+    let solve = match hook with None -> base | Some h -> h base in
+    Array.map
+      (fun (qs : Spec.query_spec) ->
+        let req =
+          { query = qs.Spec.q; label = task.Spec.label;
+            dir = Query.lp_dir qs.Spec.q.Query.dir; terms = qs.Spec.terms }
+        in
+        (qs.Spec.q, solve req))
+      u.Spec.queries
+  in
+  let per_unit, ctxs =
+    parallel_map config.domains ~init plan.Spec.units compute
+  in
+  let stats = Engine.zero_stats () in
+  List.iter (fun (local, _) -> Engine.merge_stats ~into:stats local) ctxs;
+  let solved = Array.concat (Array.to_list per_unit) in
+  { affine; solved; stats }

@@ -1,0 +1,4 @@
+module Query = Query
+module Engine = Engine
+module Executor = Executor
+include Spec

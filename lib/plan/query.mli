@@ -1,0 +1,41 @@
+(** Typed bound queries.
+
+    A query names one end of one certified range: the pre-activation
+    value [Y], its twin distance [Dy] or the post-activation distance
+    [Dx] of a specific neuron, in a specific direction.  Queries are
+    what a {!Spec} plan promises to answer and what the {!Executor}
+    reports results against; the [cone] field carries the stable
+    signature of the sub-network cone the query is evaluated on (empty
+    when the planner did not compute one), which is the deduplication
+    key: two queries with the same cone signature are answered from a
+    single encoded model. *)
+
+type quantity = Y | Dy | Dx
+
+type dir = Lo | Hi
+
+type t = {
+  layer : int;            (** absolute layer index in the network *)
+  neuron : int;           (** output-neuron index within the layer *)
+  quantity : quantity;
+  dir : dir;
+  cone : string;          (** stable cone signature, or [""] *)
+}
+
+val make : ?cone:string -> layer:int -> neuron:int -> quantity -> dir -> t
+
+val lp_dir : dir -> Lp.Model.dir
+(** [Hi] asks for a maximum, [Lo] for a minimum. *)
+
+val quantity_to_string : quantity -> string
+
+val dir_to_string : dir -> string
+
+val to_string : t -> string
+(** E.g. ["dy[3][7].hi"]. *)
+
+val same_cell : t -> t -> bool
+(** Same layer, neuron and quantity (the two directions of one range). *)
+
+val compare : t -> t -> int
+(** Total order ignoring the cone signature. *)

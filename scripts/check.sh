@@ -31,6 +31,23 @@ echo "== audited certification sweep (GRC_AUDIT=1 grc certify) =="
 GRC_AUDIT=1 dune exec -- grc certify \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001
 
+echo "== audited parallel certification sweep (--domains 4) =="
+GRC_AUDIT=1 dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 --domains 4
+
+echo "== certification with dedup disabled matches =="
+with_dedup=$(dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
+without_dedup=$(dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 --no-dedup \
+  | grep '^output')
+if [ "$with_dedup" != "$without_dedup" ]; then
+  echo "dedup changed certified bounds:" >&2
+  echo "  with:    $with_dedup" >&2
+  echo "  without: $without_dedup" >&2
+  exit 1
+fi
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt check =="
   dune build @fmt
