@@ -6,7 +6,8 @@
      dune exec bench/main.exe              # everything, moderate scale
      dune exec bench/main.exe -- fig4 | table1-small [--no-exact]
        | table1-large | case-study | fgsm-sweep | ablation-itne
-       | ablation-refine | ablation-window | micro | lp-bench *)
+       | ablation-refine | ablation-window | micro | lp-bench
+       | serve-bench *)
 
 let fmt = Format.std_formatter
 
@@ -344,10 +345,137 @@ let run_lp_bench () =
   close_out oc;
   Format.fprintf fmt "wrote BENCH_lp.json@."
 
+(* Service benchmark: the same certification answered three ways —
+   cold one-shot [Cert.Certifier.certify] in-process, through a warm
+   daemon (compiled cone matrices pooled across requests, result cache
+   bypassed), and as a daemon cache hit.  Emits BENCH_serve.json. *)
+let run_serve_bench () =
+  header "serve-bench: daemon (warm / cache hit) vs cold one-shot certify";
+  let sock = Filename.temp_file "grc-serve-bench" ".sock" in
+  let addr = Serve.Server.Unix_path sock in
+  let config =
+    { (Serve.Server.default_config addr) with
+      Serve.Server.workers = 1; handle_signals = false }
+  in
+  let srv = Domain.spawn (fun () -> Serve.Server.run config) in
+  let client = Serve.Client.connect_retry addr in
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let reps = 8 in
+  let case name net ~lo ~hi ~delta =
+    let digest = Serve.Client.load client (Nn.Io.to_string net) in
+    let query no_cache =
+      { Serve.Wire.default_query with
+        Serve.Wire.q_digest = Some digest; q_delta = delta; q_lo = lo;
+        q_hi = hi; q_no_cache = no_cache }
+    in
+    (* cold one-shot: fresh encodings, compiles and sessions each time *)
+    let oneshot = ref [] in
+    let eps_oneshot = ref [||] in
+    for _ = 1 to reps do
+      let r, ms =
+        time_ms (fun () -> Cert.Certifier.certify_box net ~lo ~hi ~delta)
+      in
+      eps_oneshot := r.Cert.Certifier.eps;
+      oneshot := ms :: !oneshot
+    done;
+    (* first daemon request: pool cold, cache miss *)
+    let first, first_ms =
+      time_ms (fun () -> Serve.Client.certify client (query true))
+    in
+    (* warm daemon: pooled matrices, cache still bypassed *)
+    let warm = ref [] and warm_server = ref [] in
+    let eps_daemon = ref first.Serve.Wire.r_eps in
+    for _ = 1 to reps do
+      let r, ms =
+        time_ms (fun () -> Serve.Client.certify client (query true))
+      in
+      eps_daemon := r.Serve.Wire.r_eps;
+      warm := ms :: !warm;
+      warm_server := r.Serve.Wire.r_time_ms :: !warm_server
+    done;
+    (* cache hit: first call populates, the rest are lookups *)
+    ignore (Serve.Client.certify client (query false));
+    let hit = ref [] in
+    for _ = 1 to reps do
+      let r, ms =
+        time_ms (fun () -> Serve.Client.certify client (query false))
+      in
+      if not r.Serve.Wire.r_cached then failwith "expected a cache hit";
+      hit := ms :: !hit
+    done;
+    let bitwise_equal =
+      Array.length !eps_oneshot = Array.length !eps_daemon
+      && Array.for_all2
+           (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+           !eps_oneshot !eps_daemon
+    in
+    let cold_ms = mean !oneshot
+    and warm_ms = mean !warm
+    and hit_ms = mean !hit in
+    Format.fprintf fmt
+      "%-8s cold one-shot %8.3fms; daemon first %8.3fms, warm %8.3fms \
+       (server %.3fms), cache hit %8.3fms; warm speedup %.2fx; bitwise \
+       equal: %b@."
+      name cold_ms first_ms warm_ms (mean !warm_server) hit_ms
+      (cold_ms /. warm_ms) bitwise_equal;
+    if not bitwise_equal then
+      failwith (name ^ ": daemon eps differs from one-shot certify");
+    Serve.Json.Obj
+      [ ("name", Serve.Json.Str name);
+        ("delta", Serve.Json.Num delta);
+        ("reps", Serve.Json.Num (float_of_int reps));
+        ("cold_oneshot_ms", Serve.Json.Num cold_ms);
+        ("daemon_first_ms", Serve.Json.Num first_ms);
+        ("daemon_warm_ms", Serve.Json.Num warm_ms);
+        ("daemon_warm_server_ms", Serve.Json.Num (mean !warm_server));
+        ("cache_hit_ms", Serve.Json.Num hit_ms);
+        ("warm_speedup", Serve.Json.Num (cold_ms /. warm_ms));
+        ("hit_speedup", Serve.Json.Num (cold_ms /. hit_ms));
+        ("bitwise_equal_to_oneshot", Serve.Json.Bool bitwise_equal) ]
+  in
+  let dnn3 =
+    (Exp.Models.auto_mpg_net ~id:"dnn3" ~sizes:(8, 8) ()).Exp.Models.net
+  in
+  let dnn4 =
+    (Exp.Models.auto_mpg_net ~id:"dnn4" ~sizes:(16, 16) ()).Exp.Models.net
+  in
+  (* networks where encoding + compiling the cone matrices is a
+     visible share of a request; the big MILP-dominated models (dnn5
+     up) only measure B&B noise, which the pool cannot touch.
+     Evaluation order is the report order (the daemon warms up case by
+     case). *)
+  let r3 = case "dnn3" dnn3 ~lo:0.0 ~hi:1.0 ~delta:0.001 in
+  let r4 = case "dnn4" dnn4 ~lo:0.0 ~hi:1.0 ~delta:0.001 in
+  let rows = [ r3; r4 ] in
+  let stats =
+    match Serve.Client.rpc client Serve.Wire.Stats with
+    | Serve.Wire.Stats_payload j -> j
+    | _ -> Serve.Json.Null
+  in
+  (match Serve.Client.rpc client Serve.Wire.Shutdown with
+   | Serve.Wire.Ack -> ()
+   | _ -> failwith "daemon refused shutdown");
+  Serve.Client.close client;
+  Domain.join srv;
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc
+    (Serve.Json.to_string
+       (Serve.Json.Obj
+          [ ("cases", Serve.Json.List rows); ("daemon_stats", stats) ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote BENCH_serve.json@."
+
 let run_all () =
   (* cheap, high-signal stages first so partial runs stay useful *)
   run_fig4 ();
   run_lp_bench ();
+  run_serve_bench ();
   run_ablation_refine ();
   run_ablation_window ();
   run_ablation_symbolic ();
@@ -381,6 +509,7 @@ let () =
   | [ "ablation-symbolic" ] -> run_ablation_symbolic ()
   | [ "micro" ] -> run_micro ()
   | [ "lp-bench" ] -> run_lp_bench ()
+  | [ "serve-bench" ] -> run_serve_bench ()
   | other ->
       Format.eprintf "unknown bench target: %s@." (String.concat " " other);
       exit 2

@@ -1,6 +1,7 @@
 (* grc: global robustness certification CLI.
 
-   Subcommands: train, certify, attack, info, lint, fig4, case-study. *)
+   Subcommands: train, certify, attack, info, lint, fig4, case-study,
+   serve, submit. *)
 
 open Cmdliner
 
@@ -272,9 +273,10 @@ let info_cmd =
   let run net_path =
     let net = Nn.Io.load net_path in
     Printf.printf "architecture: %s\ninput dim: %d\noutput dim: %d\n\
-                   hidden neurons: %d\n"
+                   hidden neurons: %d\nparameters: %d\ndigest: %s\n"
       (Nn.Network.describe net) (Nn.Network.input_dim net)
       (Nn.Network.output_dim net) (Nn.Network.hidden_neuron_count net)
+      (Nn.Network.param_count net) (Nn.Network.digest net)
   in
   Cmd.v (Cmd.info "info" ~doc:"Describe a saved network.")
     Term.(const run $ net_arg)
@@ -400,6 +402,282 @@ let lint_cmd =
         (const run $ cache_arg $ family_arg $ id_arg $ size_arg $ image_arg
          $ delta_arg $ lo_arg $ hi_arg $ window $ samples $ fault))
 
+(* --- serve / submit --- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the daemon." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~doc)
+
+let port_arg =
+  let doc = "TCP port on 127.0.0.1 for the daemon." in
+  Arg.(value & opt (some pos_int) None & info [ "port" ] ~doc)
+
+(* Exactly one of --socket / --port; [Error] is a usage message. *)
+let resolve_addr socket port =
+  match (socket, port) with
+  | Some path, None -> Ok (Serve.Server.Unix_path path)
+  | None, Some port -> Ok (Serve.Server.Tcp port)
+  | None, None -> Error "one of --socket or --port is required"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt pos_int 2
+         & info [ "workers" ] ~doc:"Worker domains answering requests.")
+  in
+  let queue_cap =
+    Arg.(value & opt pos_int 64
+         & info [ "queue-cap" ]
+             ~doc:"Bounded request queue length (a full queue rejects).")
+  in
+  let cache =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ]
+             ~doc:"Result-cache persistence file (appended; survives \
+                   restarts).")
+  in
+  let domains =
+    Arg.(value & opt pos_int 1
+         & info [ "domains" ]
+             ~doc:"Certifier domains per worker (keep at 1 unless workers \
+                   are few and requests huge).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log each request to stderr.")
+  in
+  let run socket port workers queue_cap cache domains verbose =
+    match resolve_addr socket port with
+    | Error msg -> `Error (true, msg)
+    | Ok addr ->
+        let config =
+          { (Serve.Server.default_config addr) with
+            Serve.Server.workers; queue_cap; cache_path = cache; domains;
+            verbose }
+        in
+        (try Serve.Server.run config with Failure msg -> prerr_endline msg;
+                                                         exit 1);
+        `Ok ()
+  in
+  let info_ =
+    Cmd.info "serve"
+      ~doc:"Run the certification daemon."
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Long-running certification service speaking line-delimited \
+             JSON over a unix-domain socket or loopback TCP.  Certify \
+             requests go through a bounded queue to a pool of worker \
+             domains; each worker keeps compiled cone matrices and warm \
+             simplex sessions alive across requests, and answers are \
+             served from a content-addressed result cache when the same \
+             (network, box, delta, configuration) query was already \
+             solved.  SIGINT/SIGTERM drain gracefully: queued requests \
+             finish, the cache file is flushed, then the process exits." ]
+  in
+  Cmd.v info_
+    Term.(
+      ret (const run $ socket_arg $ port_arg $ workers $ queue_cap $ cache
+           $ domains $ verbose))
+
+let submit_cmd =
+  let net =
+    Arg.(value & opt (some file) None
+         & info [ "net" ] ~doc:"Saved network to certify (sent inline).")
+  in
+  let digest =
+    Arg.(value & opt (some string) None
+         & info [ "digest" ]
+             ~doc:"Digest of a network already loaded into the daemon.")
+  in
+  let window =
+    Arg.(value & opt pos_int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+  in
+  let refine =
+    Arg.(value & opt nonneg_int 0
+         & info [ "refine"; "r" ] ~doc:"Neurons refined per sub-problem.")
+  in
+  let refine_frac =
+    Arg.(value & opt (some float) None
+         & info [ "refine-frac" ]
+             ~doc:"Fraction of relaxable neurons refined (overrides \
+                   --refine).")
+  in
+  let symbolic =
+    Arg.(value & flag
+         & info [ "symbolic" ] ~doc:"Run the affine propagation pre-pass.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Bypass the daemon's result cache.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"Per-request deadline; expired requests answer with an \
+                   error.")
+  in
+  let load_n =
+    Arg.(value & opt (some pos_int) None
+         & info [ "load" ]
+             ~doc:"Load mode: submit the query $(docv) times and report \
+                   latency statistics.")
+  in
+  let concurrency =
+    Arg.(value & opt pos_int 1
+         & info [ "concurrency" ] ~doc:"Connections used in load mode.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print daemon statistics (JSON) and exit.")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check liveness and exit.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+  in
+  let print_result (r : Serve.Wire.result) =
+    Array.iteri
+      (fun j e -> Printf.printf "output %d: eps <= %.6f\n" j e)
+      r.Serve.Wire.r_eps;
+    Printf.printf
+      "digest: %s\ncached: %b\nserver time: %.2fms; %d LP solves (%d warm), \
+       %d MILP solves\n"
+      r.Serve.Wire.r_digest r.Serve.Wire.r_cached r.Serve.Wire.r_time_ms
+      r.Serve.Wire.r_lp_solves r.Serve.Wire.r_lp_warm
+      r.Serve.Wire.r_milp_solves
+  in
+  let run socket port net digest delta lo hi window refine refine_frac
+      symbolic no_cache deadline_ms load_n concurrency stats ping shutdown =
+    match resolve_addr socket port with
+    | Error msg -> `Error (true, msg)
+    | Ok addr -> (
+        let with_conn f =
+          let c = Serve.Client.connect addr in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+              f c)
+        in
+        try
+          if ping then begin
+            with_conn (fun c ->
+                match Serve.Client.rpc c Serve.Wire.Ping with
+                | Serve.Wire.Ack -> print_endline "ok"
+                | _ -> failwith "unexpected ping response");
+            `Ok ()
+          end
+          else if stats then begin
+            with_conn (fun c ->
+                match Serve.Client.rpc c Serve.Wire.Stats with
+                | Serve.Wire.Stats_payload j ->
+                    print_endline (Serve.Json.to_string j)
+                | Serve.Wire.Error msg -> failwith msg
+                | _ -> failwith "unexpected stats response");
+            `Ok ()
+          end
+          else if shutdown then begin
+            with_conn (fun c ->
+                match Serve.Client.rpc c Serve.Wire.Shutdown with
+                | Serve.Wire.Ack -> print_endline "draining"
+                | Serve.Wire.Error msg -> failwith msg
+                | _ -> failwith "unexpected shutdown response");
+            `Ok ()
+          end
+          else begin
+            (* load + re-serialize: validates locally and sends the
+               canonical form the daemon's digest is defined over *)
+            let q_net =
+              Option.map (fun p -> Nn.Io.to_string (Nn.Io.load p)) net
+            in
+            if q_net = None && digest = None then
+              failwith "one of --net or --digest is required";
+            let q_refine =
+              match refine_frac with
+              | Some f -> Cert.Refine.Fraction f
+              | None ->
+                  if refine > 0 then Cert.Refine.Count refine
+                  else Cert.Refine.No_refine
+            in
+            let query =
+              { Serve.Wire.q_net; q_digest = digest; q_delta = delta;
+                q_lo = lo; q_hi = hi; q_window = window; q_refine;
+                q_symbolic = symbolic; q_no_cache = no_cache;
+                q_deadline_ms = deadline_ms }
+            in
+            (match load_n with
+             | None -> with_conn (fun c -> print_result
+                                             (Serve.Client.certify c query))
+             | Some n ->
+                 (* Load mode: [concurrency] domains, each with its own
+                    connection, splitting [n] queries; wall-clock and
+                    per-request latencies measured client-side. *)
+                 let k = min concurrency n in
+                 let latencies = Array.make n 0.0 in
+                 let next = Atomic.make 0 in
+                 let failures = Atomic.make 0 in
+                 let work () =
+                   with_conn (fun c ->
+                       let rec go () =
+                         let i = Atomic.fetch_and_add next 1 in
+                         if i < n then begin
+                           let t0 = Unix.gettimeofday () in
+                           (try
+                              ignore (Serve.Client.certify c query)
+                            with Failure _ -> Atomic.incr failures);
+                           latencies.(i) <-
+                             (Unix.gettimeofday () -. t0) *. 1000.0;
+                           go ()
+                         end
+                       in
+                       go ())
+                 in
+                 let t0 = Unix.gettimeofday () in
+                 let doms =
+                   Array.init (k - 1) (fun _ -> Domain.spawn work)
+                 in
+                 work ();
+                 Array.iter Domain.join doms;
+                 let wall = Unix.gettimeofday () -. t0 in
+                 Array.sort compare latencies;
+                 let pct p =
+                   latencies.(min (n - 1)
+                                (int_of_float (p *. float_of_int n)))
+                 in
+                 let mean =
+                   Array.fold_left ( +. ) 0.0 latencies /. float_of_int n
+                 in
+                 Printf.printf
+                   "%d requests, %d connection(s), %d failure(s)\n\
+                    wall: %.2fs (%.1f req/s)\n\
+                    latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  \
+                    max %.2f\n"
+                   n k (Atomic.get failures) wall (float_of_int n /. wall)
+                   mean (pct 0.50) (pct 0.90) (pct 0.99)
+                   latencies.(n - 1));
+            `Ok ()
+          end
+        with Failure msg -> `Error (false, msg))
+  in
+  let info_ =
+    Cmd.info "submit"
+      ~doc:"Submit requests to a running certification daemon."
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Single-query mode sends one certify request (the network file \
+             inline, or a --digest of one already loaded) and prints the \
+             certified bounds.  Load mode (--load N --concurrency K) \
+             repeats the query N times over K connections and reports \
+             client-side latency statistics.  --stats, --ping and \
+             --shutdown talk to the daemon's control operations." ]
+  in
+  Cmd.v info_
+    Term.(
+      ret (const run $ socket_arg $ port_arg $ net $ digest $ delta_arg
+           $ lo_arg $ hi_arg $ window $ refine $ refine_frac $ symbolic
+           $ no_cache $ deadline_ms $ load_n $ concurrency $ stats $ ping
+           $ shutdown))
+
 let fig4_cmd =
   let run () = Exp.Fig4.print Format.std_formatter (Exp.Fig4.run ()) in
   Cmd.v
@@ -436,4 +714,4 @@ let () =
     (Cmd.eval
        (Cmd.group info_
           [ train_cmd; certify_cmd; attack_cmd; info_cmd; lint_cmd; fig4_cmd;
-            case_study_cmd ]))
+            case_study_cmd; serve_cmd; submit_cmd ]))

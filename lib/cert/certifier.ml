@@ -39,7 +39,7 @@ let refreshed_interval current ~lo_query ~hi_query =
   and hi = Float.min hi current.Interval.hi in
   if lo > hi then current else Interval.make lo hi
 
-let certify ?(config = default_config) net ~input ~delta =
+let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
   let t0 = Unix.gettimeofday () in
   let stats = Plan.Engine.zero_stats () in
   let bound_queries = ref 0 and encoded_models = ref 0 and dedup_hits = ref 0 in
@@ -69,7 +69,7 @@ let certify ?(config = default_config) net ~input ~delta =
     bound_queries := !bound_queries + plan.Plan.n_queries;
     encoded_models := !encoded_models + plan.Plan.n_encodes;
     dedup_hits := !dedup_hits + plan.Plan.dedup_hits;
-    let outcome = Plan.Executor.run exec_config plan in
+    let outcome = Plan.Executor.run ?hook:solve_hook ?pool exec_config plan in
     Plan.Engine.merge_stats ~into:stats outcome.Plan.Executor.stats;
     (* affine fast-path answers are exact: intersect *)
     Array.iter
@@ -143,5 +143,6 @@ let certify ?(config = default_config) net ~input ~delta =
     dedup_hits = !dedup_hits;
     runtime = Unix.gettimeofday () -. t0 }
 
-let certify_box ?config net ~lo ~hi ~delta =
-  certify ?config net ~input:(Bounds.box_domain net ~lo ~hi) ~delta
+let certify_box ?config ?pool ?solve_hook net ~lo ~hi ~delta =
+  certify ?config ?pool ?solve_hook net
+    ~input:(Bounds.box_domain net ~lo ~hi) ~delta

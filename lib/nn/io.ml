@@ -1,43 +1,15 @@
+(* Parsing of the canonical [grc-net 1] form; the printer lives in
+   {!Network} (which also derives the content digest from it).
+
+   The parser is hardened against malformed input: every failure mode —
+   truncation, mutated tokens, bad counts, dimension mismatches — must
+   surface as [Failure] with a descriptive message, never an uncaught
+   [Invalid_argument] or out-of-bounds access.  Anything the layer and
+   network constructors reject is re-raised as [Failure] too. *)
+
 module Mat = Linalg.Mat
 
-let float_str x = Printf.sprintf "%.17g" x
-
-let floats_line arr = String.concat " " (Array.to_list (Array.map float_str arr))
-
-let relu_str relu = if relu then "relu" else "linear"
-
-let buf_layer buf (l : Layer.t) =
-  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s;
-                                  Buffer.add_char buf '\n') fmt in
-  match l.Layer.kind with
-  | Layer.Dense { weight; bias } ->
-      add "dense %d %d %s" weight.Mat.cols weight.Mat.rows (relu_str l.relu);
-      add "%s" (floats_line bias);
-      for i = 0 to weight.Mat.rows - 1 do
-        add "%s" (floats_line (Mat.row weight i))
-      done
-  | Layer.Conv2d { in_shape; out_chans; kh; kw; stride; pad; weight; bias } ->
-      add "conv %d %d %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
-        in_shape.Layer.w out_chans kh kw stride pad (relu_str l.relu);
-      add "%s" (floats_line bias);
-      add "%s" (floats_line weight)
-  | Layer.Avg_pool { in_shape; kh; kw; stride } ->
-      add "avgpool %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
-        in_shape.Layer.w kh kw stride (relu_str l.relu)
-  | Layer.Normalize { mul; add = a } ->
-      add "normalize %d %s" (Array.length mul) (relu_str l.relu);
-      add "%s" (floats_line mul);
-      add "%s" (floats_line a)
-
-let to_string net =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "grc-net 1\n";
-  Buffer.add_string buf
-    (Printf.sprintf "layers %d\n" (Network.n_layers net));
-  for i = 0 to Network.n_layers net - 1 do
-    buf_layer buf (Network.layer net i)
-  done;
-  Buffer.contents buf
+let to_string = Network.to_string
 
 (* --- parsing --- *)
 
@@ -52,6 +24,25 @@ let next_line cur =
   in
   go ()
 
+let parse_int ~what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Nn.Io: %s: %S is not an integer" what s)
+
+(* Layer dimensions must be positive and small enough that products
+   like [oc * c * kh * kw] cannot overflow into a negative allocation
+   request. *)
+let parse_dim ~what s =
+  let v = parse_int ~what s in
+  if v < 1 || v > 1 lsl 24 then
+    failwith (Printf.sprintf "Nn.Io: %s: %d out of range" what v);
+  v
+
+let parse_float ~what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Nn.Io: %s: %S is not a float" what s)
+
 let parse_floats line expected =
   let parts =
     List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
@@ -60,7 +51,7 @@ let parse_floats line expected =
     failwith
       (Printf.sprintf "Nn.Io: expected %d floats, got %d" expected
          (List.length parts));
-  Array.of_list (List.map float_of_string parts)
+  Array.of_list (List.map (parse_float ~what:"float field") parts)
 
 let parse_relu = function
   | "relu" -> true
@@ -74,13 +65,14 @@ let of_string s =
    | _ -> failwith "Nn.Io: bad header");
   let n_layers =
     match String.split_on_char ' ' (next_line cur) with
-    | [ "layers"; n ] -> int_of_string n
+    | [ "layers"; n ] -> parse_dim ~what:"layer count" n
     | _ -> failwith "Nn.Io: bad layer count"
   in
   let parse_layer () =
     match String.split_on_char ' ' (next_line cur) with
     | [ "dense"; ind; outd; act ] ->
-        let ind = int_of_string ind and outd = int_of_string outd in
+        let ind = parse_dim ~what:"dense in_dim" ind
+        and outd = parse_dim ~what:"dense out_dim" outd in
         let relu = parse_relu act in
         let bias = parse_floats (next_line cur) outd in
         let weight =
@@ -89,10 +81,16 @@ let of_string s =
         in
         Layer.dense ~relu ~weight ~bias ()
     | [ "conv"; c; h; w; oc; kh; kw; stride; pad; act ] ->
-        let c = int_of_string c and h = int_of_string h
-        and w = int_of_string w and oc = int_of_string oc
-        and kh = int_of_string kh and kw = int_of_string kw
-        and stride = int_of_string stride and pad = int_of_string pad in
+        let c = parse_dim ~what:"conv channels" c
+        and h = parse_dim ~what:"conv height" h
+        and w = parse_dim ~what:"conv width" w
+        and oc = parse_dim ~what:"conv out_chans" oc
+        and kh = parse_dim ~what:"conv kh" kh
+        and kw = parse_dim ~what:"conv kw" kw
+        and stride = parse_dim ~what:"conv stride" stride
+        and pad = parse_int ~what:"conv pad" pad in
+        if pad < 0 || pad > 1 lsl 24 then
+          failwith (Printf.sprintf "Nn.Io: conv pad: %d out of range" pad);
         let relu = parse_relu act in
         let bias = parse_floats (next_line cur) oc in
         let weight = parse_floats (next_line cur) (oc * c * kh * kw) in
@@ -100,12 +98,14 @@ let of_string s =
           ~stride ~pad ~weight ~bias ()
     | [ "avgpool"; c; h; w; kh; kw; stride; _act ] ->
         Layer.avg_pool
-          ~in_shape:{ Layer.c = int_of_string c; h = int_of_string h;
-                      w = int_of_string w }
-          ~kh:(int_of_string kh) ~kw:(int_of_string kw)
-          ~stride:(int_of_string stride)
+          ~in_shape:{ Layer.c = parse_dim ~what:"avgpool channels" c;
+                      h = parse_dim ~what:"avgpool height" h;
+                      w = parse_dim ~what:"avgpool width" w }
+          ~kh:(parse_dim ~what:"avgpool kh" kh)
+          ~kw:(parse_dim ~what:"avgpool kw" kw)
+          ~stride:(parse_dim ~what:"avgpool stride" stride)
     | [ "normalize"; n; act ] ->
-        let n = int_of_string n in
+        let n = parse_dim ~what:"normalize width" n in
         let relu = parse_relu act in
         let mul = parse_floats (next_line cur) n in
         let add = parse_floats (next_line cur) n in
@@ -113,7 +113,8 @@ let of_string s =
         { l with Layer.relu }
     | line -> failwith ("Nn.Io: bad layer header: " ^ String.concat " " line)
   in
-  Network.make (List.init n_layers (fun _ -> parse_layer ()))
+  try Network.make (List.init n_layers (fun _ -> parse_layer ()))
+  with Invalid_argument msg -> failwith ("Nn.Io: invalid network: " ^ msg)
 
 let save net path =
   let oc = open_out path in

@@ -11,5 +11,11 @@ val load : string -> Network.t
 (** Raises [Failure] with a descriptive message on malformed input. *)
 
 val to_string : Network.t -> string
+(** Alias of {!Network.to_string} (the canonical form that
+    {!Network.digest} hashes). *)
 
 val of_string : string -> Network.t
+(** Parse the canonical form.  Raises [Failure] with a descriptive
+    message on any malformed input — truncation, mutated tokens, bad
+    counts or dimension mismatches; never [Invalid_argument] or an
+    out-of-bounds access. *)

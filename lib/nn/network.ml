@@ -54,6 +54,67 @@ let prefix t k =
     invalid_arg "Network.prefix: bad length";
   { layers = Array.sub t.layers 0 k }
 
+let param_count t =
+  Array.fold_left
+    (fun acc l ->
+      List.fold_left (fun acc a -> acc + Array.length a) acc
+        (Layer.param_arrays l))
+    0 t.layers
+
+(* --- canonical serialization (the [grc-net 1] format) ---
+
+   Lives here rather than in {!Io} so that [digest] — the identity of
+   a network everywhere content addressing is needed (result cache,
+   wire protocol, artifact naming) — has no parser dependencies.  The
+   parser in {!Io} consumes exactly this form. *)
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let floats_line arr =
+  String.concat " " (Array.to_list (Array.map float_str arr))
+
+let relu_str relu = if relu then "relu" else "linear"
+
+let buf_layer buf (l : Layer.t) =
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  match l.Layer.kind with
+  | Layer.Dense { weight; bias } ->
+      add "dense %d %d %s" weight.Linalg.Mat.cols weight.Linalg.Mat.rows
+        (relu_str l.relu);
+      add "%s" (floats_line bias);
+      for i = 0 to weight.Linalg.Mat.rows - 1 do
+        add "%s" (floats_line (Linalg.Mat.row weight i))
+      done
+  | Layer.Conv2d { in_shape; out_chans; kh; kw; stride; pad; weight; bias } ->
+      add "conv %d %d %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
+        in_shape.Layer.w out_chans kh kw stride pad (relu_str l.relu);
+      add "%s" (floats_line bias);
+      add "%s" (floats_line weight)
+  | Layer.Avg_pool { in_shape; kh; kw; stride } ->
+      add "avgpool %d %d %d %d %d %d %s" in_shape.Layer.c in_shape.Layer.h
+        in_shape.Layer.w kh kw stride (relu_str l.relu)
+  | Layer.Normalize { mul; add = a } ->
+      add "normalize %d %s" (Array.length mul) (relu_str l.relu);
+      add "%s" (floats_line mul);
+      add "%s" (floats_line a)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "grc-net 1\n";
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" (n_layers t));
+  for i = 0 to n_layers t - 1 do
+    buf_layer buf t.layers.(i)
+  done;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (to_string t))
+
 let describe t =
   let layer_str (l : Layer.t) =
     let base =

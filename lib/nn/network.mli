@@ -35,3 +35,17 @@ val prefix : t -> int -> t
 
 val describe : t -> string
 (** One-line architecture summary, e.g. ["fc(8->16) relu; fc(16->1)"]. *)
+
+val param_count : t -> int
+(** Total trainable parameters (weights and biases) across all layers. *)
+
+val to_string : t -> string
+(** Canonical textual serialisation (the [grc-net 1] format; floats at
+    full [%.17g] precision, round-trips exactly).  {!Io.of_string}
+    parses it; {!Io.to_string} is this function. *)
+
+val digest : t -> string
+(** Stable content hash (hex) of {!to_string}: two networks share a
+    digest iff their canonical serialisations are byte-identical.  Used
+    as the content-address of a network in the certification service's
+    result cache and wire protocol. *)

@@ -1,0 +1,44 @@
+(** Content-addressed certification result cache.
+
+    Keyed by everything that determines a certified answer: the network
+    digest, the input box and delta (by float bit pattern), and the
+    result-relevant certifier knobs (window, refinement rule, symbolic
+    pre-pass).  Knobs that provably do {e not} change answers — worker
+    domains, cone dedup — stay out of the key, so equivalent requests
+    hit.
+
+    Optionally backed by an append-only on-disk file: every insert is
+    appended (and flushed) as one line with the eps floats spelled as
+    [Int64] bit patterns, so a daemon restart reloads byte-identical
+    answers — a cache hit after a restart is still bitwise-equal to the
+    original solve.  Unparseable lines are skipped on load (a torn tail
+    from a crash must not poison the cache).
+
+    Thread-safe: one mutex guards the table, counters and the file. *)
+
+type t
+
+val create : ?path:string -> unit -> t
+(** [path]: persistence file, loaded now (if it exists) and appended to
+    on every {!add}. *)
+
+val key : digest:string -> Wire.query -> string
+(** Deterministic cache key (single token, no spaces). *)
+
+val find : t -> string -> float array option
+(** Fresh copy; counts a hit or a miss. *)
+
+val add : t -> string -> float array -> unit
+(** Insert and persist; keeps the first answer on duplicate keys. *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  entries : int;
+  loaded : int;     (** entries restored from disk at [create] time *)
+}
+
+val counters : t -> counters
+
+val close : t -> unit
+(** Flush and close the persistence file (idempotent). *)

@@ -1,0 +1,79 @@
+type t = {
+  fd : Unix.file_descr;
+  carry : Buffer.t;
+  mutable next_id : int;
+}
+
+let sockaddr = function
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let addr_str = function
+  | Server.Unix_path path -> path
+  | Server.Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+let connect addr =
+  let domain =
+    match addr with
+    | Server.Unix_path _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr addr)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     failwith
+       (Printf.sprintf "cannot reach daemon at %s: %s" (addr_str addr)
+          (Unix.error_message e)));
+  { fd; carry = Buffer.create 4096; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Wire.write_frame t.fd (Wire.encode_request ~id req);
+  match Wire.read_frame t.carry t.fd with
+  | None -> failwith "daemon closed the connection"
+  | Some v ->
+      let rid, resp = Wire.decode_response v in
+      if rid <> id && rid <> 0 then
+        failwith
+          (Printf.sprintf "response id %d does not match request id %d" rid id);
+      resp
+
+let connect_retry ?(timeout_s = 10.0) addr =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match
+      let t = connect addr in
+      match rpc t Wire.Ping with
+      | Wire.Ack -> Ok t
+      | _ ->
+          close t;
+          Error "unexpected ping response"
+    with
+    | Ok t -> t
+    | Error _ | (exception Failure _) ->
+        if Unix.gettimeofday () > deadline then
+          failwith
+            (Printf.sprintf "daemon at %s did not answer within %.0fs"
+               (addr_str addr) timeout_s)
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+  in
+  go ()
+
+let certify t q =
+  match rpc t (Wire.Certify q) with
+  | Wire.Result r -> r
+  | Wire.Error msg -> failwith ("daemon error: " ^ msg)
+  | _ -> failwith "unexpected response to certify"
+
+let load t text =
+  match rpc t (Wire.Load text) with
+  | Wire.Loaded { digest; _ } -> digest
+  | Wire.Error msg -> failwith ("daemon error: " ^ msg)
+  | _ -> failwith "unexpected response to load"

@@ -1,0 +1,28 @@
+(** Blocking client for the certification daemon.
+
+    One connection, synchronous request/response (ids are assigned
+    internally and checked on receipt).  Safe to use one connection per
+    domain; a single connection is not safe to share. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Failure] when the daemon is unreachable. *)
+
+val connect_retry : ?timeout_s:float -> Server.addr -> t
+(** Retry {!connect} (plus a ping round-trip) until the daemon answers
+    or [timeout_s] (default 10s) elapses; for scripts that just started
+    the daemon.  Raises [Failure] on timeout. *)
+
+val rpc : t -> Wire.request -> Wire.response
+(** One round-trip.  Raises [Failure] on transport or protocol
+    errors (a server-reported error is returned as [Wire.Error], not
+    raised). *)
+
+val certify : t -> Wire.query -> Wire.result
+(** [rpc] + unwrapping; raises [Failure] on a server-reported error. *)
+
+val load : t -> string -> string
+(** Register a network (canonical text); returns its digest. *)
+
+val close : t -> unit

@@ -1,0 +1,318 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing --- *)
+
+(* Shortest decimal that parses back to the same double: try 15 and 16
+   significant digits before falling back to the always-sufficient 17.
+   Integral values stay integral ("3" not "3.0000000000000000e+00"),
+   which keeps counters readable in stats payloads. *)
+let num_str x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    let s15 = Printf.sprintf "%.15g" x in
+    if float_of_string s15 = x then s15
+    else
+      let s16 = Printf.sprintf "%.16g" x in
+      if float_of_string s16 = x then s16 else Printf.sprintf "%.17g" x
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x ->
+        if not (Float.is_finite x) then
+          failwith "Serve.Json: non-finite number";
+        Buffer.add_string buf (num_str x)
+    | Str s -> escape_to buf s
+    | List vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            go v)
+          vs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* --- parsing: recursive descent over the raw string --- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  failwith (Printf.sprintf "Serve.Json: %s at position %d" msg cur.pos)
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    && (match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 cur =
+  if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = cur.s.[cur.pos] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail cur "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d;
+    advance cur
+  done;
+  !v
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+         | None -> fail cur "truncated escape"
+         | Some c ->
+             advance cur;
+             (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  let code = hex4 cur in
+                  (* combine a high surrogate with a following \uXXXX
+                     low surrogate; lone surrogates pass through *)
+                  if
+                    code >= 0xD800 && code <= 0xDBFF
+                    && cur.pos + 1 < String.length cur.s
+                    && cur.s.[cur.pos] = '\\'
+                    && cur.s.[cur.pos + 1] = 'u'
+                  then begin
+                    let save = cur.pos in
+                    cur.pos <- cur.pos + 2;
+                    let lo = hex4 cur in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      utf8_of_code buf
+                        (0x10000
+                         + ((code - 0xD800) lsl 10)
+                         + (lo - 0xDC00))
+                    else begin
+                      cur.pos <- save;
+                      utf8_of_code buf code
+                    end
+                  end
+                  else utf8_of_code buf code
+              | _ -> fail cur "bad escape character"));
+        go ()
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let consume pred =
+    while
+      cur.pos < String.length cur.s && pred cur.s.[cur.pos]
+    do
+      advance cur
+    done
+  in
+  if peek cur = Some '-' then advance cur;
+  consume (function '0' .. '9' -> true | _ -> false);
+  if peek cur = Some '.' then begin
+    advance cur;
+    consume (function '0' .. '9' -> true | _ -> false)
+  end;
+  (match peek cur with
+   | Some ('e' | 'E') ->
+       advance cur;
+       (match peek cur with
+        | Some ('+' | '-') -> advance cur
+        | _ -> ());
+       consume (function '0' .. '9' -> true | _ -> false)
+   | _ -> ());
+  let text = String.sub cur.s start (cur.pos - start) in
+  match float_of_string_opt text with
+  | Some v when Float.is_finite v -> Num v
+  | _ -> fail cur (Printf.sprintf "bad number %S" text)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cur ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          items := parse_value cur :: !items;
+          skip_ws cur
+        done;
+        expect cur ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          fields := field () :: !fields;
+          skip_ws cur
+        done;
+        expect cur '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* --- accessors --- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_num = function Num x -> Some x | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x && Float.abs x <= 1e15 ->
+      Some (int_of_float x)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function List vs -> Some vs | _ -> None
+
+let bind f o = Option.bind o f
+
+let mem_str k v = member k v |> bind to_str
+
+let mem_num k v = member k v |> bind to_num
+
+let mem_int k v = member k v |> bind to_int
+
+let mem_bool k v = member k v |> bind to_bool
+
+let mem_list k v = member k v |> bind to_list

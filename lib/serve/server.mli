@@ -1,0 +1,53 @@
+(** The certification daemon.
+
+    One process, one listening socket (unix-domain or loopback TCP):
+
+    - the {e event loop} (calling thread of {!run}) accepts
+      connections, frames line-delimited JSON requests, answers control
+      requests ([load], [stats], [cancel], [ping], [shutdown]) inline,
+      and feeds [certify] requests into a bounded queue — a full queue
+      is answered with an error, backpressure the client can see;
+    - {e worker domains} pop requests, answer them from the
+      content-addressed result cache when possible, and otherwise run
+      {!Cert.Certifier.certify}, each worker keeping one
+      {!Plan.Executor.pool} alive for its whole life so compiled cone
+      matrices carry across requests (solver sessions stay per-request:
+      recycling a basis would let answers drift from the one-shot
+      certifier by solver-tolerance bits);
+    - {e deadlines and cancellation} are cooperative: every LP/MILP
+      bound query re-checks them via the certifier's solve hook, so an
+      expired or cancelled request abandons its solve within one query;
+    - {e graceful drain}: SIGINT/SIGTERM (when [handle_signals]) or a
+      [shutdown] request stop the accept loop, let workers finish every
+      queued request, flush the cache file and return.
+
+    Responses are written by whichever side produced them (workers
+    write results directly); a per-connection mutex keeps frames whole,
+    and a connection that disappears mid-request is simply dropped. *)
+
+type addr =
+  | Unix_path of string    (** unix-domain socket; the path is created
+                               at start and unlinked on exit *)
+  | Tcp of int             (** TCP on 127.0.0.1 at this port *)
+
+type config = {
+  addr : addr;
+  workers : int;               (** worker domains (>= 1) *)
+  queue_cap : int;             (** bounded request queue length *)
+  cache_path : string option;  (** result-cache persistence file *)
+  domains : int;               (** OCaml domains {e per worker} handed to
+                                   the certifier; keep at 1 unless workers
+                                   are few and requests huge *)
+  handle_signals : bool;       (** install SIGINT/SIGTERM drain handlers
+                                   (process-wide — daemons only, not
+                                   in-process test servers) *)
+  verbose : bool;              (** per-request log lines on stderr *)
+}
+
+val default_config : addr -> config
+(** 2 workers, queue of 64, no persistence, 1 domain, signals on,
+    quiet. *)
+
+val run : config -> unit
+(** Serve until shutdown.  Blocks the calling thread; raises [Failure]
+    if the socket cannot be bound. *)

@@ -1,0 +1,54 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Serve.Squeue.create: cap must be positive";
+  { mutex = Mutex.create (); nonempty = Condition.create ();
+    items = Queue.create (); cap; closed = false }
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.items >= t.cap then `Full
+    else begin
+      Queue.add x t.items;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some x -> Some x
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n

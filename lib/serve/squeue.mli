@@ -1,0 +1,24 @@
+(** Bounded multi-producer / multi-consumer queue.
+
+    The daemon's request queue: the accept loop pushes (never blocking
+    — a full queue is backpressure the client must see), worker domains
+    pop (blocking).  [close] starts a drain: pushes are refused,
+    consumers keep popping until the queue is empty and then get
+    [None]. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** Raises [Invalid_argument] if [cap < 1]. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available; [None] once the queue is closed
+    and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent. *)
+
+val length : 'a t -> int
+(** Items currently queued (racy by nature; for stats). *)

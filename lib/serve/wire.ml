@@ -1,0 +1,256 @@
+type query = {
+  q_net : string option;
+  q_digest : string option;
+  q_delta : float;
+  q_lo : float;
+  q_hi : float;
+  q_window : int;
+  q_refine : Cert.Refine.rule;
+  q_symbolic : bool;
+  q_no_cache : bool;
+  q_deadline_ms : float option;
+}
+
+let default_query =
+  { q_net = None; q_digest = None; q_delta = 1e-3; q_lo = 0.0; q_hi = 1.0;
+    q_window = 2; q_refine = Cert.Refine.No_refine; q_symbolic = false;
+    q_no_cache = false; q_deadline_ms = None }
+
+type request =
+  | Certify of query
+  | Load of string
+  | Stats
+  | Cancel of int
+  | Ping
+  | Shutdown
+
+type result = {
+  r_eps : float array;
+  r_digest : string;
+  r_cached : bool;
+  r_time_ms : float;
+  r_lp_solves : int;
+  r_lp_warm : int;
+  r_milp_solves : int;
+}
+
+type response =
+  | Result of result
+  | Loaded of { digest : string; params : int; layers : int }
+  | Stats_payload of Json.t
+  | Ack
+  | Error of string
+
+(* --- requests --- *)
+
+let refine_fields = function
+  | Cert.Refine.No_refine -> []
+  | Cert.Refine.Count n -> [ ("refine", Json.Num (float_of_int n)) ]
+  | Cert.Refine.Fraction f -> [ ("refine_frac", Json.Num f) ]
+
+let query_fields q =
+  List.concat
+    [ (match q.q_net with Some s -> [ ("net", Json.Str s) ] | None -> []);
+      (match q.q_digest with
+       | Some d -> [ ("digest", Json.Str d) ]
+       | None -> []);
+      [ ("delta", Json.Num q.q_delta);
+        ("lo", Json.Num q.q_lo);
+        ("hi", Json.Num q.q_hi);
+        ("window", Json.Num (float_of_int q.q_window)) ];
+      refine_fields q.q_refine;
+      (if q.q_symbolic then [ ("symbolic", Json.Bool true) ] else []);
+      (if q.q_no_cache then [ ("no_cache", Json.Bool true) ] else []);
+      (match q.q_deadline_ms with
+       | Some ms -> [ ("deadline_ms", Json.Num ms) ]
+       | None -> []) ]
+
+let encode_request ~id req =
+  let fields =
+    match req with
+    | Certify q -> ("op", Json.Str "certify") :: query_fields q
+    | Load net -> [ ("op", Json.Str "load"); ("net", Json.Str net) ]
+    | Stats -> [ ("op", Json.Str "stats") ]
+    | Cancel target ->
+        [ ("op", Json.Str "cancel");
+          ("target", Json.Num (float_of_int target)) ]
+    | Ping -> [ ("op", Json.Str "ping") ]
+    | Shutdown -> [ ("op", Json.Str "shutdown") ]
+  in
+  Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: fields))
+
+let get ~what o = function
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Serve.Wire: %s: bad or missing %s" o what)
+
+let decode_query v =
+  let num field default =
+    match Json.member field v with
+    | None -> default
+    | Some j -> get ~what:field "certify" (Json.to_num j)
+  in
+  let refine =
+    match (Json.member "refine" v, Json.member "refine_frac" v) with
+    | Some j, _ ->
+        Cert.Refine.Count (get ~what:"refine" "certify" (Json.to_int j))
+    | None, Some j ->
+        Cert.Refine.Fraction (get ~what:"refine_frac" "certify" (Json.to_num j))
+    | None, None -> Cert.Refine.No_refine
+  in
+  let window =
+    match Json.member "window" v with
+    | None -> default_query.q_window
+    | Some j -> get ~what:"window" "certify" (Json.to_int j)
+  in
+  if window < 1 then failwith "Serve.Wire: certify: window must be positive";
+  let q_net = Json.mem_str "net" v and q_digest = Json.mem_str "digest" v in
+  if q_net = None && q_digest = None then
+    failwith "Serve.Wire: certify: one of net or digest is required";
+  { q_net; q_digest;
+    q_delta = num "delta" default_query.q_delta;
+    q_lo = num "lo" default_query.q_lo;
+    q_hi = num "hi" default_query.q_hi;
+    q_window = window;
+    q_refine = refine;
+    q_symbolic = Option.value ~default:false (Json.mem_bool "symbolic" v);
+    q_no_cache = Option.value ~default:false (Json.mem_bool "no_cache" v);
+    q_deadline_ms = Json.mem_num "deadline_ms" v }
+
+let decode_request v =
+  let id =
+    match Json.mem_int "id" v with
+    | Some id -> id
+    | None -> failwith "Serve.Wire: request without integer id"
+  in
+  let req =
+    match Json.mem_str "op" v with
+    | Some "certify" -> Certify (decode_query v)
+    | Some "load" ->
+        Load (get ~what:"net" "load" (Json.mem_str "net" v))
+    | Some "stats" -> Stats
+    | Some "cancel" ->
+        Cancel (get ~what:"target" "cancel" (Json.mem_int "target" v))
+    | Some "ping" -> Ping
+    | Some "shutdown" -> Shutdown
+    | Some op -> failwith (Printf.sprintf "Serve.Wire: unknown op %S" op)
+    | None -> failwith "Serve.Wire: request without op"
+  in
+  (id, req)
+
+(* --- responses --- *)
+
+let encode_response ~id resp =
+  let fields =
+    match resp with
+    | Result r ->
+        [ ("ok", Json.Bool true);
+          ("eps",
+           Json.List
+             (Array.to_list (Array.map (fun e -> Json.Num e) r.r_eps)));
+          ("digest", Json.Str r.r_digest);
+          ("cached", Json.Bool r.r_cached);
+          ("time_ms", Json.Num r.r_time_ms);
+          ("lp_solves", Json.Num (float_of_int r.r_lp_solves));
+          ("lp_warm", Json.Num (float_of_int r.r_lp_warm));
+          ("milp_solves", Json.Num (float_of_int r.r_milp_solves)) ]
+    | Loaded { digest; params; layers } ->
+        [ ("ok", Json.Bool true);
+          ("digest", Json.Str digest);
+          ("params", Json.Num (float_of_int params));
+          ("layers", Json.Num (float_of_int layers)) ]
+    | Stats_payload stats ->
+        [ ("ok", Json.Bool true); ("stats", stats) ]
+    | Ack -> [ ("ok", Json.Bool true) ]
+    | Error msg -> [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+  in
+  Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: fields))
+
+let decode_response v =
+  let id =
+    match Json.mem_int "id" v with
+    | Some id -> id
+    | None -> failwith "Serve.Wire: response without integer id"
+  in
+  let resp =
+    match Json.mem_bool "ok" v with
+    | Some false ->
+        Error
+          (Option.value ~default:"unknown error" (Json.mem_str "error" v))
+    | Some true -> (
+        match (Json.member "eps" v, Json.member "stats" v,
+               Json.member "params" v) with
+        | Some eps, _, _ ->
+            let eps =
+              match Json.to_list eps with
+              | Some vs ->
+                  Array.of_list
+                    (List.map
+                       (fun j -> get ~what:"eps entry" "result" (Json.to_num j))
+                       vs)
+              | None -> failwith "Serve.Wire: result eps is not a list"
+            in
+            Result
+              { r_eps = eps;
+                r_digest =
+                  Option.value ~default:"" (Json.mem_str "digest" v);
+                r_cached =
+                  Option.value ~default:false (Json.mem_bool "cached" v);
+                r_time_ms =
+                  Option.value ~default:0.0 (Json.mem_num "time_ms" v);
+                r_lp_solves =
+                  Option.value ~default:0 (Json.mem_int "lp_solves" v);
+                r_lp_warm =
+                  Option.value ~default:0 (Json.mem_int "lp_warm" v);
+                r_milp_solves =
+                  Option.value ~default:0 (Json.mem_int "milp_solves" v) }
+        | None, Some stats, _ -> Stats_payload stats
+        | None, None, Some _ ->
+            Loaded
+              { digest = get ~what:"digest" "loaded" (Json.mem_str "digest" v);
+                params = get ~what:"params" "loaded" (Json.mem_int "params" v);
+                layers =
+                  Option.value ~default:0 (Json.mem_int "layers" v) }
+        | None, None, None -> Ack)
+    | None -> failwith "Serve.Wire: response without ok"
+  in
+  (id, resp)
+
+(* --- framing --- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_frame fd line =
+  write_all fd (line ^ "\n") 0 (String.length line + 1)
+
+let read_frame carry fd =
+  let take_line () =
+    let s = Buffer.contents carry in
+    match String.index_opt s '\n' with
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear carry;
+        Buffer.add_substring carry s (i + 1) (String.length s - i - 1);
+        Some line
+    | None -> None
+  in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match take_line () with
+    | Some line -> Some (Json.of_string line)
+    | None ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then begin
+          if Buffer.length carry > 0 then
+            failwith "Serve.Wire: connection closed mid-frame"
+          else None
+        end
+        else begin
+          Buffer.add_subbytes carry chunk 0 n;
+          go ()
+        end
+  in
+  go ()

@@ -1,0 +1,85 @@
+(** Wire protocol of the certification service.
+
+    One frame = one line = one JSON object; requests carry a
+    client-chosen numeric [id] that the matching response echoes, so a
+    connection can pipeline requests.  The codec is total in both
+    directions: [decode_request]/[decode_response] raise [Failure] with
+    a descriptive message on anything malformed, and every value either
+    side produces re-decodes to itself (round-trip property, tested).
+
+    Requests:
+    - [certify]: certify a network (inline text, or by digest of a
+      previously loaded one) over a uniform input box;
+    - [load]: register a network under its content digest and return
+      the digest, so subsequent queries ship ~30 bytes instead of the
+      whole model;
+    - [stats]: serving counters, cache hit rate, queue depth, solve
+      totals and latency histograms;
+    - [cancel]: best-effort cancellation of a queued or running request
+      on the same connection;
+    - [ping]: liveness probe;
+    - [shutdown]: graceful drain — stop accepting, finish queued work,
+      persist the cache, exit. *)
+
+type query = {
+  q_net : string option;      (** inline canonical network text *)
+  q_digest : string option;   (** ... or the digest of a loaded one *)
+  q_delta : float;
+  q_lo : float;
+  q_hi : float;
+  q_window : int;
+  q_refine : Cert.Refine.rule;
+  q_symbolic : bool;
+  q_no_cache : bool;          (** bypass the result cache (still runs) *)
+  q_deadline_ms : float option;
+      (** drop the request if not {e finished} this many ms after the
+          server accepts it; expiry mid-solve aborts the solve *)
+}
+
+val default_query : query
+(** [delta = 1e-3], box [\[0, 1\]], window 2, no refinement, no
+    symbolic pre-pass, cache on, no deadline, no network. *)
+
+type request =
+  | Certify of query
+  | Load of string            (** canonical network text *)
+  | Stats
+  | Cancel of int             (** id of the request to cancel *)
+  | Ping
+  | Shutdown
+
+type result = {
+  r_eps : float array;        (** per-output certified bound *)
+  r_digest : string;          (** network the answer is for *)
+  r_cached : bool;
+  r_time_ms : float;          (** server-side handling time *)
+  r_lp_solves : int;
+  r_lp_warm : int;
+  r_milp_solves : int;
+}
+
+type response =
+  | Result of result          (** a [Certify] answer *)
+  | Loaded of { digest : string; params : int; layers : int }
+  | Stats_payload of Json.t   (** structured stats, schema-free *)
+  | Ack                       (** cancel / ping / shutdown *)
+  | Error of string
+
+val encode_request : id:int -> request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : Json.t -> int * request
+(** Raises [Failure] on malformed or unknown requests. *)
+
+val encode_response : id:int -> response -> string
+
+val decode_response : Json.t -> int * response
+
+val read_frame : Buffer.t -> Unix.file_descr -> Json.t option
+(** Blocking helper for clients and tests: read from [fd] into the
+    carry buffer until a full line is available, parse it; [None] on
+    clean EOF with an empty buffer.  Raises [Failure] on malformed
+    JSON or EOF mid-line. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write [line ^ "\n"] fully. *)

@@ -48,6 +48,62 @@ if [ "$with_dedup" != "$without_dedup" ]; then
   exit 1
 fi
 
+echo "== certification daemon smoke test =="
+sock="_build/grc-ci.sock"
+cachef="_build/grc-ci-cache.txt"
+rm -f "$sock" "$cachef"
+dune exec -- grc serve --socket "$sock" --cache "$cachef" --workers 1 &
+serve_pid=$!
+cleanup_serve() {
+  kill "$serve_pid" 2>/dev/null || true
+}
+trap cleanup_serve EXIT
+i=0
+until dune exec -- grc submit --socket "$sock" --ping >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "daemon did not come up" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+first=$(dune exec -- grc submit --socket "$sock" \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001)
+echo "$first" | grep -q 'cached: false' || {
+  echo "first submission unexpectedly cached" >&2
+  exit 1
+}
+second=$(dune exec -- grc submit --socket "$sock" \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001)
+echo "$second" | grep -q 'cached: true' || {
+  echo "second submission missed the result cache" >&2
+  exit 1
+}
+oneshot=$(dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
+if [ "$(echo "$first" | grep '^output')" != "$oneshot" ] \
+  || [ "$(echo "$second" | grep '^output')" != "$oneshot" ]; then
+  echo "daemon answers differ from one-shot certify:" >&2
+  echo "  daemon:   $(echo "$first" | grep '^output')" >&2
+  echo "  one-shot: $oneshot" >&2
+  exit 1
+fi
+dune exec -- grc submit --socket "$sock" --stats | grep -q '"hit_rate"' || {
+  echo "stats payload missing cache hit rate" >&2
+  exit 1
+}
+dune exec -- grc submit --socket "$sock" --shutdown
+wait "$serve_pid"
+trap - EXIT
+if [ -S "$sock" ]; then
+  echo "daemon left its socket behind" >&2
+  exit 1
+fi
+
+echo "== serve-bench (daemon vs one-shot; writes BENCH_serve.json) =="
+dune exec bench/main.exe -- serve-bench
+test -s BENCH_serve.json
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt check =="
   dune build @fmt

@@ -349,6 +349,74 @@ let test_io_file_roundtrip () =
         (Linalg.Vec.equal ~eps:0.0 (Network.forward net x)
            (Network.forward net2 x)))
 
+let test_param_count () =
+  let net = small_net () in
+  (* dense 3->6 + 6->4 + 4->2: (3*6 + 6) + (6*4 + 4) + (4*2 + 2) *)
+  Alcotest.(check int) "param count" 62 (Network.param_count net)
+
+let test_digest_stable () =
+  let net = small_net () in
+  let d = Network.digest net in
+  Alcotest.(check string) "digest is canonical-form md5"
+    (Digest.to_hex (Digest.string (Nn.Io.to_string net)))
+    d;
+  (* round-tripping through the text form preserves the digest *)
+  Alcotest.(check string) "roundtrip digest" d
+    (Network.digest (Nn.Io.of_string (Nn.Io.to_string net)))
+
+let test_digest_sensitive () =
+  let rng = rng0 () in
+  let l1 = Layer.dense_random ~relu:true ~rng ~in_dim:3 ~out_dim:4 () in
+  let l2 = Layer.dense_random ~rng ~in_dim:4 ~out_dim:2 () in
+  let net = Network.make [ l1; l2 ] in
+  let d = Network.digest net in
+  (* perturb one weight by a single ulp: the digest must move *)
+  (match Layer.param_arrays l1 with
+   | a :: _ when Array.length a > 0 -> a.(0) <- Float.succ a.(0)
+   | _ -> Alcotest.fail "expected dense parameters");
+  Alcotest.(check bool) "digest changed" false (Network.digest net = d)
+
+(* property: [of_string] on corrupted input parses or raises [Failure]
+   with a message — never [Invalid_argument] or an out-of-bounds crash
+   from trusting unvalidated dimensions *)
+let io_malformed_prop =
+  let base = Nn.Io.to_string (small_net ()) in
+  let len = String.length base in
+  let gen = QCheck.Gen.(tup3 (int_range 0 6) (int_range 0 (len - 1)) char) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"of_string malformed -> Failure"
+       (QCheck.make gen) (fun (mode, pos, c) ->
+         let mutated =
+           match mode with
+           | 0 -> String.sub base 0 pos                  (* truncate *)
+           | 1 ->
+               (* overwrite one byte with an arbitrary one *)
+               String.mapi (fun i x -> if i = pos then c else x) base
+           | 2 ->
+               (* splice in a token that overflows int_of_string *)
+               String.sub base 0 pos ^ "99999999999999999999"
+               ^ String.sub base pos (len - pos)
+           | 3 ->
+               (* huge dimension: must be rejected, not allocated *)
+               "grc-net 1\nlayers 1\ndense 999999999 999999999 linear\n"
+           | 4 ->
+               (* negative dimension *)
+               "grc-net 1\nlayers 1\ndense -4 2 relu\n1 2\n3 4\n"
+           | 5 ->
+               (* dims valid but payload from the wrong layer kind *)
+               "grc-net 1\nlayers 1\nconv 1 2 2 1 1 1 1 0 relu\nnope\n"
+           | _ ->
+               (* drop one line *)
+               base |> String.split_on_char '\n'
+               |> List.filteri (fun i _ -> i <> pos mod 5)
+               |> String.concat "\n"
+         in
+         match Nn.Io.of_string mutated with
+         | _ -> true
+         | exception Failure _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e)))
+
 let test_describe () =
   let net = small_net () in
   let s = Network.describe net in
@@ -427,4 +495,8 @@ let suites =
         Alcotest.test_case "wrong float count" `Quick
           test_io_wrong_float_count;
         Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
-        Alcotest.test_case "describe" `Quick test_describe ] ) ]
+        Alcotest.test_case "describe" `Quick test_describe;
+        Alcotest.test_case "param count" `Quick test_param_count;
+        Alcotest.test_case "digest stable" `Quick test_digest_stable;
+        Alcotest.test_case "digest sensitive" `Quick test_digest_sensitive;
+        io_malformed_prop ] ) ]

@@ -1,0 +1,503 @@
+(* Service layer: JSON codec, wire protocol, queue, histogram, cache,
+   and the daemon end to end (bitwise equality with one-shot certify,
+   persistence across restarts, deadlines, graceful shutdown). *)
+
+module Json = Serve.Json
+module Wire = Serve.Wire
+
+(* --- json codec --- *)
+
+let test_json_atoms () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "true" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "int" "3" (Json.to_string (Json.Num 3.0));
+  Alcotest.(check string) "neg" "-2.5" (Json.to_string (Json.Num (-2.5)));
+  Alcotest.(check string) "string" "\"a\\\"b\""
+    (Json.to_string (Json.Str "a\"b"));
+  Alcotest.(check string) "nested" "{\"xs\":[1,null]}"
+    (Json.to_string
+       (Json.Obj [ ("xs", Json.List [ Json.Num 1.0; Json.Null ]) ]))
+
+let test_json_parse () =
+  (match Json.of_string "  {\"a\" : [1, -2.5e3, \"x\\u0041\"], \"b\":{}} " with
+   | Json.Obj [ ("a", Json.List [ Json.Num a; Json.Num b; Json.Str s ]);
+                ("b", Json.Obj []) ] ->
+       Alcotest.(check (float 0.0)) "one" 1.0 a;
+       Alcotest.(check (float 0.0)) "exp" (-2500.0) b;
+       Alcotest.(check string) "escape" "xA" s
+   | _ -> Alcotest.fail "unexpected parse");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | _ -> Alcotest.failf "accepted %S" bad
+      | exception Failure _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2";
+      "{\"a\":1,}"; "[1] trailing"; "\"bad \\x escape\"" ]
+
+(* floats survive a print/parse round trip bit for bit *)
+let json_float_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [ float; map Int64.float_of_bits int64;
+          oneofl [ 0.0; -0.0; 1e-300; 1.0 /. 3.0; max_float; min_float ] ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"json float roundtrip bitwise"
+       (QCheck.make gen) (fun x ->
+         if not (Float.is_finite x) then true (* the codec rejects those *)
+         else
+           match Json.of_string (Json.to_string (Json.Num x)) with
+           | Json.Num y -> Int64.bits_of_float y = Int64.bits_of_float x
+           | _ -> false))
+
+(* arbitrary trees survive a round trip (strings over full byte range) *)
+let json_tree_roundtrip_prop =
+  let open QCheck.Gen in
+  let str_gen = string_size ~gen:char (int_range 0 12) in
+  let rec tree n =
+    if n = 0 then
+      oneof
+        [ return Json.Null; map (fun b -> Json.Bool b) bool;
+          map (fun f -> Json.Num (float_of_int f)) small_signed_int;
+          map (fun s -> Json.Str s) str_gen ]
+    else
+      frequency
+        [ (2, tree 0);
+          (1, map (fun l -> Json.List l) (list_size (int_range 0 4)
+                                            (tree (n - 1))));
+          (1,
+           map
+             (fun kvs -> Json.Obj kvs)
+             (list_size (int_range 0 4)
+                (pair str_gen (tree (n - 1))))) ]
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"json tree roundtrip"
+       (QCheck.make (tree 3)) (fun t ->
+         Json.of_string (Json.to_string t) = t))
+
+(* --- wire protocol --- *)
+
+let sample_query =
+  { Wire.q_net = Some "grc-net 1\nlayers 0\n"; q_digest = None;
+    q_delta = 0.25; q_lo = -1.0; q_hi = 1.0; q_window = 3;
+    q_refine = Cert.Refine.Count 4; q_symbolic = true; q_no_cache = true;
+    q_deadline_ms = Some 125.5 }
+
+let test_wire_request_roundtrip () =
+  let reqs =
+    [ Wire.Certify sample_query;
+      Wire.Certify { Wire.default_query with Wire.q_digest = Some "abcd" };
+      Wire.Certify
+        { Wire.default_query with
+          Wire.q_digest = Some "ff"; q_refine = Cert.Refine.Fraction 0.5 };
+      Wire.Load "grc-net 1\nlayers 0\n"; Wire.Stats; Wire.Cancel 42;
+      Wire.Ping; Wire.Shutdown ]
+  in
+  List.iteri
+    (fun i req ->
+      let id = i + 1 in
+      let id', req' =
+        Wire.decode_request (Json.of_string (Wire.encode_request ~id req))
+      in
+      Alcotest.(check int) "id" id id';
+      if req' <> req then Alcotest.failf "request %d did not roundtrip" i)
+    reqs
+
+let test_wire_response_roundtrip () =
+  let resps =
+    [ Wire.Result
+        { Wire.r_eps = [| 0.125; 1.0 /. 3.0 |]; r_digest = "d";
+          r_cached = true; r_time_ms = 1.5; r_lp_solves = 7; r_lp_warm = 3;
+          r_milp_solves = 2 };
+      Wire.Loaded { digest = "abc"; params = 10; layers = 2 };
+      Wire.Stats_payload (Json.Obj [ ("x", Json.Num 1.0) ]);
+      Wire.Ack; Wire.Error "boom" ]
+  in
+  List.iteri
+    (fun i resp ->
+      let id = i + 10 in
+      let id', resp' =
+        Wire.decode_response (Json.of_string (Wire.encode_response ~id resp))
+      in
+      Alcotest.(check int) "id" id id';
+      if resp' <> resp then Alcotest.failf "response %d did not roundtrip" i)
+    resps
+
+let test_wire_eps_bitwise () =
+  (* certified bounds cross the wire bit for bit *)
+  let eps = [| 1.0 /. 3.0; Float.succ 0.1; 4.9e-324; 0.0 |] in
+  let r =
+    { Wire.r_eps = eps; r_digest = ""; r_cached = false; r_time_ms = 0.0;
+      r_lp_solves = 0; r_lp_warm = 0; r_milp_solves = 0 }
+  in
+  match
+    Wire.decode_response
+      (Json.of_string (Wire.encode_response ~id:1 (Wire.Result r)))
+  with
+  | _, Wire.Result r' ->
+      Array.iteri
+        (fun i e ->
+          if Int64.bits_of_float e <> Int64.bits_of_float r'.Wire.r_eps.(i)
+          then Alcotest.failf "eps %d drifted" i)
+        eps
+  | _ -> Alcotest.fail "expected a result"
+
+let test_wire_rejects () =
+  List.iter
+    (fun line ->
+      match Wire.decode_request (Json.of_string line) with
+      | _ -> Alcotest.failf "accepted %S" line
+      | exception Failure _ -> ())
+    [ "{\"op\":\"nope\",\"id\":1}"; "{\"id\":1}";
+      "{\"op\":\"certify\",\"id\":1,\"window\":0,\"net\":\"x\"}";
+      "{\"op\":\"certify\",\"id\":1}" ]
+
+(* --- bounded queue --- *)
+
+let test_squeue_order_and_bounds () =
+  let q = Serve.Squeue.create ~cap:2 in
+  Alcotest.(check bool) "push 1" true (Serve.Squeue.try_push q 1 = `Ok);
+  Alcotest.(check bool) "push 2" true (Serve.Squeue.try_push q 2 = `Ok);
+  Alcotest.(check bool) "full" true (Serve.Squeue.try_push q 3 = `Full);
+  Alcotest.(check int) "len" 2 (Serve.Squeue.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Serve.Squeue.pop q);
+  Alcotest.(check bool) "push 3" true (Serve.Squeue.try_push q 3 = `Ok);
+  Serve.Squeue.close q;
+  Alcotest.(check bool) "closed" true (Serve.Squeue.try_push q 4 = `Closed);
+  (* close drains: remaining items still pop, then None *)
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Serve.Squeue.pop q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Serve.Squeue.pop q);
+  Alcotest.(check (option int)) "pop end" None (Serve.Squeue.pop q)
+
+let test_squeue_threads () =
+  let q = Serve.Squeue.create ~cap:4 in
+  let n = 200 in
+  let sum = Atomic.make 0 in
+  let consumers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Serve.Squeue.pop q with
+              | Some v ->
+                  ignore (Atomic.fetch_and_add sum v);
+                  go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  for i = 1 to n do
+    let rec push () =
+      match Serve.Squeue.try_push q i with
+      | `Ok -> ()
+      | `Full ->
+          Domain.cpu_relax ();
+          push ()
+      | `Closed -> Alcotest.fail "queue closed early"
+    in
+    push ()
+  done;
+  Serve.Squeue.close q;
+  Array.iter Domain.join consumers;
+  Alcotest.(check int) "all consumed" (n * (n + 1) / 2) (Atomic.get sum)
+
+(* --- histogram --- *)
+
+let test_hist () =
+  let h = Serve.Hist.create () in
+  Alcotest.(check int) "empty" 0 (Serve.Hist.count h);
+  (* 1ms, 2ms, 100ms *)
+  Serve.Hist.add h 0.001;
+  Serve.Hist.add h 0.002;
+  Serve.Hist.add h 0.1;
+  Alcotest.(check int) "count" 3 (Serve.Hist.count h);
+  Alcotest.(check bool) "mean"
+    true
+    (Float.abs (Serve.Hist.mean h -. (0.103 /. 3.0)) < 1e-12);
+  Alcotest.(check (float 0.0)) "max" 0.1 (Serve.Hist.max_seconds h);
+  (* p50 falls in the bucket holding 2ms: its upper edge is >= 2ms and
+     within one doubling *)
+  let p50 = Serve.Hist.quantile h 0.5 in
+  Alcotest.(check bool) "p50 bucket" true (p50 >= 0.002 && p50 <= 0.005);
+  match Serve.Hist.to_json h with
+  | Json.Obj kvs ->
+      Alcotest.(check bool) "json fields" true
+        (List.mem_assoc "count" kvs && List.mem_assoc "p99_ms" kvs
+         && List.mem_assoc "buckets" kvs)
+  | _ -> Alcotest.fail "expected an object"
+
+(* --- result cache --- *)
+
+let q0 = Wire.default_query
+
+let test_cache_key_discriminates () =
+  let k = Serve.Cache.key ~digest:"d" in
+  let base = k q0 in
+  List.iter
+    (fun (name, q) ->
+      if k q = base then Alcotest.failf "%s did not change the key" name)
+    [ ("delta", { q0 with Wire.q_delta = Float.succ q0.Wire.q_delta });
+      ("lo", { q0 with Wire.q_lo = -1.0 });
+      ("hi", { q0 with Wire.q_hi = 2.0 });
+      ("window", { q0 with Wire.q_window = 3 });
+      ("refine", { q0 with Wire.q_refine = Cert.Refine.Count 1 });
+      ("refine frac",
+       { q0 with Wire.q_refine = Cert.Refine.Fraction 0.5 });
+      ("symbolic", { q0 with Wire.q_symbolic = true }) ];
+  if Serve.Cache.key ~digest:"other" q0 = base then
+    Alcotest.fail "digest did not change the key";
+  (* no-cache and deadlines do not change the answer: same key *)
+  Alcotest.(check string) "no_cache irrelevant" base
+    (k { q0 with Wire.q_no_cache = true });
+  Alcotest.(check string) "deadline irrelevant" base
+    (k { q0 with Wire.q_deadline_ms = Some 5.0 })
+
+let test_cache_persistence () =
+  let path = Filename.temp_file "grc-cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let eps = [| 1.0 /. 3.0; Float.succ 0.25 |] in
+      let c1 = Serve.Cache.create ~path () in
+      Serve.Cache.add c1 "k1" eps;
+      Serve.Cache.add c1 "k2" [| 0.5 |];
+      Serve.Cache.close c1;
+      (* corrupt line must be skipped, not crash the reload *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "garbage line\n";
+      close_out oc;
+      let c2 = Serve.Cache.create ~path () in
+      (match Serve.Cache.find c2 "k1" with
+       | Some eps' ->
+           Array.iteri
+             (fun i e ->
+               if Int64.bits_of_float e <> Int64.bits_of_float eps'.(i) then
+                 Alcotest.failf "eps %d drifted through persistence" i)
+             eps
+       | None -> Alcotest.fail "k1 lost");
+      Alcotest.(check bool) "k2 loaded" true (Serve.Cache.find c2 "k2" <> None);
+      Alcotest.(check bool) "k3 absent" true (Serve.Cache.find c2 "k3" = None);
+      let ctr = Serve.Cache.counters c2 in
+      Alcotest.(check int) "loaded" 2 ctr.Serve.Cache.loaded;
+      Alcotest.(check int) "hits" 2 ctr.Serve.Cache.hits;
+      Alcotest.(check int) "misses" 1 ctr.Serve.Cache.misses;
+      Serve.Cache.close c2)
+
+(* --- daemon end to end --- *)
+
+(* a unix socket path under the system tmpdir (sun_path is short) *)
+let fresh_sock () =
+  let p = Filename.temp_file "grc-test" ".sock" in
+  Sys.remove p;
+  p
+
+let with_server ?cache_path ?(workers = 1) ?(queue_cap = 8) f =
+  let sock = fresh_sock () in
+  let addr = Serve.Server.Unix_path sock in
+  let config =
+    { Serve.Server.addr; workers; queue_cap; cache_path; domains = 1;
+      handle_signals = false; verbose = false }
+  in
+  let srv = Domain.spawn (fun () -> Serve.Server.run config) in
+  let finish () = Domain.join srv in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f addr finish)
+
+let shutdown_via c =
+  match Serve.Client.rpc c Wire.Shutdown with
+  | Wire.Ack -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged"
+
+let test_net () =
+  let rng = Random.State.make [| 42 |] in
+  Nn.Network.make
+    [ Nn.Layer.dense_random ~relu:true ~rng ~in_dim:2 ~out_dim:3 ();
+      Nn.Layer.dense_random ~rng ~in_dim:3 ~out_dim:1 () ]
+
+let certify_query ?(no_cache = false) ?deadline_ms ~net ~delta () =
+  { Wire.default_query with
+    Wire.q_net = Some (Nn.Io.to_string net); q_delta = delta;
+    q_no_cache = no_cache; q_deadline_ms = deadline_ms }
+
+let check_bits name expected got =
+  if Array.length expected <> Array.length got then
+    Alcotest.failf "%s: eps length mismatch" name;
+  Array.iteri
+    (fun i e ->
+      if Int64.bits_of_float e <> Int64.bits_of_float got.(i) then
+        Alcotest.failf "%s: eps %d differs from one-shot (%.17g vs %.17g)"
+          name i e got.(i))
+    expected
+
+let test_e2e_bitwise_and_cache () =
+  let net = test_net () in
+  let delta = 0.01 in
+  let oneshot =
+    (Cert.Certifier.certify_box net ~lo:0.0 ~hi:1.0 ~delta)
+      .Cert.Certifier.eps
+  in
+  with_server (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      (* miss, solved by a worker *)
+      let r1 = Serve.Client.certify c (certify_query ~net ~delta ()) in
+      Alcotest.(check bool) "first not cached" false r1.Wire.r_cached;
+      check_bits "solved" oneshot r1.Wire.r_eps;
+      Alcotest.(check string) "digest" (Nn.Network.digest net)
+        r1.Wire.r_digest;
+      (* hit: same answer, served from the cache *)
+      let r2 = Serve.Client.certify c (certify_query ~net ~delta ()) in
+      Alcotest.(check bool) "second cached" true r2.Wire.r_cached;
+      check_bits "cached" oneshot r2.Wire.r_eps;
+      (* cache bypass still matches (pooled matrices, fresh sessions) *)
+      let r3 =
+        Serve.Client.certify c (certify_query ~no_cache:true ~net ~delta ())
+      in
+      Alcotest.(check bool) "bypass not cached" false r3.Wire.r_cached;
+      check_bits "pooled" oneshot r3.Wire.r_eps;
+      (* digest-only resubmission of a loaded network *)
+      let digest = Serve.Client.load c (Nn.Io.to_string net) in
+      let r4 =
+        Serve.Client.certify c
+          { (certify_query ~net ~delta ()) with
+            Wire.q_net = None; q_digest = Some digest }
+      in
+      check_bits "by digest" oneshot r4.Wire.r_eps;
+      (* an unknown digest is a clean error, not a hang *)
+      (match
+         Serve.Client.rpc c
+           (Wire.Certify
+              { Wire.default_query with Wire.q_digest = Some "nope" })
+       with
+       | Wire.Error _ -> ()
+       | _ -> Alcotest.fail "unknown digest should error");
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ())
+
+let test_e2e_persistence_restart () =
+  let net = test_net () in
+  let delta = 0.02 in
+  let oneshot =
+    (Cert.Certifier.certify_box net ~lo:0.0 ~hi:1.0 ~delta)
+      .Cert.Certifier.eps
+  in
+  let cache_path = Filename.temp_file "grc-cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove cache_path)
+    (fun () ->
+      with_server ~cache_path (fun addr finish ->
+          let c = Serve.Client.connect_retry addr in
+          let r = Serve.Client.certify c (certify_query ~net ~delta ()) in
+          Alcotest.(check bool) "miss" false r.Wire.r_cached;
+          shutdown_via c;
+          Serve.Client.close c;
+          finish ());
+      (* a new daemon process over the same cache file answers from
+         disk, bit for bit *)
+      with_server ~cache_path (fun addr finish ->
+          let c = Serve.Client.connect_retry addr in
+          let r = Serve.Client.certify c (certify_query ~net ~delta ()) in
+          Alcotest.(check bool) "hit after restart" true r.Wire.r_cached;
+          check_bits "persisted" oneshot r.Wire.r_eps;
+          shutdown_via c;
+          Serve.Client.close c;
+          finish ()))
+
+let test_e2e_deadline () =
+  (* a deadline that has already expired must abort the request inside
+     the solver, not finish it *)
+  let net = test_net () in
+  with_server (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      (match
+         Serve.Client.rpc c
+           (Wire.Certify
+              (certify_query ~no_cache:true ~deadline_ms:0.0 ~net ~delta:0.03
+                 ()))
+       with
+       | Wire.Error msg ->
+           Alcotest.(check bool) "mentions deadline" true
+             (String.length msg > 0)
+       | Wire.Result _ -> Alcotest.fail "expired request completed"
+       | _ -> Alcotest.fail "unexpected response");
+      (* the worker survives and still answers *)
+      let r = Serve.Client.certify c (certify_query ~net ~delta:0.03 ()) in
+      Alcotest.(check bool) "alive after expiry" false r.Wire.r_cached;
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ())
+
+let test_e2e_stats_and_queue () =
+  let net = test_net () in
+  with_server (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      ignore (Serve.Client.certify c (certify_query ~net ~delta:0.04 ()));
+      ignore (Serve.Client.certify c (certify_query ~net ~delta:0.04 ()));
+      (match Serve.Client.rpc c Wire.Stats with
+       | Wire.Stats_payload j ->
+           let sub name parent =
+             match Json.member name parent with
+             | Some v -> v
+             | None -> Alcotest.failf "stats missing %S" name
+           in
+           let requests = sub "requests" j in
+           Alcotest.(check (option int)) "completed" (Some 2)
+             (Json.mem_int "completed" requests);
+           Alcotest.(check (option int)) "served_cached" (Some 1)
+             (Json.mem_int "served_cached" requests);
+           Alcotest.(check (option int)) "cache hits" (Some 1)
+             (Json.mem_int "hits" (sub "cache" j));
+           Alcotest.(check (option int)) "latency count" (Some 2)
+             (Json.mem_int "count" (sub "all" (sub "latency" j)))
+       | _ -> Alcotest.fail "expected stats");
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ())
+
+let test_e2e_graceful_shutdown () =
+  (* queued work finishes during drain; new connections are refused *)
+  let net = test_net () in
+  with_server (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      ignore (Serve.Client.certify c (certify_query ~net ~delta:0.05 ()));
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ();
+      (* after drain the socket is gone: connecting fails cleanly *)
+      match Serve.Client.connect addr with
+      | c2 ->
+          Serve.Client.close c2;
+          Alcotest.fail "daemon still accepting after drain"
+      | exception Failure _ -> ())
+
+let suites =
+  [ ( "serve:json",
+      [ Alcotest.test_case "atoms" `Quick test_json_atoms;
+        Alcotest.test_case "parse" `Quick test_json_parse;
+        json_float_roundtrip_prop; json_tree_roundtrip_prop ] );
+    ( "serve:wire",
+      [ Alcotest.test_case "request roundtrip" `Quick
+          test_wire_request_roundtrip;
+        Alcotest.test_case "response roundtrip" `Quick
+          test_wire_response_roundtrip;
+        Alcotest.test_case "eps bitwise" `Quick test_wire_eps_bitwise;
+        Alcotest.test_case "rejects" `Quick test_wire_rejects ] );
+    ( "serve:parts",
+      [ Alcotest.test_case "squeue order/bounds" `Quick
+          test_squeue_order_and_bounds;
+        Alcotest.test_case "squeue threads" `Quick test_squeue_threads;
+        Alcotest.test_case "histogram" `Quick test_hist;
+        Alcotest.test_case "cache key" `Quick test_cache_key_discriminates;
+        Alcotest.test_case "cache persistence" `Quick test_cache_persistence
+      ] );
+    ( "serve:daemon",
+      [ Alcotest.test_case "bitwise vs one-shot" `Quick
+          test_e2e_bitwise_and_cache;
+        Alcotest.test_case "persistence restart" `Quick
+          test_e2e_persistence_restart;
+        Alcotest.test_case "deadline expiry" `Quick test_e2e_deadline;
+        Alcotest.test_case "stats" `Quick test_e2e_stats_and_queue;
+        Alcotest.test_case "graceful shutdown" `Quick
+          test_e2e_graceful_shutdown ] ) ]
