@@ -1,7 +1,7 @@
 (* grc: global robustness certification CLI.
 
    Subcommands: train, certify, attack, info, lint, fig4, case-study,
-   serve, submit. *)
+   serve, submit, trace-check. *)
 
 open Cmdliner
 
@@ -172,8 +172,20 @@ let certify_cmd =
              `Algo1
          & info [ "method" ] ~doc)
   in
+  let trace =
+    let doc =
+      "Collect hierarchical execution spans.  With $(docv), write Chrome \
+       trace_event JSON there (load it in chrome://tracing or \
+       ui.perfetto.dev); without a value, print the span tree after the \
+       result."
+    in
+    Arg.(value
+         & opt ~vopt:(Some "") (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
   let run net_path delta lo hi window refine refine_frac domains no_dedup
-      symbolic meth =
+      symbolic meth trace =
+    if trace <> None then Obs.Trace.set_enabled true;
     let net = Nn.Io.load net_path in
     let input = Cert.Bounds.box_domain net ~lo ~hi in
     let t0 = Unix.gettimeofday () in
@@ -230,7 +242,15 @@ let certify_cmd =
            r.Cert.Certifier.dedup_hits r.Cert.Certifier.lp_solves
            r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.milp_solves
      | None -> ());
-    Printf.printf "time: %.2fs\n" dt
+    Printf.printf "time: %.2fs\n" dt;
+    match trace with
+    | None -> ()
+    | Some "" -> print_string (Obs.Export.span_tree (Obs.Trace.roots ()))
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Export.chrome_json (Obs.Trace.roots ()));
+        close_out oc;
+        Printf.printf "trace: %s (chrome://tracing, ui.perfetto.dev)\n" file
   in
   let info_ =
     Cmd.info "certify"
@@ -239,7 +259,7 @@ let certify_cmd =
   Cmd.v info_
     Term.(const run $ net_arg $ delta_arg $ lo_arg $ hi_arg
           $ window $ refine $ refine_frac $ domains $ no_dedup $ symbolic
-          $ meth)
+          $ meth $ trace)
 
 let attack_cmd =
   let samples =
@@ -445,14 +465,21 @@ let serve_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log each request to stderr.")
   in
-  let run socket port workers queue_cap cache domains verbose =
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Include the process-wide solver metrics registry \
+                   (pivots, warm/cold splits, pool and dedup counters) in \
+                   $(b,stats) responses.")
+  in
+  let run socket port workers queue_cap cache domains verbose metrics =
     match resolve_addr socket port with
     | Error msg -> `Error (true, msg)
     | Ok addr ->
         let config =
           { (Serve.Server.default_config addr) with
             Serve.Server.workers; queue_cap; cache_path = cache; domains;
-            verbose }
+            verbose; metrics }
         in
         (try Serve.Server.run config with Failure msg -> prerr_endline msg;
                                                          exit 1);
@@ -477,7 +504,7 @@ let serve_cmd =
   Cmd.v info_
     Term.(
       ret (const run $ socket_arg $ port_arg $ workers $ queue_cap $ cache
-           $ domains $ verbose))
+           $ domains $ verbose $ metrics))
 
 let submit_cmd =
   let net =
@@ -678,6 +705,111 @@ let submit_cmd =
            $ no_cache $ deadline_ms $ load_n $ concurrency $ stats $ ping
            $ shutdown))
 
+(* --- trace-check ---
+
+   Validate a Chrome trace_event file written by [certify --trace=FILE]:
+   structural JSON shape, proper nesting of the complete ("X") events
+   within each thread track, and the presence of required span names.
+   Used by scripts/check.sh to gate the tracing exporter. *)
+
+let trace_check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file.")
+  in
+  let requires =
+    Arg.(value & opt_all string []
+         & info [ "require" ] ~docv:"NAME"
+             ~doc:"Fail unless at least one span named $(docv) is present \
+                   (repeatable).")
+  in
+  let run file requires =
+    let check () =
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      let j =
+        try Serve.Json.of_string text
+        with Failure msg -> failwith ("invalid JSON: " ^ msg)
+      in
+      let events =
+        match Serve.Json.mem_list "traceEvents" j with
+        | Some evs -> evs
+        | None -> failwith "no \"traceEvents\" array"
+      in
+      let decoded =
+        List.map
+          (fun e ->
+            match
+              ( Serve.Json.mem_str "name" e, Serve.Json.mem_str "ph" e,
+                Serve.Json.mem_num "ts" e, Serve.Json.mem_num "dur" e,
+                Serve.Json.mem_int "tid" e )
+            with
+            | Some name, Some "X", Some ts, Some dur, Some tid ->
+                if dur < 0.0 then
+                  failwith (Printf.sprintf "span %S has negative dur" name);
+                (name, ts, dur, tid)
+            | _ ->
+                failwith
+                  "malformed trace event (need name, ph=\"X\", ts, dur, tid)")
+          events
+      in
+      if decoded = [] then failwith "empty trace";
+      List.iter
+        (fun want ->
+          if not (List.exists (fun (n, _, _, _) -> n = want) decoded) then
+            failwith (Printf.sprintf "required span %S not found" want))
+        requires;
+      (* Nesting: within one tid, sorted by (start asc, duration desc),
+         every span must lie entirely inside the enclosing open span.
+         Timestamps are printed with 3 decimals, so allow rounding. *)
+      let tol = 0.01 in
+      let tids = List.sort_uniq compare (List.map (fun (_, _, _, t) -> t) decoded) in
+      List.iter
+        (fun tid ->
+          let track =
+            List.filter (fun (_, _, _, t) -> t = tid) decoded
+            |> List.sort (fun (_, ts1, d1, _) (_, ts2, d2, _) ->
+                   match compare ts1 ts2 with
+                   | 0 -> compare d2 d1
+                   | c -> c)
+          in
+          let stack = ref [] in
+          List.iter
+            (fun (name, ts, dur, _) ->
+              (* a span still on the stack encloses [ts] only if it ends
+                 meaningfully after it; one that ends at-or-near [ts] is a
+                 sibling (timestamps carry 3-decimal rounding) *)
+              let rec unwind () =
+                match !stack with
+                | (_, pend) :: rest when pend <= ts +. tol ->
+                    stack := rest;
+                    unwind ()
+                | _ -> ()
+              in
+              unwind ();
+              (match !stack with
+               | (pname, pend) :: _ when ts +. dur > pend +. tol ->
+                   failwith
+                     (Printf.sprintf
+                        "tid %d: span %S [%g, %g] overflows enclosing %S \
+                         (ends %g)"
+                        tid name ts (ts +. dur) pname pend)
+               | _ -> ());
+              stack := (name, ts +. dur) :: !stack)
+            track)
+        tids;
+      Printf.printf "trace-check: %s ok (%d spans, %d tracks)\n" file
+        (List.length decoded) (List.length tids)
+    in
+    match check () with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, file ^ ": " ^ msg)
+  in
+  let info_ =
+    Cmd.info "trace-check"
+      ~doc:"Validate a Chrome trace_event file written by certify --trace."
+  in
+  Cmd.v info_ Term.(ret (const run $ file $ requires))
+
 let fig4_cmd =
   let run () = Exp.Fig4.print Format.std_formatter (Exp.Fig4.run ()) in
   Cmd.v
@@ -714,4 +846,4 @@ let () =
     (Cmd.eval
        (Cmd.group info_
           [ train_cmd; certify_cmd; attack_cmd; info_cmd; lint_cmd; fig4_cmd;
-            case_study_cmd; serve_cmd; submit_cmd ]))
+            case_study_cmd; serve_cmd; submit_cmd; trace_check_cmd ]))

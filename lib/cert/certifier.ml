@@ -39,7 +39,14 @@ let refreshed_interval current ~lo_query ~hi_query =
   and hi = Float.min hi current.Interval.hi in
   if lo > hi then current else Interval.make lo hi
 
+let m_certifies = Obs.Metrics.counter "certifier.certifies"
+let m_bound_queries = Obs.Metrics.counter "certifier.bound_queries"
+let m_encoded_models = Obs.Metrics.counter "certifier.encoded_models"
+let m_dedup_hits = Obs.Metrics.counter "certifier.dedup_hits"
+
 let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
+  Obs.Trace.with_span "certify" @@ fun () ->
+  Obs.Metrics.add m_certifies 1;
   let t0 = Unix.gettimeofday () in
   let stats = Plan.Engine.zero_stats () in
   let bound_queries = ref 0 and encoded_models = ref 0 and dedup_hits = ref 0 in
@@ -69,8 +76,18 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
     bound_queries := !bound_queries + plan.Plan.n_queries;
     encoded_models := !encoded_models + plan.Plan.n_encodes;
     dedup_hits := !dedup_hits + plan.Plan.dedup_hits;
-    let outcome = Plan.Executor.run ?hook:solve_hook ?pool exec_config plan in
-    Plan.Engine.merge_stats ~into:stats outcome.Plan.Executor.stats;
+    Obs.Metrics.add m_bound_queries plan.Plan.n_queries;
+    Obs.Metrics.add m_encoded_models plan.Plan.n_encodes;
+    Obs.Metrics.add m_dedup_hits plan.Plan.dedup_hits;
+    Obs.Trace.count "bound_queries" plan.Plan.n_queries;
+    Obs.Trace.count "encoded_models" plan.Plan.n_encodes;
+    Obs.Trace.count "dedup_hits" plan.Plan.dedup_hits;
+    (* [partial_stats] (not the returned stats) feeds the report: a
+       raising solve hook still accounts for the work already done *)
+    let outcome =
+      Plan.Executor.run ?hook:solve_hook ?pool ~partial_stats:stats
+        exec_config plan
+    in
     (* affine fast-path answers are exact: intersect *)
     Array.iter
       (fun ((a : Plan.affine), (r : Plan.range)) ->
@@ -99,10 +116,13 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
   in
   let n = Nn.Network.n_layers net in
   for i = 0 to n - 1 do
+    Obs.Trace.with_span "certify.layer" @@ fun () ->
+    Obs.Trace.count "layer" i;
     let layer = Nn.Network.layer net i in
     let m = Nn.Layer.out_dim layer in
     (* --- y / dy ranges (LpRelaxY) --- *)
-    run_plan (Planner.plan_values pconfig bounds net ~layer:i);
+    Obs.Trace.with_span "plan.values" (fun () ->
+        run_plan (Planner.plan_values pconfig bounds net ~layer:i));
     (* --- x / dx ranges (LpRelaxX) --- *)
     if not layer.Nn.Layer.relu then
       for j = 0 to m - 1 do
@@ -125,7 +145,8 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
         | Some iv -> bounds.Bounds.dx.(i).(j) <- iv
         | None -> ()
       done;
-      run_plan (Planner.plan_dx pconfig bounds net ~layer:i)
+      Obs.Trace.with_span "plan.dx" (fun () ->
+          run_plan (Planner.plan_dx pconfig bounds net ~layer:i))
     end
   done;
   let eps =

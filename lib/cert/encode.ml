@@ -14,7 +14,7 @@ type itne_enc = {
   model : Model.t;
   view : Subnet.view;
   vars : (int * int, neuron_vars) Hashtbl.t;
-  in_vars : (Model.var * Model.var) array;
+  in_vars : (Model.var * Model.var * Model.var) array;
 }
 
 let require_finite what (iv : Interval.t) =
@@ -124,11 +124,25 @@ let itne ?(refined = []) ?(include_output_relu = false) ~mode
   let in_vars =
     Array.map
       (fun id ->
-        let v = var_of_interval model (input_interval bounds view id) in
+        let iv = input_interval bounds view id in
+        let v = var_of_interval model iv in
         let d = var_of_interval model (input_dist_interval bounds view id) in
+        (* The implicit second copy's window input, [w = v + d], ranges
+           over the same value interval as the first copy's: both twin
+           inputs lie in the input domain (and, at an interior window
+           boundary, the activation bounds hold for either copy by
+           symmetry of the specification).  Without this variable the
+           perturbed input could leave the domain by up to the distance
+           radius, and the encoding would over-approximate even with
+           every ReLU exact.  The instance data lives in [w]'s bounds,
+           not a constraint rhs, so deduplicated replay can override it
+           like [v] and [d]. *)
+        let w = var_of_interval model iv in
+        Model.add_constr model [ (w, 1.0); (v, -1.0); (d, -1.0) ] Model.Eq
+          0.0;
         Hashtbl.replace in_val id v;
         Hashtbl.replace in_dist id d;
-        (v, d))
+        (v, d, w))
       view.Subnet.input_active
   in
   let depth = Subnet.depth view in

@@ -36,12 +36,15 @@ type itne_enc = {
   model : Lp.Model.t;
   view : Subnet.view;
   vars : (int * int, neuron_vars) Hashtbl.t;  (** (absolute layer, neuron) *)
-  in_vars : (Lp.Model.var * Lp.Model.var) array;
-      (** window-input (value, distance) variable pairs, aligned with
-          [view.input_active]; these are the first variables created, so
-          a structurally identical cone encodes them at the same
-          indices — the handle used to replay a deduplicated encoding
-          under another instance's input intervals *)
+  in_vars : (Lp.Model.var * Lp.Model.var * Lp.Model.var) array;
+      (** window-input (value, distance, twin value) variable triples,
+          aligned with [view.input_active].  The twin value [w = v + d]
+          is the implicit second copy's input, bounded by the same value
+          interval as [v] — both twins range over the input domain.
+          These are the first variables created, so a structurally
+          identical cone encodes them at the same indices — the handle
+          used to replay a deduplicated encoding under another
+          instance's input intervals *)
 }
 
 val itne :

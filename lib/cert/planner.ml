@@ -154,7 +154,7 @@ let audit_replay ~mode ~include_output_relu ~refined ~label bounds view rep =
   let fresh = Encode.itne ~refined ~include_output_relu ~mode ~bounds view in
   let except =
     List.concat_map
-      (fun (v, d) -> [ v; d ])
+      (fun (v, d, w) -> [ v; d; w ])
       (Array.to_list rep.r_enc.Encode.in_vars)
   in
   if
@@ -172,10 +172,17 @@ let audit_replay ~mode ~include_output_relu ~refined ~label bounds view rep =
 (* Encode a cone — or replay a cached structurally identical one — and
    emit one unit of work per target.  [queries_per_target] builds each
    target's query batch against the representative encoding. *)
+let m_cones = Obs.Metrics.counter "planner.cones"
+let m_refined = Obs.Metrics.counter "planner.refined_neurons"
+
 let emit_cone builder cache ~dedup ~mode ~label ~include_output_relu ~refined
     bounds (view : Subnet.view)
     ~(queries_per_target :
         sign:string -> Encode.itne_enc -> Plan.query_spec array array) =
+  Obs.Metrics.add m_cones 1;
+  Obs.Metrics.add m_refined (List.length refined);
+  Obs.Trace.count "cones" 1;
+  if refined <> [] then Obs.Trace.count "refined" (List.length refined);
   let sign =
     if dedup then signature ~mode ~include_output_relu ~refined bounds view
     else ""
@@ -189,11 +196,12 @@ let emit_cone builder cache ~dedup ~mode ~label ~include_output_relu ~refined
         List.concat
           (Array.to_list
              (Array.mapi
-                (fun p (v, d) ->
+                (fun p (v, d, w) ->
                   let id = view.Subnet.input_active.(p) in
-                  [ (v, plan_range (Encode.input_interval bounds view id));
-                    (d, plan_range (Encode.input_dist_interval bounds view id))
-                  ])
+                  let value = plan_range (Encode.input_interval bounds view id) in
+                  [ (v, value);
+                    (d, plan_range (Encode.input_dist_interval bounds view id));
+                    (w, value) ])
                 rep.r_enc.Encode.in_vars))
       in
       Array.iter

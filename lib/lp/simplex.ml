@@ -31,6 +31,17 @@ type compiled = {
   model_hi : float array;
 }
 
+(* Process-wide solve accounting (Obs.Metrics: one atomic per solve,
+   always on) and opt-in tracing spans (near-free while disabled). *)
+let m_solves = Obs.Metrics.counter "simplex.solves"
+let m_pivots = Obs.Metrics.counter "simplex.pivots"
+let m_warm = Obs.Metrics.counter "simplex.warm_solves"
+let m_cold = Obs.Metrics.counter "simplex.cold_solves"
+let m_dual_restarts = Obs.Metrics.counter "simplex.dual_restarts"
+let m_fallbacks = Obs.Metrics.counter "simplex.fallbacks"
+let m_phase1 = Obs.Metrics.counter "simplex.phase1_runs"
+let m_phase2 = Obs.Metrics.counter "simplex.phase2_runs"
+
 let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-9
@@ -604,7 +615,11 @@ let solve_on_state st ~n_art ~prm ~max_iter =
   let phase2 () =
     Array.fill cost_full 0 nt 0.0;
     Array.blit prm.pc 0 cost_full 0 n;
-    match run_phase st cost_full max_iter with
+    Obs.Metrics.add m_phase2 1;
+    match
+      Obs.Trace.with_span "simplex.phase2" (fun () ->
+          run_phase st cost_full max_iter)
+    with
     | `Optimal ->
         ignore (refactor st);
         let raw = objective_value st cost_full +.
@@ -625,7 +640,11 @@ let solve_on_state st ~n_art ~prm ~max_iter =
     for k = 0 to n_art - 1 do
       cost_full.(nt0 + k) <- 1.0
     done;
-    match run_phase st cost_full max_iter with
+    Obs.Metrics.add m_phase1 1;
+    match
+      Obs.Trace.with_span "simplex.phase1" (fun () ->
+          run_phase st cost_full max_iter)
+    with
     | `Unbounded ->
         (* phase-1 objective is bounded below by 0: numerically impossible,
            report infeasible conservatively *)
@@ -650,7 +669,7 @@ let solve_on_state st ~n_art ~prm ~max_iter =
 
 let default_max_iter cp = 20000 + (60 * (cp.m + cp.n))
 
-let solve_compiled ?max_iter ?objective cp ~lo ~hi =
+let solve_compiled_inner ?max_iter ?objective cp ~lo ~hi =
   let prm = params_of_objective cp objective in
   let m = cp.m and n = cp.n in
   if Array.length lo <> n || Array.length hi <> n then
@@ -669,6 +688,16 @@ let solve_compiled ?max_iter ?objective cp ~lo ~hi =
         { status = Infeasible; obj = nan; x = Array.make n nan; pivots = 0;
           duals = [||] }
     | Some (st, n_art) -> solve_on_state st ~n_art ~prm ~max_iter
+
+let solve_compiled ?max_iter ?objective cp ~lo ~hi =
+  Obs.Trace.with_span "simplex.solve" (fun () ->
+      let res = solve_compiled_inner ?max_iter ?objective cp ~lo ~hi in
+      Obs.Metrics.add m_solves 1;
+      Obs.Metrics.add m_cold 1;
+      Obs.Metrics.add m_pivots res.pivots;
+      Obs.Trace.count "pivots" res.pivots;
+      Obs.Trace.count "cold" 1;
+      res)
 
 let solve ?max_iter model =
   let cp = compile model in
@@ -781,7 +810,7 @@ let array_eq a b =
    Array.iteri (fun i v -> if v <> b.(i) then ok := false) a;
    !ok)
 
-let solve_session ?max_iter ?objective sn =
+let solve_session_inner ?max_iter ?objective sn =
   let cp = sn.scp in
   let prm = params_of_objective cp objective in
   let n = cp.n and m = cp.m in
@@ -936,3 +965,26 @@ let solve_session ?max_iter ?objective sn =
           cold ()
         end
   end
+
+let solve_session ?max_iter ?objective sn =
+  Obs.Trace.with_span "simplex.solve" (fun () ->
+      let st0 = sn.stats in
+      let warm0 = st0.warm_solves
+      and cold0 = st0.cold_solves
+      and dual0 = st0.dual_restarts
+      and fall0 = st0.fallbacks in
+      let res = solve_session_inner ?max_iter ?objective sn in
+      Obs.Metrics.add m_solves 1;
+      Obs.Metrics.add m_pivots res.pivots;
+      Obs.Metrics.add m_warm (st0.warm_solves - warm0);
+      Obs.Metrics.add m_cold (st0.cold_solves - cold0);
+      Obs.Metrics.add m_dual_restarts (st0.dual_restarts - dual0);
+      Obs.Metrics.add m_fallbacks (st0.fallbacks - fall0);
+      if Obs.Trace.enabled () then begin
+        Obs.Trace.count "pivots" res.pivots;
+        Obs.Trace.count "warm" (st0.warm_solves - warm0);
+        Obs.Trace.count "cold" (st0.cold_solves - cold0);
+        if st0.dual_restarts > dual0 then
+          Obs.Trace.count "dual_restarts" (st0.dual_restarts - dual0)
+      end;
+      res)

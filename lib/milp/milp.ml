@@ -20,6 +20,10 @@ let default_options =
   { max_nodes = 200_000; time_limit = infinity; int_tol = 1e-6;
     gap_abs = 1e-8 }
 
+let m_solves = Obs.Metrics.counter "milp.solves"
+let m_nodes = Obs.Metrics.counter "milp.nodes"
+let m_incumbents = Obs.Metrics.counter "milp.incumbents"
+
 (* A search node: structural bounds plus the parent's LP value, used as a
    priority key (minimisation key: smaller is more promising). *)
 type node = { lo : float array; hi : float array; key : float }
@@ -113,7 +117,7 @@ let audit_incumbent ?objective model (r : result) =
       Audit_core.Mode.report (diags @ int_diags)
   | _ -> ()
 
-let solve ?(options = default_options) ?objective ?bounds model =
+let solve_inner ?(options = default_options) ?objective ?bounds model =
   let cp = Lp.Simplex.compile model in
   let n = Lp.Simplex.n_struct cp in
   (* one persistent solver session: each node's LP warm-starts from the
@@ -183,7 +187,9 @@ let solve ?(options = default_options) ?objective ?bounds model =
           if key < !best_key -. options.gap_abs then begin
             best_key := key;
             best_x := Array.copy sol.Lp.Simplex.x;
-            have_incumbent := true
+            have_incumbent := true;
+            Obs.Metrics.add m_incumbents 1;
+            Obs.Trace.count "incumbents" 1
           end
       | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
       | Lp.Simplex.Iteration_limit -> ()
@@ -204,6 +210,7 @@ let solve ?(options = default_options) ?objective ?bounds model =
         stopped := true
       else begin
         incr nodes;
+        Obs.Trace.with_span "milp.node" @@ fun () ->
         let sol = lp_solve ~lo:node.lo ~hi:node.hi in
         match sol.status with
         | Lp.Simplex.Infeasible -> ()
@@ -233,7 +240,9 @@ let solve ?(options = default_options) ?objective ?bounds model =
                 (* integral: new incumbent *)
                 best_key := key;
                 best_x := Array.copy sol.x;
-                have_incumbent := true
+                have_incumbent := true;
+                Obs.Metrics.add m_incumbents 1;
+                Obs.Trace.count "incumbents" 1
               end
               else begin
                 let j = !branch_var in
@@ -277,3 +286,12 @@ let solve ?(options = default_options) ?objective ?bounds model =
   in
   if Audit_core.Mode.enabled () then audit_incumbent ?objective model result;
   result
+
+let solve ?options ?objective ?bounds model =
+  Obs.Trace.with_span "milp.solve" (fun () ->
+      let r = solve_inner ?options ?objective ?bounds model in
+      Obs.Metrics.add m_solves 1;
+      Obs.Metrics.add m_nodes r.nodes;
+      Obs.Trace.count "nodes" r.nodes;
+      Obs.Trace.count "pivots" r.pivots;
+      r)

@@ -1,0 +1,16 @@
+(* Monotonized gettimeofday: an atomic high-water mark (float bits)
+   shared by all domains.  A reading below the mark returns the mark,
+   so time never runs backwards anywhere in the process. *)
+
+let high_water = Atomic.make (Int64.bits_of_float 0.0)
+
+let rec monotonize t =
+  let prev = Atomic.get high_water in
+  let prev_f = Int64.float_of_bits prev in
+  if t <= prev_f then prev_f
+  else if Atomic.compare_and_set high_water prev (Int64.bits_of_float t) then t
+  else monotonize t
+
+let now () = monotonize (Unix.gettimeofday ())
+
+let start = now ()

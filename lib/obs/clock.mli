@@ -1,0 +1,15 @@
+(** Monotonized wall clock for span timing.
+
+    The stock runtime exposes no monotonic clock, so [now] monotonizes
+    [Unix.gettimeofday]: a process-wide atomic high-water mark makes the
+    reported time non-decreasing across every domain, even if the wall
+    clock steps backwards (NTP adjustment, VM migration).  Span
+    durations and parent/child containment therefore never go
+    negative. *)
+
+val now : unit -> float
+(** Seconds, non-decreasing process-wide. *)
+
+val start : float
+(** The clock value captured at module initialisation; exporters
+    subtract it to get small, stable offsets. *)

@@ -1,0 +1,103 @@
+let span_duration (sp : Trace.span) =
+  if Float.is_nan sp.Trace.sp_stop then 0.0
+  else sp.Trace.sp_stop -. sp.Trace.sp_start
+
+let children sp = List.rev sp.Trace.sp_children
+
+let counters sp = List.rev sp.Trace.sp_counters
+
+let pp_duration b d =
+  if d >= 1.0 then Printf.bprintf b "%.3fs" d
+  else if d >= 1e-3 then Printf.bprintf b "%.3fms" (d *. 1e3)
+  else Printf.bprintf b "%.1fus" (d *. 1e6)
+
+let span_tree roots =
+  let b = Buffer.create 1024 in
+  let rec pp depth sp =
+    Buffer.add_string b (String.make (2 * depth) ' ');
+    Buffer.add_string b sp.Trace.sp_name;
+    Buffer.add_string b "  ";
+    pp_duration b (span_duration sp);
+    (match counters sp with
+     | [] -> ()
+     | cs ->
+         Buffer.add_string b "  [";
+         Buffer.add_string b
+           (String.concat " "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs));
+         Buffer.add_char b ']');
+    Buffer.add_char b '\n';
+    List.iter (pp (depth + 1)) (children sp)
+  in
+  List.iter (pp 0) roots;
+  Buffer.contents b
+
+(* Minimal JSON string escaping: the strings we emit are span and
+   counter names from our own source plus decimal numbers, but escape
+   defensively anyway. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_json roots =
+  (* earliest start across the export is t = 0 *)
+  let t0 =
+    List.fold_left
+      (fun acc sp -> Float.min acc sp.Trace.sp_start)
+      infinity roots
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let rec emit sp =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    let ts = (sp.Trace.sp_start -. t0) *. 1e6 in
+    let dur = span_duration sp *. 1e6 in
+    Printf.bprintf b
+      "{\"name\":\"%s\",\"cat\":\"grc\",\"ph\":\"X\",\"ts\":%.3f,\
+       \"dur\":%.3f,\"pid\":1,\"tid\":%d"
+      (escape sp.Trace.sp_name) ts dur sp.Trace.sp_tid;
+    (match counters sp with
+     | [] -> ()
+     | cs ->
+         Buffer.add_string b ",\"args\":{";
+         Buffer.add_string b
+           (String.concat ","
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v)
+                 cs));
+         Buffer.add_char b '}');
+    Buffer.add_char b '}';
+    List.iter emit (children sp)
+  in
+  List.iter emit roots;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let metrics_lines () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b name;
+      Buffer.add_char b ' ';
+      (* counters print as integers, gauges keep their fraction *)
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.bprintf b "%.0f" v
+      else Printf.bprintf b "%g" v;
+      Buffer.add_char b '\n')
+    (Metrics.dump ());
+  Buffer.contents b

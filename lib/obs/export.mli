@@ -1,0 +1,23 @@
+(** Exporters for collected spans and metrics.
+
+    Three formats:
+    - {!span_tree}: indented human-readable tree with durations and
+      counters, for terminal inspection;
+    - {!chrome_json}: Chrome [trace_event] JSON (an object with a
+      ["traceEvents"] array of complete — ["ph":"X"] — events),
+      loadable in [chrome://tracing] and Perfetto.  Timestamps are
+      microseconds relative to the earliest exported span; [tid] is the
+      OCaml domain id, so worker domains appear as separate tracks;
+      span counters are attached under ["args"];
+    - {!metrics_lines}: flat [name value] dump of the metrics
+      registry, one per line. *)
+
+val span_tree : Trace.span list -> string
+(** Indented tree, one line per span:
+    [name  duration  \[counter=value ...\]]. *)
+
+val chrome_json : Trace.span list -> string
+(** Chrome trace_event JSON of the given roots and their descendants. *)
+
+val metrics_lines : unit -> string
+(** The metrics registry as [name value] lines, sorted by name. *)

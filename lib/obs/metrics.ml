@@ -1,0 +1,66 @@
+type counter = int Atomic.t
+
+type gauge = int64 Atomic.t (* float bits: Atomic.t over floats would box *)
+
+type cell = C of counter | G of gauge
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let registry_mutex = Mutex.create ()
+
+let register name make =
+  Mutex.lock registry_mutex;
+  let cell =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = make () in
+        Hashtbl.replace registry name c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  cell
+
+let counter name =
+  match register name (fun () -> C (Atomic.make 0)) with
+  | C c -> c
+  | G _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a gauge")
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let get c = Atomic.get c
+
+let gauge name =
+  match register name (fun () -> G (Atomic.make (Int64.bits_of_float 0.0)))
+  with
+  | G g -> g
+  | C _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is a counter")
+
+let set g v = Atomic.set g (Int64.bits_of_float v)
+
+let get_gauge g = Int64.float_of_bits (Atomic.get g)
+
+let value = function
+  | C c -> float_of_int (Atomic.get c)
+  | G g -> Int64.float_of_bits (Atomic.get g)
+
+let dump () =
+  Mutex.lock registry_mutex;
+  let all = Hashtbl.fold (fun k c acc -> (k, value c) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let find name =
+  Mutex.lock registry_mutex;
+  let r = Option.map value (Hashtbl.find_opt registry name) in
+  Mutex.unlock registry_mutex;
+  r
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g (Int64.bits_of_float 0.0))
+    registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,40 @@
+(** Process-wide metrics registry.
+
+    Counters and gauges live in one global registry, keyed by name.
+    Registration is idempotent (the same name returns the same cell)
+    and mutex-protected; updates are single atomic operations, safe to
+    issue concurrently from any domain.  Modules register their metrics
+    once at initialisation and update them unconditionally — an update
+    is one [Atomic.fetch_and_add], cheap enough for per-solve (not
+    per-pivot) granularity.
+
+    [reset] zeroes every value without unregistering, so tests can
+    observe deltas in isolation. *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or look up) the integer counter [name]. *)
+
+val add : counter -> int -> unit
+
+val get : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+(** Register (or look up) the float gauge [name]. *)
+
+val set : gauge -> float -> unit
+
+val get_gauge : gauge -> float
+
+val dump : unit -> (string * float) list
+(** Every registered metric as [(name, value)], sorted by name;
+    counters are widened to float. *)
+
+val find : string -> float option
+(** Current value of a metric by name, if registered. *)
+
+val reset : unit -> unit
+(** Zero all registered counters and gauges. *)

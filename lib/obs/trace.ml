@@ -1,0 +1,88 @@
+type span = {
+  sp_name : string;
+  sp_tid : int;
+  sp_start : float;
+  mutable sp_stop : float;
+  mutable sp_counters : (string * int) list;
+  mutable sp_children : span list;
+}
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled v = Atomic.set enabled_flag v
+
+(* Completed roots, appended under a mutex (reverse completion order).
+   Worker domains push their finished top-level spans here, so the data
+   survives the worker — including one that later dies on an
+   exception. *)
+let roots_mutex = Mutex.create ()
+
+let collected : span list ref = ref []
+
+let add_root sp =
+  Mutex.lock roots_mutex;
+  collected := sp :: !collected;
+  Mutex.unlock roots_mutex
+
+let roots () =
+  Mutex.lock roots_mutex;
+  let r = List.rev !collected in
+  Mutex.unlock roots_mutex;
+  r
+
+let reset () =
+  Mutex.lock roots_mutex;
+  collected := [];
+  Mutex.unlock roots_mutex
+
+(* Per-domain stack of open spans, innermost first. *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let count key n =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | sp :: _ -> (
+        match List.assoc_opt key sp.sp_counters with
+        | None -> sp.sp_counters <- (key, n) :: sp.sp_counters
+        | Some v ->
+            sp.sp_counters <-
+              (key, v + n) :: List.remove_assoc key sp.sp_counters)
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let sp =
+      { sp_name = name; sp_tid = (Domain.self () :> int);
+        sp_start = Clock.now (); sp_stop = nan; sp_counters = [];
+        sp_children = [] }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.sp_stop <- Clock.now ();
+      (* pop down to (and including) [sp]: tolerate children left open
+         by a non-local exit between push and pop *)
+      let rec pop = function
+        | s :: rest when s == sp -> rest
+        | s :: rest ->
+            s.sp_stop <- sp.sp_stop;
+            pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      match !stack with
+      | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+      | [] -> add_root sp
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

@@ -1,0 +1,47 @@
+(** Hierarchical tracing spans.
+
+    A span is a named, timed interval; spans opened while another span
+    is open in the same domain nest under it.  Each domain keeps its
+    own span stack (domain-local storage, no locking on the hot path);
+    a span that completes with no parent becomes a {e root} and is
+    appended to a process-wide list under a mutex, so worker domains'
+    spans survive the worker and are merged at collection time.
+
+    Tracing is off by default.  When disabled, {!with_span} costs a
+    single atomic load (plus the closure the caller built anyway) and
+    {!count} a single atomic load — cheap enough to leave in the hot
+    paths of the simplex and branch & bound permanently.  When enabled,
+    every span takes two clock readings and a small allocation.
+
+    Counters attach solver statistics (pivots, solves, dedup hits…) to
+    the innermost open span of the calling domain; they surface in both
+    exporters. *)
+
+type span = {
+  sp_name : string;
+  sp_tid : int;  (** domain id the span ran on *)
+  sp_start : float;  (** {!Clock.now} at open *)
+  mutable sp_stop : float;  (** {!Clock.now} at close; [nan] while open *)
+  mutable sp_counters : (string * int) list;  (** newest first *)
+  mutable sp_children : span list;  (** newest first; exporters reverse *)
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turning tracing off does not discard already-collected spans. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span named [name].  The span closes (and
+    the stack pops) even if the thunk raises.  No-op when disabled. *)
+
+val count : string -> int -> unit
+(** Add [n] to counter [key] of the innermost open span of this domain.
+    No-op when disabled or when no span is open. *)
+
+val roots : unit -> span list
+(** Completed parentless spans, across all domains, in completion
+    order.  Spans still open are not included. *)
+
+val reset : unit -> unit
+(** Drop all collected root spans (open spans are unaffected). *)

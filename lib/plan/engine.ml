@@ -16,6 +16,9 @@ let merge_stats ~into from =
   into.lp_pivots <- into.lp_pivots + from.lp_pivots;
   into.lp_warm <- into.lp_warm + from.lp_warm
 
+let m_lp_queries = Obs.Metrics.counter "engine.lp_queries"
+let m_milp_queries = Obs.Metrics.counter "engine.milp_queries"
+
 (* A bound-query engine over one encoded model.  For pure-LP encodings
    the model is compiled once and every min/max query warm-starts from
    the previous optimal basis (objective-only hot start); models with
@@ -41,6 +44,8 @@ let session_solution stats ~name ~model session ~objective:(dir, terms) =
 let of_session stats ~name ~model session =
   { run =
       (fun dir terms ->
+        Obs.Trace.with_span "engine.query" @@ fun () ->
+        Obs.Metrics.add m_lp_queries 1;
         let sol =
           session_solution stats ~name ~model session
             ~objective:(dir, terms)
@@ -53,6 +58,8 @@ let of_session stats ~name ~model session =
 let of_milp stats ~options ?bounds model =
   { run =
       (fun dir terms ->
+        Obs.Trace.with_span "engine.query" @@ fun () ->
+        Obs.Metrics.add m_milp_queries 1;
         stats.milp_solves <- stats.milp_solves + 1;
         let r = Milp.solve ~options ?bounds ~objective:(dir, terms) model in
         stats.lp_pivots <- stats.lp_pivots + r.Milp.pivots;

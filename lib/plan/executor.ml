@@ -7,13 +7,27 @@ module Model = Lp.Model
 
    [init] builds one context per worker (solver sessions plus a
    statistics record): warm starts need per-worker mutable state, and
-   the contexts are returned so the caller can merge the statistics. *)
-let parallel_map n_domains ~(init : unit -> 'c) (items : 'a array)
-    (f : 'c -> 'a -> 'b) : 'b array * 'c list =
+   the contexts are returned so the caller can merge the statistics.
+
+   If a worker raises, every spawned domain is still joined and every
+   produced context — including the failing worker's — is passed to
+   [finally] (in the calling domain) before the first exception is
+   re-raised with its backtrace.  Partial statistics therefore survive
+   a failed run. *)
+let parallel_map ?(finally : 'c -> unit = fun _ -> ()) n_domains
+    ~(init : unit -> 'c) (items : 'a array) (f : 'c -> 'a -> 'b) :
+    'b array * 'c list =
   let n = Array.length items in
   if n_domains <= 1 || n <= 1 then begin
     let ctx = init () in
-    (Array.map (f ctx) items, [ ctx ])
+    match Array.map (f ctx) items with
+    | out ->
+        finally ctx;
+        (out, [ ctx ])
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finally ctx;
+        Printexc.raise_with_backtrace e bt
   end
   else begin
     let k = min n_domains n in
@@ -29,22 +43,41 @@ let parallel_map n_domains ~(init : unit -> 'c) (items : 'a array)
     let workers =
       List.init k (fun d ->
           Domain.spawn (fun () ->
+              Obs.Trace.with_span "executor.worker" @@ fun () ->
               let ctx = init () in
-              let start, stop = chunk d in
-              ( List.init (stop - start) (fun i ->
-                    (start + i, f ctx items.(start + i))),
-                ctx )))
+              let res =
+                match
+                  let start, stop = chunk d in
+                  List.init (stop - start) (fun i ->
+                      (start + i, f ctx items.(start + i)))
+                with
+                | rs -> Ok rs
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              (res, ctx)))
     in
+    (* join everything before deciding the outcome: re-raising at the
+       first failed join would leave later domains unjoined and drop
+       their contexts *)
+    let joined = List.map Domain.join workers in
     let out = Array.make n None in
     let ctxs =
       List.map
-        (fun w ->
-          let rs, ctx = Domain.join w in
-          List.iter (fun (i, r) -> out.(i) <- Some r) rs;
+        (fun (res, ctx) ->
+          (match res with
+           | Ok rs -> List.iter (fun (i, r) -> out.(i) <- Some r) rs
+           | Error _ -> ());
+          finally ctx;
           ctx)
-        workers
+        joined
     in
-    (Array.map Option.get out, ctxs)
+    match
+      List.find_map
+        (function Error e, _ -> Some e | Ok _, _ -> None)
+        joined
+    with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> (Array.map Option.get out, ctxs)
   end
 
 type config = {
@@ -85,6 +118,11 @@ type pool = {
 let create_pool () =
   { pool_compiles = 0; pool_hits = 0; pool_entries = Hashtbl.create 64 }
 
+let m_runs = Obs.Metrics.counter "executor.runs"
+let m_units = Obs.Metrics.counter "executor.units"
+let m_pool_hits = Obs.Metrics.counter "executor.pool_hits"
+let m_pool_compiles = Obs.Metrics.counter "executor.pool_compiles"
+
 let pool_counters p = (p.pool_compiles, p.pool_hits)
 
 (* Keep runaway workloads bounded: a pool past this many distinct
@@ -114,6 +152,7 @@ let compile_task pool (t : Spec.task) =
           when Lp.Model.same_structure ~except:(all_vars t.Spec.model)
                  e.pe_model t.Spec.model ->
             p.pool_hits <- p.pool_hits + 1;
+            Obs.Metrics.add m_pool_hits 1;
             Pooled e
         | _ ->
             if Hashtbl.length p.pool_entries >= pool_cap then
@@ -121,6 +160,7 @@ let compile_task pool (t : Spec.task) =
             let cp = Lp.Simplex.compile t.Spec.model in
             let e = { pe_model = t.Spec.model; pe_compiled = cp } in
             p.pool_compiles <- p.pool_compiles + 1;
+            Obs.Metrics.add m_pool_compiles 1;
             Hashtbl.replace p.pool_entries t.Spec.signature e;
             Pooled e)
     | _ -> Fresh (Lp.Simplex.compile t.Spec.model)
@@ -153,7 +193,11 @@ let override_bounds (model : Model.t) overrides =
     overrides;
   (lo, hi)
 
-let run ?hook ?pool config (plan : Spec.t) =
+let run ?hook ?pool ?partial_stats config (plan : Spec.t) =
+  Obs.Trace.with_span "executor.run" @@ fun () ->
+  Obs.Metrics.add m_runs 1;
+  Obs.Metrics.add m_units (Array.length plan.Spec.units);
+  Obs.Trace.count "units" (Array.length plan.Spec.units);
   let affine =
     Array.map (fun a -> (a, Spec.eval_affine a)) plan.Spec.affine
   in
@@ -218,6 +262,7 @@ let run ?hook ?pool config (plan : Spec.t) =
   in
   let init () = (Engine.zero_stats (), Hashtbl.create 8) in
   let compute ctx (u : Spec.unit_of_work) =
+    Obs.Trace.with_span "executor.unit" @@ fun () ->
     let engine = engine_for ctx u in
     let task = plan.Spec.tasks.(u.Spec.task_id) in
     let base (req : request) = engine.Engine.run req.dir req.terms in
@@ -231,10 +276,22 @@ let run ?hook ?pool config (plan : Spec.t) =
         (qs.Spec.q, solve req))
       u.Spec.queries
   in
-  let per_unit, ctxs =
-    parallel_map config.domains ~init plan.Spec.units compute
-  in
   let stats = Engine.zero_stats () in
-  List.iter (fun (local, _) -> Engine.merge_stats ~into:stats local) ctxs;
+  (* [finally] runs per worker context, after the join, whether or not
+     the run failed: the outcome's stats and the caller's
+     [partial_stats] accumulator both see every worker's counters, so
+     a hook that raises (cancellation, deadline) does not lose the
+     solver work already done *)
+  let finally ((local : Engine.stats), _) =
+    Engine.merge_stats ~into:stats local;
+    match partial_stats with
+    | Some acc -> Engine.merge_stats ~into:acc local
+    | None -> ()
+  in
+  let per_unit, _ctxs =
+    parallel_map ~finally config.domains ~init plan.Spec.units compute
+  in
   let solved = Array.concat (Array.to_list per_unit) in
+  Obs.Trace.count "lp_solves" stats.Engine.lp_solves;
+  Obs.Trace.count "milp_solves" stats.Engine.milp_solves;
   { affine; solved; stats }

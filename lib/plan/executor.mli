@@ -8,6 +8,7 @@
     them to their own state. *)
 
 val parallel_map :
+  ?finally:('c -> unit) ->
   int -> init:(unit -> 'c) -> 'a array -> ('c -> 'a -> 'b) -> 'b array * 'c list
 (** [parallel_map n_domains ~init items f] maps [f] over [items] in
     contiguous chunks, one chunk per spawned domain (capped at the item
@@ -15,7 +16,14 @@ val parallel_map :
     domain).  [init] builds one worker context; the contexts are
     returned for the caller to merge.  Result order follows [items]
     regardless of worker scheduling.  Total over all valid inputs,
-    including [n_domains] exceeding the item count. *)
+    including [n_domains] exceeding the item count.
+
+    If [f] raises in any worker, every spawned domain is still joined
+    and the first exception is re-raised (with its backtrace) in the
+    calling domain.  [finally] — which runs in the calling domain — is
+    applied to {e every} produced context, on success and on failure
+    alike, before the re-raise; use it to salvage per-worker statistics
+    from a failed run. *)
 
 type config = {
   domains : int;
@@ -69,13 +77,21 @@ type outcome = {
   stats : Engine.stats;
 }
 
-val run : ?hook:(solve -> solve) -> ?pool:pool -> config -> Spec.t -> outcome
+val run :
+  ?hook:(solve -> solve) ->
+  ?pool:pool ->
+  ?partial_stats:Engine.stats ->
+  config -> Spec.t -> outcome
 (** Execute a plan.  [hook] wraps the base per-query solve (for
     instrumentation, query interception in tests and experiments, or
     cooperative cancellation — the certification daemon's deadline
     checks raise from here); it runs inside worker domains, so it must
     be thread-safe.  [pool] carries compiled matrices across runs (see
-    {!type:pool}).
+    {!type:pool}).  [partial_stats], when given, accumulates every
+    worker's counters even when the run raises (a cancellation hook,
+    say): on success it ends up equal to the outcome's [stats] merged
+    on top of its initial value, and on failure it holds whatever the
+    workers completed before the exception.
 
     Execution contract, relied on for reproducibility:
     - LP task matrices are compiled once and shared read-only;

@@ -10,11 +10,12 @@ type config = {
   domains : int;
   handle_signals : bool;
   verbose : bool;
+  metrics : bool;
 }
 
 let default_config addr =
   { addr; workers = 2; queue_cap = 64; cache_path = None; domains = 1;
-    handle_signals = true; verbose = false }
+    handle_signals = true; verbose = false; metrics = false }
 
 (* --- connections ---
 
@@ -203,6 +204,7 @@ let respond_job state job resp =
   job_done job.j_conn
 
 let handle_job state pool job =
+  Obs.Trace.with_span "serve.request" @@ fun () ->
   let q = job.j_query in
   let deadline =
     Option.map (fun ms -> job.j_enqueued +. (ms /. 1000.0)) q.Wire.q_deadline_ms
@@ -298,7 +300,7 @@ let stats_json state =
   let cc = Cache.counters state.cache in
   let lookups = cc.Cache.hits + cc.Cache.misses in
   Json.Obj
-    [ ("uptime_s", Json.Num (Unix.gettimeofday () -. state.started));
+    ([ ("uptime_s", Json.Num (Unix.gettimeofday () -. state.started));
       ("queue_depth", Json.Num (float_of_int (Squeue.length state.queue)));
       ("queue_cap", Json.Num (float_of_int state.cfg.queue_cap));
       ("workers", Json.Num (float_of_int state.cfg.workers));
@@ -336,6 +338,16 @@ let stats_json state =
          [ ("all", Hist.to_json state.hist_all);
            ("cache_hit", Hist.to_json state.hist_hit);
            ("solve", Hist.to_json state.hist_solve) ]) ]
+     @
+     (* [--metrics]: the process-wide Obs registry, flattened — solver
+        internals (pivots, phase runs, warm/cold splits) the per-request
+        counters above cannot see *)
+     (if state.cfg.metrics then
+        [ ("metrics",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.Num v)) (Obs.Metrics.dump ())))
+        ]
+      else []))
 
 (* --- the event loop --- *)
 

@@ -42,11 +42,13 @@ type config = {
                                    (process-wide — daemons only, not
                                    in-process test servers) *)
   verbose : bool;              (** per-request log lines on stderr *)
+  metrics : bool;              (** include the process-wide {!Obs.Metrics}
+                                   registry in [stats] responses *)
 }
 
 val default_config : addr -> config
 (** 2 workers, queue of 64, no persistence, 1 domain, signals on,
-    quiet. *)
+    quiet, no metrics. *)
 
 val run : config -> unit
 (** Serve until shutdown.  Blocks the calling thread; raises [Failure]

@@ -15,6 +15,14 @@ dune runtest
 echo "== dune runtest (GRC_AUDIT=1) =="
 GRC_AUDIT=1 dune runtest --force
 
+# The qcheck suites honor QCHECK_SEED; the differential suite compares
+# the attack, the relaxed certifier, full refinement, and two exact
+# engines on the same random nets, so distinct seeds buy distinct nets.
+echo "== differential suite under three fixed seeds =="
+for seed in 1 42 20260806; do
+  QCHECK_SEED="$seed" dune exec test/test_main.exe -- test differential
+done
+
 echo "== grc lint (small auto-mpg encoding) =="
 dune exec -- grc lint --family auto-mpg --id lint-ci --size 4,4 \
   --artifacts _build/lint-artifacts
@@ -48,18 +56,39 @@ if [ "$with_dedup" != "$without_dedup" ]; then
   exit 1
 fi
 
+echo "== traced certification sweep (grc trace-check) =="
+dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 \
+  --trace _build/trace-ci.json
+dune exec -- grc trace-check _build/trace-ci.json \
+  --require certify --require plan.values --require executor.run \
+  --require engine.query --require simplex.solve
+dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 --domains 4 \
+  --trace _build/trace-par-ci.json
+dune exec -- grc trace-check _build/trace-par-ci.json \
+  --require certify --require executor.worker --require simplex.solve
+
+echo "== obs-bench (disabled-tracing overhead gate; writes BENCH_obs.json) =="
+dune exec bench/main.exe -- obs-bench
+test -s BENCH_obs.json
+
 echo "== certification daemon smoke test =="
+# Everything is already built; run the binary directly.  A backgrounded
+# `dune exec` and a foreground one race for the dune lock, and the loser
+# silently falls back to PATH resolution and dies.
+grc=_build/default/bin/grc.exe
 sock="_build/grc-ci.sock"
 cachef="_build/grc-ci-cache.txt"
 rm -f "$sock" "$cachef"
-dune exec -- grc serve --socket "$sock" --cache "$cachef" --workers 1 &
+"$grc" serve --socket "$sock" --cache "$cachef" --workers 1 &
 serve_pid=$!
 cleanup_serve() {
   kill "$serve_pid" 2>/dev/null || true
 }
 trap cleanup_serve EXIT
 i=0
-until dune exec -- grc submit --socket "$sock" --ping >/dev/null 2>&1; do
+until "$grc" submit --socket "$sock" --ping >/dev/null 2>&1; do
   i=$((i + 1))
   if [ "$i" -ge 50 ]; then
     echo "daemon did not come up" >&2
@@ -67,19 +96,19 @@ until dune exec -- grc submit --socket "$sock" --ping >/dev/null 2>&1; do
   fi
   sleep 0.2
 done
-first=$(dune exec -- grc submit --socket "$sock" \
+first=$("$grc" submit --socket "$sock" \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001)
 echo "$first" | grep -q 'cached: false' || {
   echo "first submission unexpectedly cached" >&2
   exit 1
 }
-second=$(dune exec -- grc submit --socket "$sock" \
+second=$("$grc" submit --socket "$sock" \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001)
 echo "$second" | grep -q 'cached: true' || {
   echo "second submission missed the result cache" >&2
   exit 1
 }
-oneshot=$(dune exec -- grc certify \
+oneshot=$("$grc" certify \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
 if [ "$(echo "$first" | grep '^output')" != "$oneshot" ] \
   || [ "$(echo "$second" | grep '^output')" != "$oneshot" ]; then
@@ -88,11 +117,11 @@ if [ "$(echo "$first" | grep '^output')" != "$oneshot" ] \
   echo "  one-shot: $oneshot" >&2
   exit 1
 fi
-dune exec -- grc submit --socket "$sock" --stats | grep -q '"hit_rate"' || {
+"$grc" submit --socket "$sock" --stats | grep -q '"hit_rate"' || {
   echo "stats payload missing cache hit rate" >&2
   exit 1
 }
-dune exec -- grc submit --socket "$sock" --shutdown
+"$grc" submit --socket "$sock" --shutdown
 wait "$serve_pid"
 trap - EXIT
 if [ -S "$sock" ]; then

@@ -54,7 +54,7 @@ let relu_dist_sound =
       tup4 (float_range (-3.0) 3.0) (float_range 0.0 3.0)
         (float_range (-2.0) 2.0) (float_range 0.0 2.0))
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:300 ~name:"relu_dist encloses samples"
        (QCheck.make gen)
        (fun (ylo, ywidth, dlo, dwidth) ->
@@ -603,7 +603,7 @@ let test_conv_certification_sound () =
 (* property: algorithm 1 is sound on random small nets *)
 let algo1_sound_prop =
   let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 2 5)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:15 ~name:"algo1 sound on random nets"
        (QCheck.make gen)
        (fun (seed, width) ->
@@ -625,7 +625,7 @@ let algo1_sound_prop =
    dominates exact *)
 let algo1_dominates_exact_prop =
   let gen = QCheck.Gen.int_range 0 100000 in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:10 ~name:"algo1 >= exact on random nets"
        (QCheck.make gen)
        (fun seed ->

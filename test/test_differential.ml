@@ -1,0 +1,151 @@
+(* Differential soundness suite.
+
+   Three independent implementations bound the same quantity — the
+   worst global output variation under an L-inf input perturbation:
+
+   - {!Attack.Global_under}: PGD from concrete points, a lower bound;
+   - {!Cert.Certifier}: Algorithm 1 over the interleaved relaxation,
+     an upper bound that becomes exact when every interior ReLU is
+     refined and the window spans the whole network;
+   - {!Cert.Exact} (twin MILP) and {!Cert.Reluplex_style} (lazy
+     splitting): two exact references with nothing in common but the
+     specification.
+
+   Any ordering violation between them is a soundness bug in one of
+   the stacks, with no oracle needed. *)
+
+let dense_chain ~rng ~dims =
+  let rec build = function
+    | a :: b :: rest ->
+        Nn.Layer.dense_random ~relu:(rest <> []) ~rng ~in_dim:a ~out_dim:b ()
+        :: build (b :: rest)
+    | [ _ ] | [] -> []
+  in
+  Nn.Network.make (build dims)
+
+(* qcheck generator for a small random ReLU net: a seed (nets must be
+   value-deterministic for shrinking) plus sampled layer widths. *)
+let net_gen ~max_width ~hidden =
+  QCheck.Gen.(
+    triple (int_range 0 1_000_000) (int_range 2 max_width)
+      (int_range 1 hidden))
+
+let build_net (seed, width, hidden) =
+  let rng = Random.State.make [| seed |] in
+  let dims = (2 :: List.init hidden (fun _ -> width)) @ [ 2 ] in
+  dense_chain ~rng ~dims
+
+(* --- (a) attack lower bound <= certified upper bound --- *)
+
+let attack_below_certified_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:12 ~name:"attack eps_under <= certified eps"
+       (QCheck.make (net_gen ~max_width:4 ~hidden:2))
+       (fun ((seed, _, _) as spec) ->
+         let net = build_net spec in
+         let delta = 0.05 in
+         let lo = -1.0 and hi = 1.0 in
+         let input = Cert.Bounds.box_domain net ~lo ~hi in
+         let report = Cert.Certifier.certify net ~input ~delta in
+         let rng = Random.State.make [| seed + 1 |] in
+         let dim = Nn.Network.input_dim net in
+         let xs =
+           Array.init 12 (fun _ ->
+               Array.init dim (fun _ ->
+                   lo +. Random.State.float rng (hi -. lo)))
+         in
+         let atk =
+           Attack.Global_under.sweep ~domain:input ~seed net ~xs ~delta
+         in
+         Array.for_all2
+           (fun under upper -> under <= upper +. 1e-9)
+           atk.Attack.Global_under.eps_under report.Cert.Certifier.eps))
+
+(* --- (b) relaxation dominates exact; full refinement closes the gap --- *)
+
+let relaxed_vs_exact_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:8
+       ~name:"relaxed eps >= exact MILP eps; equality under full refinement"
+       (QCheck.make (net_gen ~max_width:3 ~hidden:1))
+       (fun spec ->
+         let net = build_net spec in
+         let delta = 0.08 in
+         let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+         let exact = Cert.Exact.global_btne net ~input ~delta in
+         if not exact.Cert.Exact.exact then true (* budget hit: no oracle *)
+         else begin
+           let relaxed = Cert.Certifier.certify net ~input ~delta in
+           let dominated =
+             Array.for_all2
+               (fun r e -> r >= e -. 1e-6)
+               relaxed.Cert.Certifier.eps exact.Cert.Exact.eps
+           in
+           (* window spanning the whole net + every interior ReLU
+              refined turns the relaxation into the exact program *)
+           let full_config =
+             { Cert.Certifier.default_config with
+               Cert.Certifier.window = Nn.Network.n_layers net;
+               refine = Cert.Certifier.Fraction 1.0;
+               margin = 0.0 }
+           in
+           let full =
+             Cert.Certifier.certify ~config:full_config net ~input ~delta
+           in
+           let tight j f e =
+             let tol = 1e-6 *. Float.max 1.0 (Float.abs e) in
+             if Float.abs (f -. e) > tol then (
+               Printf.eprintf
+                 "full refinement not tight: output %d, full %.12g, \
+                  exact %.12g\n%!"
+                 j f e;
+               false)
+             else true
+           in
+           let closes =
+             Array.for_all Fun.id
+               (Array.mapi
+                  (fun j f -> tight j f exact.Cert.Exact.eps.(j))
+                  full.Cert.Certifier.eps)
+           in
+           dominated && closes
+         end))
+
+(* --- (c) two exact engines agree on 2-layer nets --- *)
+
+(* Both engines optimise over the same finitely many ReLU phase
+   patterns, so at the shared optimum they evaluate the same vertex —
+   but through different pivot sequences, whose rounding differs in
+   the last bits (observed: 1-2 ulp).  Bitwise equality is therefore
+   too strong; a near-ulp relative tolerance still catches any real
+   disagreement (a wrong phase pattern moves the optimum by far more
+   than 1e-9 relative). *)
+
+let reluplex_vs_milp_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:8 ~name:"reluplex eps = exact MILP eps"
+       (QCheck.make (net_gen ~max_width:3 ~hidden:1))
+       (fun spec ->
+         let net = build_net spec in
+         let delta = 0.08 in
+         let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+         let milp = Cert.Exact.global_btne net ~input ~delta in
+         let rel = Cert.Reluplex_style.global net ~input ~delta in
+         if not (milp.Cert.Exact.exact && rel.Cert.Reluplex_style.exact)
+         then true
+         else
+           Array.for_all2
+             (fun a b ->
+               let tol = 1e-9 *. Float.max 1.0 (Float.abs b) in
+               if Float.abs (a -. b) <= tol then true
+               else (
+                 Printf.eprintf
+                   "exact engines disagree: reluplex %.17g, milp %.17g\n%!"
+                   a b;
+                 false))
+             rel.Cert.Reluplex_style.eps milp.Cert.Exact.eps))
+
+let suites =
+  [ ( "differential",
+      [ attack_below_certified_prop; relaxed_vs_exact_prop;
+        reluplex_vs_milp_prop ] ) ]

@@ -22,7 +22,7 @@ let mat_gen rows cols =
     (QCheck.Gen.array_size (QCheck.Gen.return (rows * cols)) float_gen)
 
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count ~name (QCheck.make gen) prop)
 
 (* --- Vec --- *)

@@ -221,7 +221,7 @@ let random_lp_agrees =
       triple (list_size (int_range 1 5) constr) (pair coeff coeff)
         (pair (float_range (-4.0) 0.0) (float_range 0.5 4.0)))
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:300 ~name:"2-var LP matches vertex enumeration"
        (QCheck.make gen)
        (fun (constraints, (c1, c2), (lo_v, hi_v)) ->
@@ -258,7 +258,7 @@ let random_lp_sound =
       pair (int_range 3 6)
         (pair (int_range 2 6) (int_range 0 1000000)))
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:60 ~name:"n-var LP optimal beats sampled points"
        (QCheck.make gen)
        (fun (n, (n_constr, seed)) ->
@@ -378,7 +378,7 @@ let random_session_agrees =
     QCheck.Gen.(
       triple (int_range 2 5) (int_range 1 5) (int_range 0 1000000))
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:120
        ~name:"session warm solves match cold solves"
        (QCheck.make gen)

@@ -100,7 +100,7 @@ let test_objective_override () =
 (* property: random binary MILPs vs exhaustive enumeration *)
 let random_binary_milp =
   let gen = QCheck.Gen.(pair (int_range 2 6) (int_range 0 1000000)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:120 ~name:"binary MILP matches enumeration"
        (QCheck.make gen)
        (fun (n, seed) ->
@@ -141,7 +141,7 @@ let random_binary_milp =
    binaries (continuous part solved by LP per assignment) *)
 let random_mixed_milp =
   let gen = QCheck.Gen.(pair (int_range 2 4) (int_range 0 1000000)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:50 ~name:"mixed MILP matches enumeration"
        (QCheck.make gen)
        (fun (n, seed) ->

@@ -383,7 +383,7 @@ let io_malformed_prop =
   let base = Nn.Io.to_string (small_net ()) in
   let len = String.length base in
   let gen = QCheck.Gen.(tup3 (int_range 0 6) (int_range 0 (len - 1)) char) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:500 ~name:"of_string malformed -> Failure"
        (QCheck.make gen) (fun (mode, pos, c) ->
          let mutated =
@@ -431,7 +431,7 @@ let conv_row_prop =
       tup6 small (int_range 3 7) (int_range 3 7) small (int_range 1 2)
         (int_range 0 1))
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:60 ~name:"conv linear_row = forward_pre"
        (QCheck.make gen)
        (fun (c, h, w, oc, stride, pad) ->

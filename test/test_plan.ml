@@ -78,7 +78,7 @@ let affine_matches_lp (a : Plan.affine) =
 
 let affine_box_lp_prop =
   let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 2 6)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:50 ~name:"affine fast path agrees with LP"
        (QCheck.make gen)
        (fun (seed, width) ->
@@ -192,6 +192,76 @@ let test_executor_hook_and_order () =
       | _ -> Alcotest.failf "query %d: solved/unsolved mismatch" k)
     seq.Plan.Executor.solved
 
+(* --- executor: worker failure must not lose completed statistics --- *)
+
+(* regression: per-worker stats were dropped when any worker raised —
+   the join discarded contexts on the failure path, so a cancelled run
+   (the daemon's deadline hook raises) reported zero solves no matter
+   how much work had finished *)
+let test_executor_partial_stats_on_failure () =
+  let rng = Random.State.make [| 55 |] in
+  let net = random_net ~rng ~relu:true ~dims:[ 3; 8; 8; 4 ] in
+  let bounds = box_bounds net ~lo:(-1.0) ~hi:1.0 ~delta:0.05 in
+  let plan = Cert.Planner.plan_values pconfig bounds net ~layer:1 in
+  Alcotest.(check bool) "plan has enough LP work" true
+    (plan.Plan.n_queries > 4);
+  let boom = plan.Plan.n_queries / 2 in
+  List.iter
+    (fun domains ->
+      let seen = Atomic.make 0 in
+      let hook base req =
+        if Atomic.fetch_and_add seen 1 = boom then failwith "cancelled";
+        base req
+      in
+      let acc = Plan.Engine.zero_stats () in
+      (match
+         Plan.Executor.run ~hook ~partial_stats:acc
+           { Plan.Executor.domains; milp_options = Milp.default_options }
+           plan
+       with
+      | _ -> Alcotest.fail "hook exception did not propagate"
+      | exception Failure msg ->
+          Alcotest.(check string) "the hook's exception" "cancelled" msg);
+      (* every query answered before the failure is accounted for *)
+      Alcotest.(check bool)
+        (Printf.sprintf "partial stats salvaged (domains=%d)" domains)
+        true
+        (acc.Plan.Engine.lp_solves + acc.Plan.Engine.milp_solves >= boom))
+    [ 1; 4 ]
+
+(* the multi-domain path applies [finally] to every context, success
+   and failure alike, in the calling domain *)
+let test_parallel_map_finally () =
+  let finalized = Atomic.make 0 in
+  let finally ctx =
+    assert (Domain.is_main_domain ());
+    Atomic.fetch_and_add finalized !ctx |> ignore
+  in
+  let items = Array.init 8 (fun i -> i) in
+  let _, ctxs =
+    Plan.Executor.parallel_map ~finally 4 ~init:(fun () -> ref 0) items
+      (fun ctx x ->
+        incr ctx;
+        x)
+  in
+  Alcotest.(check int) "finalized every completed item" 8
+    (Atomic.get finalized);
+  Alcotest.(check int) "one context per worker" 4 (List.length ctxs);
+  Atomic.set finalized 0;
+  (match
+     Plan.Executor.parallel_map ~finally 4 ~init:(fun () -> ref 0) items
+       (fun ctx x ->
+         if x = 5 then failwith "boom";
+         incr ctx;
+         x)
+   with
+  | _ -> Alcotest.fail "worker exception did not propagate"
+  | exception Failure _ -> ());
+  (* workers other than the failing one ran to completion; their
+     contexts were still finalized *)
+  Alcotest.(check bool) "failure path finalizes survivors" true
+    (Atomic.get finalized >= 6)
+
 (* --- plan audit: well-formed plans are clean, corrupt counters are not --- *)
 
 let test_plan_audit () =
@@ -210,7 +280,11 @@ let suites =
   [ ( "plan:executor",
       [ Alcotest.test_case "parallel_map grid" `Quick test_parallel_map_grid;
         Alcotest.test_case "hook and order" `Quick
-          test_executor_hook_and_order ] );
+          test_executor_hook_and_order;
+        Alcotest.test_case "partial stats on failure" `Quick
+          test_executor_partial_stats_on_failure;
+        Alcotest.test_case "parallel_map finally" `Quick
+          test_parallel_map_finally ] );
     ( "plan:planner",
       [ affine_box_lp_prop;
         Alcotest.test_case "signature input-invariant" `Quick

@@ -86,7 +86,7 @@ let test_preserves_optimum () =
 (* property: presolve never cuts off the MILP optimum *)
 let presolve_preserves_milp =
   let gen = QCheck.Gen.(pair (int_range 2 5) (int_range 0 1000000)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:80 ~name:"presolve preserves MILP optimum"
        (QCheck.make gen)
        (fun (n, seed) ->
@@ -125,7 +125,7 @@ let presolve_preserves_milp =
    (models the linter rejects are out of contract and skipped) *)
 let lint_clean_presolve_same_optimum =
   let gen = QCheck.Gen.(pair (int_range 2 6) (int_range 0 1000000)) in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:80
        ~name:"lint-clean models presolve to the same optimum"
        (QCheck.make gen)

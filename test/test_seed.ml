@@ -1,0 +1,38 @@
+(* Deterministic seeding for every qcheck suite.
+
+   One process-wide seed, taken from the QCHECK_SEED environment
+   variable when set (CI runs the differential suite under several
+   fixed seeds) and self-initialised otherwise.  Every property built
+   through [to_alcotest] draws its generator state from this seed, and
+   a failing property names the seed to re-run with — the qcheck
+   default only prints it at startup, far from the failure. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "QCHECK_SEED=%S is not an integer\n%!" s;
+          exit 2)
+  | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+
+let () =
+  Printf.printf "qcheck seed: %d (QCHECK_SEED=%d reproduces)\n%!" seed seed
+
+(* A fresh state per property: suites must not perturb each other's
+   draws, or adding a test would change every later generator. *)
+let rand () = Random.State.make [| seed |]
+
+let to_alcotest test =
+  let name, speed, run = QCheck_alcotest.to_alcotest ~rand:(rand ()) test in
+  let run arg =
+    try run arg
+    with e ->
+      Printf.eprintf "property %S failed; QCHECK_SEED=%d reproduces\n%!"
+        name seed;
+      raise e
+  in
+  (name, speed, run)

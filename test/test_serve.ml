@@ -42,7 +42,7 @@ let json_float_roundtrip_prop =
         [ float; map Int64.float_of_bits int64;
           oneofl [ 0.0; -0.0; 1e-300; 1.0 /. 3.0; max_float; min_float ] ])
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:2000 ~name:"json float roundtrip bitwise"
        (QCheck.make gen) (fun x ->
          if not (Float.is_finite x) then true (* the codec rejects those *)
@@ -72,7 +72,7 @@ let json_tree_roundtrip_prop =
              (list_size (int_range 0 4)
                 (pair str_gen (tree (n - 1))))) ]
   in
-  QCheck_alcotest.to_alcotest
+  Test_seed.to_alcotest
     (QCheck.Test.make ~count:500 ~name:"json tree roundtrip"
        (QCheck.make (tree 3)) (fun t ->
          Json.of_string (Json.to_string t) = t))
@@ -153,6 +153,112 @@ let test_wire_rejects () =
     [ "{\"op\":\"nope\",\"id\":1}"; "{\"id\":1}";
       "{\"op\":\"certify\",\"id\":1,\"window\":0,\"net\":\"x\"}";
       "{\"op\":\"certify\",\"id\":1}" ]
+
+(* --- codec fuzzing: hostile bytes must fail cleanly --- *)
+
+(* The decoders' contract is total: anything malformed raises [Failure]
+   with a message.  Any other exception — or a hang — is a bug, and
+   qcheck reports non-[Failure] exceptions as property failures. *)
+
+let json_fuzz_bytes_prop =
+  let gen = QCheck.Gen.(string_size ~gen:char (int_range 0 64)) in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"json fuzz: arbitrary bytes"
+       (QCheck.make gen) (fun s ->
+         match Json.of_string s with
+         | _ -> true
+         | exception Failure _ -> true))
+
+(* Mutations of genuine frames — truncations, duplicated slices, two
+   frames spliced — are the near-misses a byte-level fuzzer rarely
+   reaches.  Whatever still parses as JSON must then decode or be
+   rejected with [Failure] by the wire layer. *)
+let valid_frames =
+  [ Wire.encode_request ~id:7 (Wire.Certify sample_query);
+    Wire.encode_request ~id:1 Wire.Ping;
+    Wire.encode_request ~id:2 (Wire.Load "grc-net 1\nlayers 0\n");
+    Wire.encode_response ~id:3
+      (Wire.Loaded { digest = "ab"; params = 2; layers = 1 });
+    Wire.encode_response ~id:4
+      (Wire.Result
+         { Wire.r_eps = [| 0.5 |]; r_digest = "d"; r_cached = false;
+           r_time_ms = 1.0; r_lp_solves = 1; r_lp_warm = 0;
+           r_milp_solves = 0 }) ]
+
+let mutated_frame_gen =
+  QCheck.Gen.(
+    oneofl valid_frames >>= fun frame ->
+    let n = String.length frame in
+    oneof
+      [ (* truncate *)
+        map (fun k -> String.sub frame 0 k) (int_range 0 (max 0 (n - 1)));
+        (* duplicate a slice in place *)
+        ( int_range 0 (n - 1) >>= fun i ->
+          int_range 0 (n - i) >>= fun len ->
+          return
+            (String.sub frame 0 (i + len)
+            ^ String.sub frame i len
+            ^ String.sub frame (i + len) (n - i - len)) );
+        (* splice the head of one frame onto the tail of another *)
+        ( oneofl valid_frames >>= fun other ->
+          int_range 0 n >>= fun k ->
+          let m = String.length other in
+          int_range 0 m >>= fun k' ->
+          return (String.sub frame 0 k ^ String.sub other k' (m - k')) );
+        (* flip one byte *)
+        ( int_range 0 (n - 1) >>= fun i ->
+          char >>= fun c ->
+          return
+            (String.mapi (fun j old -> if i = j then c else old) frame) ) ])
+
+let wire_fuzz_mutations_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"wire fuzz: mutated frames"
+       (QCheck.make mutated_frame_gen) (fun s ->
+         match Json.of_string s with
+         | exception Failure _ -> true
+         | j ->
+             (match Wire.decode_request j with
+              | _ -> ()
+              | exception Failure _ -> ());
+             (match Wire.decode_response j with
+              | _ -> ()
+              | exception Failure _ -> ());
+             true))
+
+(* [read_frame] against hostile streams: garbage lines, EOF mid-frame,
+   duplicated frames in one write — every stream terminates in clean
+   frames, a [Failure], or a clean EOF.  Never a crash, never a loop. *)
+let test_read_frame_hostile () =
+  let feed bytes =
+    let a, b = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+    let n = String.length bytes in
+    let k = ref 0 in
+    while !k < n do
+      k := !k + Unix.write_substring b bytes !k (n - !k)
+    done;
+    Unix.close b;
+    let buf = Buffer.create 64 in
+    let rec drain acc =
+      match Wire.read_frame buf a with
+      | Some _ -> drain (acc + 1)
+      | None -> Ok acc
+      | exception Failure _ -> Error acc
+    in
+    Fun.protect ~finally:(fun () -> Unix.close a) (fun () -> drain 0)
+  in
+  let ping = Wire.encode_request ~id:1 Wire.Ping in
+  let check name expected stream =
+    if feed stream <> expected then Alcotest.fail name
+  in
+  check "empty stream is clean EOF" (Ok 0) "";
+  check "two frames in one write" (Ok 2) (ping ^ "\n" ^ ping ^ "\n");
+  check "garbage line fails" (Error 0) "not json\n";
+  check "eof mid-frame fails" (Error 0) "{\"op\":\"ping\",\"id\"";
+  check "frame then truncated tail" (Error 1) (ping ^ "\n{\"op");
+  check "blank line fails" (Error 0) "\n";
+  check "frame then garbage then frame" (Error 1)
+    (ping ^ "\nxx\n" ^ ping ^ "\n")
 
 (* --- bounded queue --- *)
 
@@ -297,7 +403,7 @@ let with_server ?cache_path ?(workers = 1) ?(queue_cap = 8) f =
   let addr = Serve.Server.Unix_path sock in
   let config =
     { Serve.Server.addr; workers; queue_cap; cache_path; domains = 1;
-      handle_signals = false; verbose = false }
+      handle_signals = false; verbose = false; metrics = true }
   in
   let srv = Domain.spawn (fun () -> Serve.Server.run config) in
   let finish () = Domain.join srv in
@@ -483,7 +589,10 @@ let suites =
         Alcotest.test_case "response roundtrip" `Quick
           test_wire_response_roundtrip;
         Alcotest.test_case "eps bitwise" `Quick test_wire_eps_bitwise;
-        Alcotest.test_case "rejects" `Quick test_wire_rejects ] );
+        Alcotest.test_case "rejects" `Quick test_wire_rejects;
+        json_fuzz_bytes_prop; wire_fuzz_mutations_prop;
+        Alcotest.test_case "read_frame hostile streams" `Quick
+          test_read_frame_hostile ] );
     ( "serve:parts",
       [ Alcotest.test_case "squeue order/bounds" `Quick
           test_squeue_order_and_bounds;
