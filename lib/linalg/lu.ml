@@ -1,0 +1,361 @@
+(* Sparse LU with eta-file updates for the revised simplex.
+
+   Factorisation is left-looking over the basis columns taken in
+   ascending-nonzero order (static Markowitz column control); the pivot
+   of each column is chosen by threshold partial pivoting among the
+   sparsest eligible rows (static row counts).  L is unit lower
+   triangular and stored by column as multipliers on original row
+   indices; U is stored by column as (step, value) pairs above a
+   separate diagonal.  Permutations:
+
+     rowp.(k)  step k -> original row index of its pivot
+     rowi.(i)  original row i -> its step (inverse of rowp)
+     colp.(k)  step k -> basis position of the column eliminated at k
+
+   Eta terms record simplex column replacements in product form:
+   B_new = B_old . E with E = I except column [er] <- y, so FTRAN
+   applies E^-1 after the LU solve (in push order) and BTRAN applies
+   E^-T before it (in reverse order). *)
+
+let singular_tol = 1e-12
+
+type eta = {
+  er : int;  (* replaced basis position *)
+  epiv : float;  (* y.(er) *)
+  eidx : int array;  (* off-pivot positions with y <> 0 *)
+  evals : float array;
+}
+
+type t = {
+  m : int;
+  rowp : int array;
+  rowi : int array;
+  colp : int array;
+  udiag : float array;
+  lcols : (int array * float array) array;
+  ucols : (int array * float array) array;
+  lu_nnz : int;
+  mutable etas : eta array;
+  mutable ecount : int;
+  mutable enz : int;
+  mutable unstable : bool;
+  work : float array;  (* orig-row space FTRAN scratch *)
+  workb : float array;  (* basis-position space BTRAN scratch *)
+  workz : float array;  (* step space BTRAN scratch *)
+  unitv : float array;  (* btran_unit right-hand side *)
+}
+
+let dummy_eta = { er = 0; epiv = 1.0; eidx = [||]; evals = [||] }
+
+let factor ?(tau = 0.01) ~m (cols : (int array * float array) array) =
+  if Array.length cols <> m then
+    invalid_arg
+      (Printf.sprintf "Lu.factor: %d columns for m = %d" (Array.length cols) m);
+  (* Deduplicated working copies of the columns, plus static row counts
+     for the Markowitz-style pivot preference. *)
+  let w = Array.make m 0.0 in
+  let inpat = Array.make m false in
+  let rcount = Array.make m 0 in
+  let ccols =
+    Array.map
+      (fun (idx, vals) ->
+        let pat = ref [] in
+        Array.iteri
+          (fun k i ->
+            if i < 0 || i >= m then
+              invalid_arg (Printf.sprintf "Lu.factor: row %d out of range" i);
+            if not inpat.(i) then begin
+              inpat.(i) <- true;
+              pat := i :: !pat
+            end;
+            w.(i) <- w.(i) +. vals.(k))
+          idx;
+        let nz = List.filter (fun i -> w.(i) <> 0.0) !pat in
+        let ci = Array.of_list nz in
+        let cv = Array.map (fun i -> w.(i)) ci in
+        Array.iter (fun i -> rcount.(i) <- rcount.(i) + 1) ci;
+        List.iter
+          (fun i ->
+            w.(i) <- 0.0;
+            inpat.(i) <- false)
+          !pat;
+        (ci, cv))
+      cols
+  in
+  (* Ascending-nnz column order, index as tiebreak for determinism. *)
+  let order = Array.init m Fun.id in
+  Array.sort
+    (fun a b ->
+      let ca = Array.length (fst ccols.(a))
+      and cb = Array.length (fst ccols.(b)) in
+      if ca <> cb then compare ca cb else compare a b)
+    order;
+  let rowp = Array.make m 0 in
+  let rowi = Array.make m (-1) in
+  let colp = Array.make m 0 in
+  let udiag = Array.make m 0.0 in
+  let lcols = Array.make m ([||], [||]) in
+  let ucols = Array.make m ([||], [||]) in
+  let lu_nnz = ref m in
+  let pat = Array.make m 0 in
+  let singular = ref false in
+  (try
+     for k = 0 to m - 1 do
+       let j = order.(k) in
+       let ci, cv = ccols.(j) in
+       (* Scatter column j into the dense work vector. *)
+       let np = ref 0 in
+       Array.iteri
+         (fun q i ->
+           w.(i) <- cv.(q);
+           inpat.(i) <- true;
+           pat.(!np) <- i;
+           incr np)
+         ci;
+       (* Forward-eliminate against all previous steps.  Fill created by
+          step p lands only on rows still non-pivotal at p, whose own
+          steps are > p, so one ascending scan suffices. *)
+       let uidx = ref [] and unz = ref 0 in
+       for p = 0 to k - 1 do
+         let t = w.(rowp.(p)) in
+         if t <> 0.0 then begin
+           uidx := p :: !uidx;
+           incr unz;
+           let li, lv = lcols.(p) in
+           Array.iteri
+             (fun q i ->
+               if not inpat.(i) then begin
+                 inpat.(i) <- true;
+                 pat.(!np) <- i;
+                 incr np
+               end;
+               w.(i) <- w.(i) -. (lv.(q) *. t))
+             li
+         end
+       done;
+       (* Threshold partial pivoting among the not-yet-pivotal rows:
+          within [tau] of the largest magnitude, prefer the sparsest
+          static row, then the largest magnitude, then the lowest
+          index. *)
+       let maxabs = ref 0.0 in
+       for q = 0 to !np - 1 do
+         let i = pat.(q) in
+         if rowi.(i) < 0 then begin
+           let a = Float.abs w.(i) in
+           if a > !maxabs then maxabs := a
+         end
+       done;
+       if !maxabs <= singular_tol then begin
+         singular := true;
+         raise Exit
+       end;
+       let thresh = tau *. !maxabs in
+       let best = ref (-1) and bestc = ref max_int and besta = ref 0.0 in
+       for q = 0 to !np - 1 do
+         let i = pat.(q) in
+         if rowi.(i) < 0 then begin
+           let a = Float.abs w.(i) in
+           if a >= thresh then
+             let better =
+               rcount.(i) < !bestc
+               || (rcount.(i) = !bestc
+                  && (a > !besta || (a = !besta && (!best < 0 || i < !best))))
+             in
+             if better then begin
+               best := i;
+               bestc := rcount.(i);
+               besta := a
+             end
+         end
+       done;
+       let pr = !best in
+       let piv = w.(pr) in
+       rowp.(k) <- pr;
+       rowi.(pr) <- k;
+       colp.(k) <- j;
+       udiag.(k) <- piv;
+       (* Multipliers for the remaining rows become column k of L. *)
+       let lidx = ref [] and lnz = ref 0 in
+       for q = 0 to !np - 1 do
+         let i = pat.(q) in
+         if rowi.(i) < 0 && w.(i) <> 0.0 then begin
+           lidx := i :: !lidx;
+           incr lnz
+         end
+       done;
+       let li = Array.make !lnz 0 and lv = Array.make !lnz 0.0 in
+       let q = ref (!lnz - 1) in
+       List.iter
+         (fun i ->
+           li.(!q) <- i;
+           lv.(!q) <- w.(i) /. piv;
+           decr q)
+         !lidx;
+       lcols.(k) <- (li, lv);
+       let ui = Array.make !unz 0 and uv = Array.make !unz 0.0 in
+       let q = ref (!unz - 1) in
+       List.iter
+         (fun p ->
+           ui.(!q) <- p;
+           uv.(!q) <- w.(rowp.(p));
+           decr q)
+         !uidx;
+       ucols.(k) <- (ui, uv);
+       lu_nnz := !lu_nnz + !lnz + !unz;
+       (* Clear the work vector for the next column. *)
+       for q = 0 to !np - 1 do
+         let i = pat.(q) in
+         w.(i) <- 0.0;
+         inpat.(i) <- false
+       done
+     done
+   with Exit -> ());
+  if !singular then None
+  else
+    Some
+      { m;
+        rowp;
+        rowi;
+        colp;
+        udiag;
+        lcols;
+        ucols;
+        lu_nnz = !lu_nnz;
+        etas = Array.make 8 dummy_eta;
+        ecount = 0;
+        enz = 0;
+        unstable = false;
+        work = Array.make m 0.0;
+        workb = Array.make m 0.0;
+        workz = Array.make m 0.0;
+        unitv = Array.make m 0.0 }
+
+(* --- FTRAN: B y = a --- *)
+
+(* Solve L U (P x) = work in place, permuting the result into
+   basis-position order in [dst], then replay the eta file. *)
+let solve_lu_into t dst =
+  let w = t.work in
+  (* Forward substitution: L is unit lower triangular in step order. *)
+  for p = 0 to t.m - 1 do
+    let tv = w.(t.rowp.(p)) in
+    if tv <> 0.0 then begin
+      let li, lv = t.lcols.(p) in
+      for q = 0 to Array.length li - 1 do
+        w.(li.(q)) <- w.(li.(q)) -. (lv.(q) *. tv)
+      done
+    end
+  done;
+  (* Backward substitution against column-stored U. *)
+  for k = t.m - 1 downto 0 do
+    let z = w.(t.rowp.(k)) /. t.udiag.(k) in
+    dst.(t.colp.(k)) <- z;
+    if z <> 0.0 then begin
+      let ui, uv = t.ucols.(k) in
+      for q = 0 to Array.length ui - 1 do
+        let pr = t.rowp.(ui.(q)) in
+        w.(pr) <- w.(pr) -. (uv.(q) *. z)
+      done
+    end
+  done
+
+let apply_etas_ftran t dst =
+  for e = 0 to t.ecount - 1 do
+    let { er; epiv; eidx; evals } = t.etas.(e) in
+    let tv = dst.(er) /. epiv in
+    dst.(er) <- tv;
+    if tv <> 0.0 then
+      for q = 0 to Array.length eidx - 1 do
+        dst.(eidx.(q)) <- dst.(eidx.(q)) -. (evals.(q) *. tv)
+      done
+  done
+
+let ftran_pair t idx vals dst =
+  Array.fill t.work 0 t.m 0.0;
+  Array.iteri (fun q i -> t.work.(i) <- t.work.(i) +. vals.(q)) idx;
+  solve_lu_into t dst;
+  apply_etas_ftran t dst
+
+let ftran_dense t rhs dst =
+  Array.blit rhs 0 t.work 0 t.m;
+  solve_lu_into t dst;
+  apply_etas_ftran t dst
+
+(* --- BTRAN: B^T pi = c --- *)
+
+let btran_dense t c dst =
+  Array.blit c 0 t.workb 0 t.m;
+  (* Eta terms in reverse push order: E^T v = c leaves every component
+     but [er] unchanged. *)
+  for e = t.ecount - 1 downto 0 do
+    let { er; epiv; eidx; evals } = t.etas.(e) in
+    let s = ref t.workb.(er) in
+    for q = 0 to Array.length eidx - 1 do
+      s := !s -. (evals.(q) *. t.workb.(eidx.(q)))
+    done;
+    t.workb.(er) <- !s /. epiv
+  done;
+  (* U^T z = c-hat is lower triangular in step order. *)
+  for k = 0 to t.m - 1 do
+    let s = ref t.workb.(t.colp.(k)) in
+    let ui, uv = t.ucols.(k) in
+    for q = 0 to Array.length ui - 1 do
+      s := !s -. (uv.(q) *. t.workz.(ui.(q)))
+    done;
+    t.workz.(k) <- !s /. t.udiag.(k)
+  done;
+  (* L^T x = z is upper triangular in step order; column k of L only
+     references rows with later steps, so a descending in-place sweep
+     is well-founded. *)
+  for k = t.m - 1 downto 0 do
+    let s = ref t.workz.(k) in
+    let li, lv = t.lcols.(k) in
+    for q = 0 to Array.length li - 1 do
+      s := !s -. (lv.(q) *. t.workz.(t.rowi.(li.(q))))
+    done;
+    t.workz.(k) <- !s
+  done;
+  for k = 0 to t.m - 1 do
+    dst.(t.rowp.(k)) <- t.workz.(k)
+  done
+
+let btran_unit t r dst =
+  Array.fill t.unitv 0 t.m 0.0;
+  t.unitv.(r) <- 1.0;
+  btran_dense t t.unitv dst
+
+(* --- eta file --- *)
+
+let push_eta t ~r ~y =
+  let piv = y.(r) in
+  let maxabs = ref 0.0 in
+  let noff = ref 0 in
+  for i = 0 to t.m - 1 do
+    let a = Float.abs y.(i) in
+    if a > !maxabs then maxabs := a;
+    if i <> r && y.(i) <> 0.0 then incr noff
+  done;
+  let eidx = Array.make !noff 0 and evals = Array.make !noff 0.0 in
+  let q = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> r && y.(i) <> 0.0 then begin
+      eidx.(!q) <- i;
+      evals.(!q) <- y.(i);
+      incr q
+    end
+  done;
+  if t.ecount = Array.length t.etas then begin
+    let bigger = Array.make (2 * t.ecount) dummy_eta in
+    Array.blit t.etas 0 bigger 0 t.ecount;
+    t.etas <- bigger
+  end;
+  t.etas.(t.ecount) <- { er = r; epiv = piv; eidx; evals };
+  t.ecount <- t.ecount + 1;
+  t.enz <- t.enz + 1 + !noff;
+  if !maxabs = 0.0 then 0.0 else Float.abs piv /. !maxabs
+
+let flag_unstable t = t.unstable <- true
+let unstable t = t.unstable
+let eta_count t = t.ecount
+let eta_nnz t = t.enz
+let lu_nnz t = t.lu_nnz

@@ -41,15 +41,53 @@ let m_dual_restarts = Obs.Metrics.counter "simplex.dual_restarts"
 let m_fallbacks = Obs.Metrics.counter "simplex.fallbacks"
 let m_phase1 = Obs.Metrics.counter "simplex.phase1_runs"
 let m_phase2 = Obs.Metrics.counter "simplex.phase2_runs"
+let m_ftrans = Obs.Metrics.counter "simplex.ftrans"
+let m_btrans = Obs.Metrics.counter "simplex.btrans"
+let m_lu_factors = Obs.Metrics.counter "simplex.lu_factors"
+let m_eta_updates = Obs.Metrics.counter "simplex.eta_updates"
+let m_refactors = Obs.Metrics.counter "lp:refactor"
+let m_dense_fallbacks = Obs.Metrics.counter "simplex.dense_fallbacks"
 
 let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-9
-let refactor_period = 100
 
-(* refactor every this many warm solves, so drift from incremental basis
-   and value updates cannot accumulate across a long query sweep *)
+(* Cadences for the dense reference path only; the sparse LU basis
+   refactorises adaptively (see [basis_stale]). *)
+let refactor_period = 100
 let session_refactor_solves = 16
+
+(* --- basis representation ----------------------------------------- *)
+
+type basis_kind = Dense_inverse | Sparse_lu
+
+let basis_kind =
+  ref
+    (match Sys.getenv_opt "GRC_LP_BASIS" with
+     | Some "dense" -> Dense_inverse
+     | _ -> Sparse_lu)
+
+type basis_config = {
+  mutable eta_max : int;
+  mutable eta_growth : float;
+  mutable stab_tol : float;
+  mutable session_solves_cap : int;
+}
+
+let basis_config =
+  { eta_max = 0; eta_growth = 2.0; stab_tol = 1e-7; session_solves_cap = 256 }
+
+(* Opt-in FTRAN/BTRAN wall-time accounting for the bench harness; the
+   accumulators are plain refs, so only meaningful single-domain. *)
+let time_kernels = ref false
+let ftran_seconds = ref 0.0
+let btran_seconds = ref 0.0
+
+let reset_kernel_times () =
+  ftran_seconds := 0.0;
+  btran_seconds := 0.0
+
+let kernel_times () = (!ftran_seconds, !btran_seconds)
 
 let compile model =
   let n = Model.n_vars model in
@@ -124,8 +162,17 @@ type vstat = At_lower | At_upper | Free_zero | Basic
    [0, n)        structural,
    [n, n+m)      slacks,
    [n+m, nt)     artificials (phase 1 only; fixed to 0 afterwards). *)
+(* The basis factorisation behind FTRAN/BTRAN: either the sparse LU of
+   [Linalg.Lu] with its eta file (the default) or the historical dense
+   explicit inverse, kept selectable as a reference for benchmarking
+   and as the counted fallback when the LU rejects a basis. *)
+type brep =
+  | Bdense of float array array  (* m x m dense B^-1 *)
+  | Bsparse of Linalg.Lu.t
+
 type state = {
   cp : compiled;
+  kind : basis_kind;          (* which representation refactor rebuilds *)
   nt : int;
   all_cols : (int array * float array) array;
   lo : float array;
@@ -134,38 +181,124 @@ type state = {
   value : float array;        (* nonbasic values; basics live in xb *)
   basis : int array;          (* length m, var in each row *)
   pos : int array;            (* var -> basic row, or -1 *)
-  binv : float array array;   (* m x m dense basis inverse *)
+  mutable brep : brep;
   xb : float array;           (* basic variable values *)
   y : float array;            (* scratch: entering column in basis coords *)
   pi : float array;           (* scratch: simplex multipliers *)
+  cb : float array;           (* scratch: basic costs, basis-row order *)
+  rho : float array;          (* scratch: one row of B^-1 (dual pricing) *)
   mutable pivots : int;
+  mutable refactors : int;         (* non-initial refactorisations *)
+  mutable eta_updates : int;       (* eta terms pushed *)
+  mutable dense_fallbacks : int;   (* LU factorisation failures *)
 }
 
 let ftran st col =
-  let m = st.cp.m in
-  Array.fill st.y 0 m 0.0;
-  let idx, vals = col in
-  for k = 0 to Array.length idx - 1 do
-    let r = idx.(k) and v = vals.(k) in
-    let binv = st.binv in
-    for i = 0 to m - 1 do
-      st.y.(i) <- st.y.(i) +. (binv.(i).(r) *. v)
-    done
-  done
+  let t0 = if !time_kernels then Obs.Clock.now () else 0.0 in
+  (match st.brep with
+   | Bsparse lu ->
+       let idx, vals = col in
+       Linalg.Lu.ftran_pair lu idx vals st.y
+   | Bdense binv ->
+       let m = st.cp.m in
+       Array.fill st.y 0 m 0.0;
+       let idx, vals = col in
+       for k = 0 to Array.length idx - 1 do
+         let r = idx.(k) and v = vals.(k) in
+         for i = 0 to m - 1 do
+           st.y.(i) <- st.y.(i) +. (binv.(i).(r) *. v)
+         done
+       done);
+  Obs.Metrics.add m_ftrans 1;
+  if !time_kernels then
+    ftran_seconds := !ftran_seconds +. (Obs.Clock.now () -. t0)
 
 (* pi = cB^T B^-1 for the given full cost vector *)
 let compute_pi st cost =
+  let t0 = if !time_kernels then Obs.Clock.now () else 0.0 in
   let m = st.cp.m in
-  Array.fill st.pi 0 m 0.0;
-  for i = 0 to m - 1 do
-    let cb = cost.(st.basis.(i)) in
-    if cb <> 0.0 then begin
-      let row = st.binv.(i) in
-      for k = 0 to m - 1 do
-        st.pi.(k) <- st.pi.(k) +. (cb *. row.(k))
-      done
-    end
-  done
+  (match st.brep with
+   | Bsparse lu ->
+       for i = 0 to m - 1 do
+         st.cb.(i) <- cost.(st.basis.(i))
+       done;
+       Linalg.Lu.btran_dense lu st.cb st.pi
+   | Bdense binv ->
+       Array.fill st.pi 0 m 0.0;
+       for i = 0 to m - 1 do
+         let cb = cost.(st.basis.(i)) in
+         if cb <> 0.0 then begin
+           let row = binv.(i) in
+           for k = 0 to m - 1 do
+             st.pi.(k) <- st.pi.(k) +. (cb *. row.(k))
+           done
+         end
+       done);
+  Obs.Metrics.add m_btrans 1;
+  if !time_kernels then
+    btran_seconds := !btran_seconds +. (Obs.Clock.now () -. t0)
+
+(* Row [r] of B^-1, for the dual-simplex pricing row.  The returned
+   array is a view (dense) or the [rho] scratch (sparse): valid until
+   the next kernel call on [st]. *)
+let basis_row st r =
+  match st.brep with
+  | Bdense binv -> binv.(r)
+  | Bsparse lu ->
+      let t0 = if !time_kernels then Obs.Clock.now () else 0.0 in
+      Linalg.Lu.btran_unit lu r st.rho;
+      Obs.Metrics.add m_btrans 1;
+      if !time_kernels then
+        btran_seconds := !btran_seconds +. (Obs.Clock.now () -. t0);
+      st.rho
+
+(* Fold a pivot on basic row [r] into the representation; [st.y] must
+   hold the FTRAN of the entering column (the ratio-test vector). *)
+let basis_replace st r =
+  (match st.brep with
+   | Bsparse lu ->
+       let quality = Linalg.Lu.push_eta lu ~r ~y:st.y in
+       st.eta_updates <- st.eta_updates + 1;
+       Obs.Metrics.add m_eta_updates 1;
+       if quality < basis_config.stab_tol then Linalg.Lu.flag_unstable lu
+   | Bdense binv ->
+       let m = st.cp.m in
+       let yr = st.y.(r) in
+       let inv_r = binv.(r) in
+       let pr = 1.0 /. yr in
+       for k = 0 to m - 1 do
+         inv_r.(k) <- inv_r.(k) *. pr
+       done;
+       for i = 0 to m - 1 do
+         if i <> r then begin
+           let f = st.y.(i) in
+           if f <> 0.0 then begin
+             let row = binv.(i) in
+             for k = 0 to m - 1 do
+               row.(k) <- row.(k) -. (f *. inv_r.(k))
+             done
+           end
+         end
+       done);
+  st.pivots <- st.pivots + 1
+
+let eta_cap m =
+  if basis_config.eta_max > 0 then basis_config.eta_max
+  else min 64 (max 4 (m / 2))
+
+(* Is the representation due for a refactorisation?  The dense inverse
+   keeps its historical fixed pivot cadence; the LU triggers on the
+   stability flag, eta-file length, or eta fill outgrowing the factors
+   themselves. *)
+let basis_stale st =
+  match st.brep with
+  | Bdense _ -> st.pivots > 0 && st.pivots mod refactor_period = 0
+  | Bsparse lu ->
+      Linalg.Lu.unstable lu
+      || Linalg.Lu.eta_count lu >= eta_cap st.cp.m
+      || float_of_int (Linalg.Lu.eta_nnz lu)
+         >= basis_config.eta_growth
+            *. float_of_int (Linalg.Lu.lu_nnz lu + st.cp.m)
 
 let reduced_cost st cost j =
   let idx, vals = st.all_cols.(j) in
@@ -175,81 +308,123 @@ let reduced_cost st cost j =
   done;
   !acc
 
-(* Rebuild the basis inverse by Gauss-Jordan with partial pivoting and
-   recompute basic values.  Returns false if the basis is singular. *)
-let refactor st =
+(* Dense Gauss-Jordan inversion of the current basis with partial
+   pivoting: the reference representation, and the counted fallback
+   when the sparse LU rejects a basis.  Returns [None] on a singular
+   basis. *)
+let dense_invert st =
   let m = st.cp.m in
-  if m = 0 then true
-  else begin
-    (* assemble B and identity side by side; eliminate in place *)
-    let bmat = Array.make_matrix m m 0.0 in
-    for col = 0 to m - 1 do
-      let idx, vals = st.all_cols.(st.basis.(col)) in
-      for k = 0 to Array.length idx - 1 do
-        bmat.(idx.(k)).(col) <- vals.(k)
-      done
-    done;
-    let inv = Array.init m (fun i ->
-        Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
-    let singular = ref false in
-    (for col = 0 to m - 1 do
-       if not !singular then begin
-         (* partial pivot *)
-         let piv = ref col in
-         for i = col + 1 to m - 1 do
-           if Float.abs bmat.(i).(col) > Float.abs bmat.(!piv).(col) then
-             piv := i
+  (* assemble B and identity side by side; eliminate in place *)
+  let bmat = Array.make_matrix m m 0.0 in
+  for col = 0 to m - 1 do
+    let idx, vals = st.all_cols.(st.basis.(col)) in
+    for k = 0 to Array.length idx - 1 do
+      bmat.(idx.(k)).(col) <- vals.(k)
+    done
+  done;
+  let inv = Array.init m (fun i ->
+      Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+  let singular = ref false in
+  (for col = 0 to m - 1 do
+     if not !singular then begin
+       (* partial pivot *)
+       let piv = ref col in
+       for i = col + 1 to m - 1 do
+         if Float.abs bmat.(i).(col) > Float.abs bmat.(!piv).(col) then
+           piv := i
+       done;
+       if Float.abs bmat.(!piv).(col) < 1e-12 then singular := true
+       else begin
+         if !piv <> col then begin
+           let t = bmat.(col) in bmat.(col) <- bmat.(!piv); bmat.(!piv) <- t;
+           let t = inv.(col) in inv.(col) <- inv.(!piv); inv.(!piv) <- t
+         end;
+         let d = 1.0 /. bmat.(col).(col) in
+         for k = 0 to m - 1 do
+           bmat.(col).(k) <- bmat.(col).(k) *. d;
+           inv.(col).(k) <- inv.(col).(k) *. d
          done;
-         if Float.abs bmat.(!piv).(col) < 1e-12 then singular := true
-         else begin
-           if !piv <> col then begin
-             let t = bmat.(col) in bmat.(col) <- bmat.(!piv); bmat.(!piv) <- t;
-             let t = inv.(col) in inv.(col) <- inv.(!piv); inv.(!piv) <- t
-           end;
-           let d = 1.0 /. bmat.(col).(col) in
-           for k = 0 to m - 1 do
-             bmat.(col).(k) <- bmat.(col).(k) *. d;
-             inv.(col).(k) <- inv.(col).(k) *. d
-           done;
-           for i = 0 to m - 1 do
-             if i <> col then begin
-               let f = bmat.(i).(col) in
-               if f <> 0.0 then begin
-                 for k = 0 to m - 1 do
-                   bmat.(i).(k) <- bmat.(i).(k) -. (f *. bmat.(col).(k));
-                   inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
-                 done
-               end
+         for i = 0 to m - 1 do
+           if i <> col then begin
+             let f = bmat.(i).(col) in
+             if f <> 0.0 then begin
+               for k = 0 to m - 1 do
+                 bmat.(i).(k) <- bmat.(i).(k) -. (f *. bmat.(col).(k));
+                 inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+               done
              end
-           done
-         end
+           end
+         done
        end
-     done);
-    if !singular then false
-    else begin
-      for i = 0 to m - 1 do
-        Array.blit inv.(i) 0 st.binv.(i) 0 m
-      done;
-      (* xb = binv * (b - N x_N) *)
-      let r = Array.copy st.cp.b in
-      for j = 0 to st.nt - 1 do
-        if st.stat.(j) <> Basic && st.value.(j) <> 0.0 then begin
-          let idx, vals = st.all_cols.(j) in
-          for k = 0 to Array.length idx - 1 do
-            r.(idx.(k)) <- r.(idx.(k)) -. (vals.(k) *. st.value.(j))
-          done
-        end
-      done;
+     end
+   done);
+  if !singular then None else Some inv
+
+(* xb = B^-1 (b - N x_N), against the freshly rebuilt representation. *)
+let recompute_xb st =
+  let m = st.cp.m in
+  let r = Array.copy st.cp.b in
+  for j = 0 to st.nt - 1 do
+    if st.stat.(j) <> Basic && st.value.(j) <> 0.0 then begin
+      let idx, vals = st.all_cols.(j) in
+      for k = 0 to Array.length idx - 1 do
+        r.(idx.(k)) <- r.(idx.(k)) -. (vals.(k) *. st.value.(j))
+      done
+    end
+  done;
+  match st.brep with
+  | Bsparse lu -> Linalg.Lu.ftran_dense lu r st.xb
+  | Bdense binv ->
       for i = 0 to m - 1 do
         let acc = ref 0.0 in
-        let row = st.binv.(i) in
+        let row = binv.(i) in
         for k = 0 to m - 1 do
           acc := !acc +. (row.(k) *. r.(k))
         done;
         st.xb.(i) <- !acc
-      done;
-      true
-    end
+      done
+
+(* Rebuild the basis representation from scratch and recompute basic
+   values.  Returns false if the basis is singular.  Under [Sparse_lu]
+   a failed LU factorisation falls back to the dense inverse — counted,
+   never silent ([dense_fallbacks], "simplex.dense_fallbacks"). *)
+let refactor ?(initial = false) st =
+  let m = st.cp.m in
+  if m = 0 then true
+  else begin
+    if not initial then begin
+      st.refactors <- st.refactors + 1;
+      Obs.Metrics.add m_refactors 1;
+      if Obs.Trace.enabled () then Obs.Trace.count "refactor" 1
+    end;
+    let rep =
+      match st.kind with
+      | Sparse_lu -> (
+          match
+            Linalg.Lu.factor ~m
+              (Array.init m (fun i -> st.all_cols.(st.basis.(i))))
+          with
+          | Some lu ->
+              Obs.Metrics.add m_lu_factors 1;
+              Some (Bsparse lu)
+          | None -> (
+              match dense_invert st with
+              | Some inv ->
+                  st.dense_fallbacks <- st.dense_fallbacks + 1;
+                  Obs.Metrics.add m_dense_fallbacks 1;
+                  Some (Bdense inv)
+              | None -> None))
+      | Dense_inverse -> (
+          match dense_invert st with
+          | Some inv -> Some (Bdense inv)
+          | None -> None)
+    in
+    match rep with
+    | None -> false
+    | Some rep ->
+        st.brep <- rep;
+        recompute_xb st;
+        true
   end
 
 (* One phase of bounded-variable simplex, minimising [cost].  Returns
@@ -263,8 +438,7 @@ let run_phase st cost max_iter =
     if !iter >= max_iter then result := Some `Iteration_limit
     else begin
       incr iter;
-      if st.pivots > 0 && st.pivots mod refactor_period = 0 then
-        ignore (refactor st);
+      if basis_stale st then ignore (refactor st);
       compute_pi st cost;
       (* --- pricing --- *)
       let use_bland = !iter > bland_threshold in
@@ -352,25 +526,7 @@ let run_phase st cost max_iter =
             st.stat.(j) <- Basic;
             st.value.(j) <- 0.0;
             st.xb.(r) <- new_val;
-            (* binv pivot update *)
-            let yr = st.y.(r) in
-            let inv_r = st.binv.(r) in
-            let pr = 1.0 /. yr in
-            for k = 0 to m - 1 do
-              inv_r.(k) <- inv_r.(k) *. pr
-            done;
-            for i = 0 to m - 1 do
-              if i <> r then begin
-                let f = st.y.(i) in
-                if f <> 0.0 then begin
-                  let row = st.binv.(i) in
-                  for k = 0 to m - 1 do
-                    row.(k) <- row.(k) -. (f *. inv_r.(k))
-                  done
-                end
-              end
-            done;
-            st.pivots <- st.pivots + 1
+            basis_replace st r
           end
         end
       end
@@ -393,8 +549,7 @@ let run_dual st cost max_iter =
       if !iter >= max_iter then result := Some `Iteration_limit
       else begin
         incr iter;
-        if st.pivots > 0 && st.pivots mod refactor_period = 0 then
-          ignore (refactor st);
+        if basis_stale st then ignore (refactor st);
         (* --- leaving variable: most violated basic --- *)
         let r = ref (-1) and worst = ref feas_tol in
         for i = 0 to m - 1 do
@@ -411,7 +566,7 @@ let run_dual st cost max_iter =
           let below = st.xb.(r) < st.lo.(bi) in
           let target = if below then st.lo.(bi) else st.hi.(bi) in
           compute_pi st cost;
-          let br = st.binv.(r) in
+          let br = basis_row st r in
           (* --- entering variable: dual ratio test over row r --- *)
           let best = ref (-1) and best_ratio = ref infinity
           and best_alpha = ref 0.0 in
@@ -471,24 +626,7 @@ let run_dual st cost max_iter =
               st.stat.(q) <- Basic;
               st.value.(q) <- 0.0;
               st.xb.(r) <- v_q +. t;
-              (* binv pivot update *)
-              let inv_r = st.binv.(r) in
-              let pr = 1.0 /. aq in
-              for k = 0 to m - 1 do
-                inv_r.(k) <- inv_r.(k) *. pr
-              done;
-              for i = 0 to m - 1 do
-                if i <> r then begin
-                  let f = st.y.(i) in
-                  if f <> 0.0 then begin
-                    let row = st.binv.(i) in
-                    for k = 0 to m - 1 do
-                      row.(k) <- row.(k) -. (f *. inv_r.(k))
-                    done
-                  end
-                end
-              done;
-              st.pivots <- st.pivots + 1
+              basis_replace st r
             end
           end
         end
@@ -594,13 +732,14 @@ let build_state cp ~lo ~hi =
   let pos = Array.make nt (-1) in
   Array.iteri (fun i j -> pos.(j) <- i; stat_full.(j) <- Basic) basis;
   let st =
-    { cp; nt; all_cols; lo = lo_full; hi = hi_full; stat = stat_full;
-      value = value_full; basis; pos;
-      binv = Array.make_matrix m m 0.0;
+    { cp; kind = !basis_kind; nt; all_cols; lo = lo_full; hi = hi_full;
+      stat = stat_full; value = value_full; basis; pos;
+      brep = Bdense [||];  (* placeholder; refactor installs the real one *)
       xb = Array.make m 0.0; y = Array.make m 0.0; pi = Array.make m 0.0;
-      pivots = 0 }
+      cb = Array.make m 0.0; rho = Array.make m 0.0;
+      pivots = 0; refactors = 0; eta_updates = 0; dense_fallbacks = 0 }
   in
-  if refactor st then Some (st, n_art) else None
+  if refactor ~initial:true st then Some (st, n_art) else None
 
 (* Two-phase cold solve on a freshly built state. *)
 let solve_on_state st ~n_art ~prm ~max_iter =
@@ -714,6 +853,9 @@ type session_stats = {
   mutable fallbacks : int;
   mutable total_pivots : int;
   mutable audit_mismatches : int;
+  mutable refactors : int;
+  mutable eta_updates : int;
+  mutable dense_fallbacks : int;
 }
 
 type session = {
@@ -743,7 +885,8 @@ let create_session ?lo ?hi cp =
     inverted = !inverted; solves_since_refactor = 0;
     stats = { solves = 0; cold_solves = 0; warm_solves = 0;
               dual_restarts = 0; fallbacks = 0; total_pivots = 0;
-              audit_mismatches = 0 } }
+              audit_mismatches = 0; refactors = 0; eta_updates = 0;
+              dense_fallbacks = 0 } }
 
 let session_stats sn = sn.stats
 
@@ -866,6 +1009,10 @@ let solve_session_inner ?max_iter ?objective sn =
       | Some (st, n_art) ->
           let res = solve_on_state st ~n_art ~prm ~max_iter in
           sn.stats.total_pivots <- sn.stats.total_pivots + st.pivots;
+          sn.stats.refactors <- sn.stats.refactors + st.refactors;
+          sn.stats.eta_updates <- sn.stats.eta_updates + st.eta_updates;
+          sn.stats.dense_fallbacks <-
+            sn.stats.dense_fallbacks + st.dense_fallbacks;
           (match res.status with
            | Optimal ->
                sn.sstate <- Some st;
@@ -884,8 +1031,16 @@ let solve_session_inner ?max_iter ?objective sn =
         let cost_full = Array.make st.nt 0.0 in
         Array.blit prm.pc 0 cost_full 0 n;
         let pivots0 = st.pivots in
+        let refactors0 = st.refactors and etas0 = st.eta_updates in
+        let dense_fb0 = st.dense_fallbacks in
         let charge () =
-          sn.stats.total_pivots <- sn.stats.total_pivots + (st.pivots - pivots0)
+          sn.stats.total_pivots <-
+            sn.stats.total_pivots + (st.pivots - pivots0);
+          sn.stats.refactors <- sn.stats.refactors + (st.refactors - refactors0);
+          sn.stats.eta_updates <-
+            sn.stats.eta_updates + (st.eta_updates - etas0);
+          sn.stats.dense_fallbacks <-
+            sn.stats.dense_fallbacks + (st.dense_fallbacks - dense_fb0)
         in
         let primal_finish () =
           match run_phase st cost_full max_iter with
@@ -893,7 +1048,19 @@ let solve_session_inner ?max_iter ?objective sn =
               sn.dual_ok <- true;
               sn.last_c <- Some (Array.copy prm.pc);
               sn.solves_since_refactor <- sn.solves_since_refactor + 1;
-              if sn.solves_since_refactor >= session_refactor_solves then begin
+              (* Dense path: fixed per-solve cadence.  Sparse path: the
+                 adaptive staleness triggers, plus a generous safety cap
+                 bounding drift of the incrementally maintained xb. *)
+              let due =
+                match st.brep with
+                | Bdense _ ->
+                    sn.solves_since_refactor >= session_refactor_solves
+                | Bsparse _ ->
+                    basis_stale st
+                    || sn.solves_since_refactor
+                       >= basis_config.session_solves_cap
+              in
+              if due then begin
                 ignore (refactor st);
                 sn.solves_since_refactor <- 0
               end;

@@ -1,9 +1,15 @@
 (** Bounded-variable primal/dual simplex.
 
-    Two-phase revised simplex with an explicitly maintained dense basis
-    inverse, periodic refactorisation, Dantzig pricing with a Bland's-rule
-    fallback, and bound-flip pivots.  Designed for the moderate-size,
-    mostly-finitely-bounded LPs produced by robustness certification.
+    Two-phase revised simplex over a sparse LU-factorised basis
+    ({!Linalg.Lu}): FTRAN/BTRAN triangular solves against sparse
+    right-hand sides, an eta-file update per pivot, and adaptive
+    refactorisation triggered by eta-file growth and a numerical
+    stability estimate ({!basis_config}).  Dantzig pricing with a
+    Bland's-rule fallback and bound-flip pivots.  The historical dense
+    explicit inverse survives as a selectable reference representation
+    ({!basis_kind}) and as the counted fallback when the LU declines a
+    basis.  Designed for the moderate-size, mostly-finitely-bounded,
+    very sparse LPs produced by robustness certification.
 
     Besides one-shot solves, the module offers persistent {!session}s
     that keep the optimal basis factorised between solves: an
@@ -36,6 +42,53 @@ type solution = {
           Consumed by the independent certificate checker
           ([Audit_core.Certificate]). *)
 }
+
+(** {1 Basis representation}
+
+    Process-wide knobs, read when a solver state is built; existing
+    states keep the representation they started with. *)
+
+type basis_kind =
+  | Dense_inverse  (** explicit dense B^-1, O(m^2) per pivot *)
+  | Sparse_lu      (** sparse LU + eta file, O(nnz) per pivot *)
+
+val basis_kind : basis_kind ref
+(** Representation for new solver states.  Defaults to [Sparse_lu];
+    initialised from the [GRC_LP_BASIS] environment variable
+    (["dense"] selects the reference dense inverse — used by the bench
+    harness and check.sh to measure and cross-check the two paths). *)
+
+type basis_config = {
+  mutable eta_max : int;
+      (** refactorise once this many eta terms accumulate; [0] (the
+          default) means adaptive: [min 64 (max 4 (m/2))] *)
+  mutable eta_growth : float;
+      (** refactorise when the eta file holds more than this multiple
+          of the LU factor nonzeros (default 2.0) *)
+  mutable stab_tol : float;
+      (** relative pivot magnitude below which an eta update marks the
+          factorisation unstable, forcing a refactorisation before the
+          next pivot (default 1e-7) *)
+  mutable session_solves_cap : int;
+      (** safety net: a warm session refactorises at least every this
+          many solves even if no adaptive trigger fired, bounding drift
+          of the incrementally maintained basic values (default 256) *)
+}
+
+val basis_config : basis_config
+(** Live adaptive-refactorisation thresholds (sparse path only; the
+    dense reference path keeps its historical fixed cadences).  Mutate
+    before solving to tune. *)
+
+val time_kernels : bool ref
+(** When on, FTRAN/BTRAN wall time is accumulated into
+    {!kernel_times} (single-domain accounting; default off). *)
+
+val kernel_times : unit -> float * float
+(** [(ftran_seconds, btran_seconds)] accumulated while
+    {!time_kernels} was on. *)
+
+val reset_kernel_times : unit -> unit
 
 val audit_mode : bool ref
 (** Opt-in self-check switch, initialised from the [GRC_AUDIT]
@@ -130,6 +183,14 @@ type session_stats = {
   mutable total_pivots : int;    (** pivots across all solves *)
   mutable audit_mismatches : int;
       (** warm results contradicted by the audit-mode cold cross-check *)
+  mutable refactors : int;
+      (** basis refactorisations beyond the initial build (also counted
+          process-wide as the "lp:refactor" metric and as a ["refactor"]
+          count on trace spans) *)
+  mutable eta_updates : int;     (** eta terms pushed (sparse basis) *)
+  mutable dense_fallbacks : int;
+      (** LU factorisation failures that fell back to the dense
+          inverse; 0 on every benchmarked net (asserted by lp-bench) *)
 }
 
 val session_stats : session -> session_stats

@@ -1,0 +1,32 @@
+(* probe: encoded LP sizes for the lp-bench sweep cases *)
+let () =
+  let case name net ~lo ~hi ~delta =
+    let input = Cert.Bounds.box_domain net ~lo ~hi in
+    let bounds =
+      Cert.Bounds.create net ~input
+        ~input_dist:(Cert.Bounds.uniform_delta net delta)
+    in
+    Cert.Interval_prop.propagate net bounds;
+    let n = Nn.Network.n_layers net in
+    let out_dim = Nn.Network.output_dim net in
+    let view =
+      Cert.Subnet.cone net ~last:(n - 1)
+        ~targets:(Array.init out_dim Fun.id) ~window:n
+    in
+    let enc = Cert.Encode.itne ~mode:Cert.Encode.Relaxed ~bounds view in
+    let m = enc.Cert.Encode.model in
+    let constrs = Lp.Model.constrs m in
+    let nnz =
+      Array.fold_left
+        (fun acc (c : Lp.Model.constr) -> acc + List.length c.Lp.Model.row)
+        0 constrs
+    in
+    Printf.printf "%-6s vars %4d constrs %4d nnz %6d (%.2f per row)\n" name
+      (Lp.Model.n_vars m) (Array.length constrs) nnz
+      (float_of_int nnz /. float_of_int (Array.length constrs))
+  in
+  let net id sizes = (Exp.Models.auto_mpg_net ~id ~sizes ()).Exp.Models.net in
+  case "dnn2" (net "dnn2" (8, 4)) ~lo:0.0 ~hi:1.0 ~delta:0.001;
+  case "dnn3" (net "dnn3" (8, 8)) ~lo:0.0 ~hi:1.0 ~delta:0.001;
+  case "dnn4" (net "dnn4" (16, 16)) ~lo:0.0 ~hi:1.0 ~delta:0.001;
+  case "dnn5" (net "dnn5" (32, 32)) ~lo:0.0 ~hi:1.0 ~delta:0.001

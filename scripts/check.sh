@@ -43,6 +43,18 @@ echo "== audited parallel certification sweep (--domains 4) =="
 GRC_AUDIT=1 dune exec -- grc certify \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001 --domains 4
 
+echo "== sparse-LU vs dense-inverse certify parity =="
+sparse_eps=$(dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
+dense_eps=$(GRC_LP_BASIS=dense dune exec -- grc certify \
+  --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
+if [ "$sparse_eps" != "$dense_eps" ]; then
+  echo "basis representation changed certified bounds:" >&2
+  echo "  sparse: $sparse_eps" >&2
+  echo "  dense:  $dense_eps" >&2
+  exit 1
+fi
+
 echo "== certification with dedup disabled matches =="
 with_dedup=$(dune exec -- grc certify \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
@@ -72,6 +84,14 @@ dune exec -- grc trace-check _build/trace-par-ci.json \
 echo "== obs-bench (disabled-tracing overhead gate; writes BENCH_obs.json) =="
 dune exec bench/main.exe -- obs-bench
 test -s BENCH_obs.json
+
+# lp-bench carries its own gates: dense-vs-sparse objective agreement
+# within 1e-9 on every swept case, zero dense fallbacks, and >= 5x
+# aggregate speedup of the sparse LU basis over the dense inverse on
+# the dnn3/dnn4/dnn5-scale sweeps.  It exits nonzero if any gate fails.
+echo "== lp-bench (dense-vs-sparse solver gates; writes BENCH_lp.json) =="
+dune exec bench/main.exe -- lp-bench
+test -s BENCH_lp.json
 
 echo "== certification daemon smoke test =="
 # Everything is already built; run the binary directly.  A backgrounded

@@ -460,6 +460,239 @@ let random_session_agrees =
          done;
          !ok))
 
+(* --- sparse LU basis --- *)
+
+module Lu = Linalg.Lu
+
+(* Random sparse basis with a strong diagonal plus a few off-diagonal
+   entries per column: nonsingular with overwhelming probability, and
+   shaped like the slack-heavy bases the simplex actually factorises. *)
+let rand_basis rng m =
+  Array.init m (fun j ->
+      let extra = Random.State.int rng 3 in
+      let entries = ref [ (j, 1.0 +. Random.State.float rng 4.0) ] in
+      for _ = 1 to extra do
+        entries :=
+          (Random.State.int rng m, Random.State.float rng 2.0 -. 1.0)
+          :: !entries
+      done;
+      (Array.of_list (List.map fst !entries),
+       Array.of_list (List.map snd !entries)))
+
+(* a fresh column with a strong entry on row [r], so it can replace the
+   basic variable in position [r] *)
+let rand_column rng m r =
+  let extra = 1 + Random.State.int rng 3 in
+  let entries = ref [ (r, 2.0 +. Random.State.float rng 2.0) ] in
+  for _ = 1 to extra do
+    entries :=
+      (Random.State.int rng m, Random.State.float rng 2.0 -. 1.0) :: !entries
+  done;
+  (Array.of_list (List.map fst !entries),
+   Array.of_list (List.map snd !entries))
+
+(* B x, with x in basis-position space (duplicate row entries sum) *)
+let basis_mat_vec m cols x =
+  let r = Array.make m 0.0 in
+  Array.iteri
+    (fun j (idx, vals) ->
+      Array.iteri (fun q i -> r.(i) <- r.(i) +. (vals.(q) *. x.(j))) idx)
+    cols;
+  r
+
+(* B^T pi, result in basis-position space *)
+let basis_mat_tvec m cols pi =
+  Array.init m (fun j ->
+      let idx, vals = cols.(j) in
+      let s = ref 0.0 in
+      Array.iteri (fun q i -> s := !s +. (vals.(q) *. pi.(i))) idx;
+      !s)
+
+let max_abs_diff a b =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i))))
+    a;
+  !worst
+
+let lu_roundtrip =
+  let gen = QCheck.Gen.(pair (int_range 1 30) (int_range 0 1000000)) in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"LU factor/solve round-trip"
+       (QCheck.make gen)
+       (fun (m, seed) ->
+         let rng = Random.State.make [| seed; 11 |] in
+         let cols = rand_basis rng m in
+         match Lu.factor ~m cols with
+         | None -> true (* vanishing probability; rejection is legal *)
+         | Some lu ->
+             let rv () =
+               Array.init m (fun _ -> Random.State.float rng 2.0 -. 1.0)
+             in
+             (* FTRAN: B (solve b) = b *)
+             let b = rv () in
+             let y = Array.make m 0.0 in
+             Lu.ftran_dense lu b y;
+             let ftran_res = max_abs_diff (basis_mat_vec m cols y) b in
+             (* BTRAN: B^T (solve c) = c *)
+             let c = rv () in
+             let pi = Array.make m 0.0 in
+             Lu.btran_dense lu c pi;
+             let btran_res = max_abs_diff (basis_mat_tvec m cols pi) c in
+             (* btran_unit r = row r of B^-1: B^T u = e_r *)
+             let r = Random.State.int rng m in
+             let u = Array.make m 0.0 in
+             Lu.btran_unit lu r u;
+             let e_r = Array.init m (fun i -> if i = r then 1.0 else 0.0) in
+             let unit_res = max_abs_diff (basis_mat_tvec m cols u) e_r in
+             ftran_res <= 1e-9 && btran_res <= 1e-9 && unit_res <= 1e-9))
+
+let test_lu_singular () =
+  let rng = Random.State.make [| 7 |] in
+  let cols = rand_basis rng 8 in
+  cols.(2) <- cols.(6);
+  (match Lu.factor ~m:8 cols with
+   | Some _ -> Alcotest.fail "exactly singular basis accepted"
+   | None -> ());
+  (* near-singular: the duplicate perturbed at relative 1e-15 is still
+     far below the 1e-12 pivot tolerance *)
+  let idx, vals = cols.(6) in
+  cols.(2) <- (Array.copy idx, Array.map (fun v -> v *. (1.0 +. 1e-15)) vals);
+  (match Lu.factor ~m:8 cols with
+   | Some _ -> Alcotest.fail "near-singular basis accepted"
+   | None -> ());
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Lu.factor: row 9 out of range") (fun () ->
+      ignore (Lu.factor ~m:8 (Array.init 8 (fun _ -> ([| 9 |], [| 1.0 |])))))
+
+let lu_eta_equivalence =
+  let gen = QCheck.Gen.(pair (int_range 2 25) (int_range 0 1000000)) in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"eta updates match a fresh refactorisation"
+       (QCheck.make gen)
+       (fun (m, seed) ->
+         let rng = Random.State.make [| seed; 13 |] in
+         let cols = rand_basis rng m in
+         match Lu.factor ~m cols with
+         | None -> true
+         | Some lu ->
+             (* k simplex-style column replacements through the eta file *)
+             let k = 1 + Random.State.int rng 6 in
+             for _ = 1 to k do
+               let r = Random.State.int rng m in
+               let nidx, nvals = rand_column rng m r in
+               let y = Array.make m 0.0 in
+               Lu.ftran_pair lu nidx nvals y;
+               if Float.abs y.(r) > 1e-6 then begin
+                 ignore (Lu.push_eta lu ~r ~y);
+                 cols.(r) <- (nidx, nvals)
+               end
+             done;
+             (* the updated factorisation must agree with refactorising
+                the replaced basis from scratch *)
+             match Lu.factor ~m cols with
+             | None -> true
+             | Some fresh ->
+                 let rv () =
+                   Array.init m (fun _ -> Random.State.float rng 2.0 -. 1.0)
+                 in
+                 let b = rv () and c = rv () in
+                 let y1 = Array.make m 0.0 and y2 = Array.make m 0.0 in
+                 Lu.ftran_dense lu b y1;
+                 Lu.ftran_dense fresh b y2;
+                 let p1 = Array.make m 0.0 and p2 = Array.make m 0.0 in
+                 Lu.btran_dense lu c p1;
+                 Lu.btran_dense fresh c p2;
+                 let r = Random.State.int rng m in
+                 let u1 = Array.make m 0.0 and u2 = Array.make m 0.0 in
+                 Lu.btran_unit lu r u1;
+                 Lu.btran_unit fresh r u2;
+                 (* <= k: pushes can be skipped when |y_r| is tiny *)
+                 Lu.eta_count lu <= k
+                 && max_abs_diff y1 y2 <= 1e-9
+                 && max_abs_diff p1 p2 <= 1e-9
+                 && max_abs_diff u1 u2 <= 1e-9))
+
+(* warm sessions must produce identical answers whichever basis
+   representation backs them *)
+let dense_sparse_session_equality =
+  let gen =
+    QCheck.Gen.(triple (int_range 2 5) (int_range 1 5) (int_range 0 1000000))
+  in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"warm sessions agree dense vs sparse"
+       (QCheck.make gen)
+       (fun (n, n_constr, seed) ->
+         let rng = Random.State.make [| seed; 77 |] in
+         let rf lo hi = lo +. Random.State.float rng (hi -. lo) in
+         let m = Model.create () in
+         let vars =
+           Array.init n (fun _ -> Model.add_var ~lo:(-2.0) ~hi:2.0 m)
+         in
+         for _ = 1 to n_constr do
+           Model.add_constr m
+             (Array.to_list (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars))
+             Model.Le (rf 0.1 3.0)
+         done;
+         Model.set_objective m Model.Maximize
+           (Array.to_list (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars));
+         let cp = Simplex.compile m in
+         (* a scripted sweep, fixed before running either representation *)
+         let ops =
+           List.init 8 (fun _ ->
+               let bound_op =
+                 if Random.State.int rng 3 = 0 then begin
+                   let j = Random.State.int rng n in
+                   let a = rf (-2.0) 2.0 and b = rf (-2.0) 2.0 in
+                   Some (j, Float.min a b, Float.max a b)
+                 end
+                 else None
+               in
+               let obj =
+                 if Random.State.bool rng then
+                   Some
+                     ( (if Random.State.bool rng then Model.Maximize
+                        else Model.Minimize),
+                       Array.to_list
+                         (Array.map (fun v -> (v, rf (-2.0) 2.0)) vars) )
+                 else None
+               in
+               (bound_op, obj))
+         in
+         let run kind =
+           let saved = !Simplex.basis_kind in
+           Simplex.basis_kind := kind;
+           let sn = Simplex.create_session cp in
+           let out =
+             List.map
+               (fun (bound_op, obj) ->
+                 (match bound_op with
+                  | Some (j, lo, hi) ->
+                      Simplex.set_var_bounds sn vars.(j) ~lo ~hi
+                  | None -> ());
+                 let sol =
+                   match obj with
+                   | Some o -> Simplex.solve_session ~objective:o sn
+                   | None -> Simplex.solve_session sn
+                 in
+                 (sol.Simplex.status, sol.Simplex.obj))
+               ops
+           in
+           let fb = (Simplex.session_stats sn).Simplex.dense_fallbacks in
+           Simplex.basis_kind := saved;
+           (out, fb)
+         in
+         let dense, _ = run Simplex.Dense_inverse in
+         let sparse, sparse_fb = run Simplex.Sparse_lu in
+         sparse_fb = 0
+         && List.for_all2
+              (fun (s1, o1) (s2, o2) ->
+                s1 = s2
+                && (s1 <> Simplex.Optimal || feq ~eps:1e-9 o1 o2))
+              dense sparse))
+
 (* --- model validation --- *)
 
 let test_model_validation () =
@@ -529,4 +762,9 @@ let suites =
       [ Alcotest.test_case "objective sweep" `Quick
           test_session_objective_sweep;
         Alcotest.test_case "bound changes" `Quick test_session_bound_changes;
-        random_session_agrees ] ) ]
+        random_session_agrees ] );
+    ( "lp:basis",
+      [ lu_roundtrip;
+        Alcotest.test_case "singular rejection" `Quick test_lu_singular;
+        lu_eta_equivalence;
+        dense_sparse_session_equality ] ) ]
