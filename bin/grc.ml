@@ -153,9 +153,21 @@ let certify_cmd =
                    structural cone deduplication).")
   in
   let symbolic =
-    Arg.(value & flag
-         & info [ "symbolic" ]
-             ~doc:"Run the affine propagation pre-pass before Algorithm 1.")
+    let doc =
+      "Symbolic pre-analysis before Algorithm 1: $(b,off), $(b,fwd) \
+       (forward affine propagation, tightens the pipeline's bounds) or \
+       $(b,back) (backward substitution; answers provably-no-op LP \
+       queries statically and seeds strictly tighter bounds, certified \
+       eps unchanged when it declines).  Bare $(b,--symbolic) means \
+       $(b,fwd), matching the old boolean flag."
+    in
+    Arg.(value
+         & opt ~vopt:Cert.Certifier.Sym_fwd
+             (enum [ ("off", Cert.Certifier.Sym_off);
+                     ("fwd", Cert.Certifier.Sym_fwd);
+                     ("back", Cert.Certifier.Sym_back) ])
+             Cert.Certifier.Sym_off
+         & info [ "symbolic" ] ~docv:"MODE" ~doc)
   in
   let meth =
     let doc =
@@ -240,7 +252,16 @@ let certify_cmd =
             (%d warm), %d MILP solves\n"
            r.Cert.Certifier.bound_queries r.Cert.Certifier.encoded_models
            r.Cert.Certifier.dedup_hits r.Cert.Certifier.lp_solves
-           r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.milp_solves
+           r.Cert.Certifier.lp_warm_solves r.Cert.Certifier.milp_solves;
+         if r.Cert.Certifier.symbolic_conclusive > 0
+            || r.Cert.Certifier.symbolic_seeded > 0
+            || r.Cert.Certifier.symbolic_stable_relus > 0
+         then
+           Printf.printf
+             "symbolic: %d conclusive, %d seeded, %d stable relus\n"
+             r.Cert.Certifier.symbolic_conclusive
+             r.Cert.Certifier.symbolic_seeded
+             r.Cert.Certifier.symbolic_stable_relus
      | None -> ());
     Printf.printf "time: %.2fs\n" dt;
     match trace with
@@ -346,12 +367,17 @@ let lint_cmd =
         let push ds = all := !all @ ds in
         push (Audit.Encoding.intervals bounds);
         push (Audit.Encoding.bounds_soundness ~samples net bounds);
+        (* symbolic pre-analyses: tightness chain, nonempty meet with
+           the certified bounds, sampled soundness, phase consistency *)
+        push
+          (Audit.Symbolic_check.check ~samples ~certified:bounds net ~input
+             ~delta);
         (* the planner's layer-pass plans, audited without executing:
            counter consistency, variable ranges, replay overrides *)
         let pconfig =
           { Cert.Planner.window; refine = Cert.Refine.No_refine;
             mode = Cert.Encode.Relaxed; exact_output_relation = true;
-            dedup = true }
+            dedup = true; symbolic_shadow = None }
         in
         let n = Nn.Network.n_layers net in
         for i = 0 to n - 1 do
@@ -530,8 +556,15 @@ let submit_cmd =
                    --refine).")
   in
   let symbolic =
-    Arg.(value & flag
-         & info [ "symbolic" ] ~doc:"Run the affine propagation pre-pass.")
+    Arg.(value
+         & opt ~vopt:Cert.Certifier.Sym_fwd
+             (enum [ ("off", Cert.Certifier.Sym_off);
+                     ("fwd", Cert.Certifier.Sym_fwd);
+                     ("back", Cert.Certifier.Sym_back) ])
+             Cert.Certifier.Sym_off
+         & info [ "symbolic" ] ~docv:"MODE"
+             ~doc:"Symbolic pre-analysis: off, fwd or back (bare \
+                   $(b,--symbolic) means fwd).")
   in
   let no_cache =
     Arg.(value & flag

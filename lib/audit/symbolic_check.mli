@@ -1,0 +1,38 @@
+(** Lint pass for the symbolic pre-analyses ({!Cert.Symbolic} forward,
+    {!Cert.Symbolic_back} backward).
+
+    Five checks, all returning diagnostics and never raising:
+
+    - every interval either pass produces is well-formed;
+    - the tightness chain holds per neuron and quantity: backward
+      bounds are contained in forward bounds, which are contained in
+      plain interval propagation (all three run independently from the
+      same propagated base, so containment is evidence the meets
+      compose soundly rather than true by aliasing);
+    - when the certifier's LP-refined bound state is supplied, its
+      intervals and the backward-symbolic intervals must overlap —
+      both enclose the same true reachable set, so an empty meet proves
+      one of them unsound (note containment in {e either} direction is
+      not required: a window LP and a global backward substitution are
+      incomparable relaxations);
+    - sampled soundness: deterministic concrete twin pairs forwarded
+      through the real network must land inside the backward intervals
+      (the tightest claim made);
+    - the stability table's phases agree with the backward [y]
+      intervals they were derived from.
+
+    Unsound findings are [Error]-severity; [grc lint] fails on any. *)
+
+val check :
+  ?name:string ->
+  ?samples:int ->
+  ?tol:float ->
+  ?certified:Cert.Bounds.t ->
+  Nn.Network.t ->
+  input:Cert.Interval.t array -> delta:float -> Audit_core.Diag.t list
+(** Runs interval propagation, the forward pass and the backward pass
+    independently on fresh bound states for [net] over [input] with
+    perturbation radius [delta], then applies the checks above.
+    [certified] is the bound state returned by
+    {!Cert.Certifier.certify} for the same query.  Default [samples]
+    is 32, [tol] 1e-6 (magnitude-scaled). *)

@@ -20,6 +20,11 @@ let create net ~input ~input_dist =
   { input; input_dist; y = alloc (); x = alloc (); dy = alloc ();
     dx = alloc () }
 
+let copy b =
+  let deep = Array.map Array.copy in
+  { input = Array.copy b.input; input_dist = Array.copy b.input_dist;
+    y = deep b.y; x = deep b.x; dy = deep b.dy; dx = deep b.dx }
+
 let box_domain net ~lo ~hi =
   Array.make (Nn.Network.input_dim net) (Interval.make lo hi)
 

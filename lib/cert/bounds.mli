@@ -20,6 +20,11 @@ val create : Nn.Network.t -> input:Interval.t array ->
   input_dist:Interval.t array -> t
 (** All layer intervals initialised to {!Interval.top}. *)
 
+val copy : t -> t
+(** Deep copy: mutating the copy's intervals leaves the original
+    untouched (the analysis shadow used by the certifier's symbolic
+    pre-pass). *)
+
 val box_domain : Nn.Network.t -> lo:float -> hi:float -> Interval.t array
 (** Uniform input box of the network's input dimension. *)
 

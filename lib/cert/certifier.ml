@@ -1,5 +1,7 @@
 type refine_rule = Refine.rule = No_refine | Count of int | Fraction of float
 
+type sym_mode = Sym_off | Sym_fwd | Sym_back
+
 type config = {
   window : int;
   refine : refine_rule;
@@ -8,14 +10,14 @@ type config = {
   mode : Encode.mode;
   exact_output_relation : bool;
   domains : int;
-  symbolic : bool;
+  symbolic : sym_mode;
   dedup : bool;
 }
 
 let default_config =
   { window = 2; refine = No_refine; milp_options = Milp.default_options;
     margin = 1e-6; mode = Encode.Relaxed; exact_output_relation = true;
-    domains = 1; symbolic = false; dedup = true }
+    domains = 1; symbolic = Sym_off; dedup = true }
 
 type report = {
   eps : float array;
@@ -27,22 +29,38 @@ type report = {
   bound_queries : int;
   encoded_models : int;
   dedup_hits : int;
+  symbolic_conclusive : int;
+  symbolic_seeded : int;
+  symbolic_stable_relus : int;
   runtime : float;
 }
 
 (* Tighten [current] with a (max-query upper, min-query lower) pair,
-   falling back to [current] on query failure. *)
+   falling back to [current] on query failure.  Endpoint improvements
+   below the noise guard are indistinguishable from LP/MILP numerical
+   noise and are rejected; this is what makes the planner's
+   symbolic-conclusive skips bitwise neutral — a statically answered
+   no-op query folds to exactly what running the solver would have. *)
 let refreshed_interval current ~lo_query ~hi_query =
-  let lo = match lo_query with Some v -> v | None -> current.Interval.lo in
-  let hi = match hi_query with Some v -> v | None -> current.Interval.hi in
-  let lo = Float.max lo current.Interval.lo
-  and hi = Float.min hi current.Interval.hi in
+  let g = Interval.noise_guard current in
+  let lo =
+    match lo_query with
+    | Some v when v > current.Interval.lo +. g -> v
+    | _ -> current.Interval.lo
+  in
+  let hi =
+    match hi_query with
+    | Some v when v < current.Interval.hi -. g -> v
+    | _ -> current.Interval.hi
+  in
   if lo > hi then current else Interval.make lo hi
 
 let m_certifies = Obs.Metrics.counter "certifier.certifies"
 let m_bound_queries = Obs.Metrics.counter "certifier.bound_queries"
 let m_encoded_models = Obs.Metrics.counter "certifier.encoded_models"
 let m_dedup_hits = Obs.Metrics.counter "certifier.dedup_hits"
+let m_sym_conclusive = Obs.Metrics.counter "symbolic.conclusive"
+let m_sym_seeded = Obs.Metrics.counter "symbolic.seeded"
 
 let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
   Obs.Trace.with_span "certify" @@ fun () ->
@@ -50,16 +68,35 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
   let t0 = Unix.gettimeofday () in
   let stats = Plan.Engine.zero_stats () in
   let bound_queries = ref 0 and encoded_models = ref 0 and dedup_hits = ref 0 in
+  let sym_conclusive = ref 0 and sym_seeded = ref 0 in
   let bounds =
     Bounds.create net ~input ~input_dist:(Bounds.uniform_delta net delta)
   in
   Interval_prop.propagate net bounds;
-  if config.symbolic then Symbolic.propagate net bounds;
+  (* [Sym_fwd] tightens the pipeline's own bounds (certified eps may
+     change, only ever downward).  [Sym_back] analyses a shadow copy:
+     the pipeline bounds stay bitwise untouched and the analysis acts
+     through the planner — conclusive query skips and strictly tighter
+     seeds only — so certified eps is unchanged whenever the fast path
+     declines. *)
+  let stable_relus = ref 0 in
+  let shadow =
+    match config.symbolic with
+    | Sym_off -> None
+    | Sym_fwd ->
+        Symbolic.propagate net bounds;
+        None
+    | Sym_back ->
+        let sh = Bounds.copy bounds in
+        let analysis = Symbolic_back.analyse net sh in
+        stable_relus := analysis.Symbolic_back.stable_relus;
+        Some sh
+  in
   let pconfig =
     { Planner.window = config.window; refine = config.refine;
       mode = config.mode;
       exact_output_relation = config.exact_output_relation;
-      dedup = config.dedup }
+      dedup = config.dedup; symbolic_shadow = shadow }
   in
   let exec_config =
     { Plan.Executor.domains = config.domains;
@@ -76,12 +113,20 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
     bound_queries := !bound_queries + plan.Plan.n_queries;
     encoded_models := !encoded_models + plan.Plan.n_encodes;
     dedup_hits := !dedup_hits + plan.Plan.dedup_hits;
+    sym_conclusive := !sym_conclusive + plan.Plan.symbolic_conclusive;
+    sym_seeded := !sym_seeded + plan.Plan.symbolic_seeded;
     Obs.Metrics.add m_bound_queries plan.Plan.n_queries;
     Obs.Metrics.add m_encoded_models plan.Plan.n_encodes;
     Obs.Metrics.add m_dedup_hits plan.Plan.dedup_hits;
+    Obs.Metrics.add m_sym_conclusive plan.Plan.symbolic_conclusive;
+    Obs.Metrics.add m_sym_seeded plan.Plan.symbolic_seeded;
     Obs.Trace.count "bound_queries" plan.Plan.n_queries;
     Obs.Trace.count "encoded_models" plan.Plan.n_encodes;
     Obs.Trace.count "dedup_hits" plan.Plan.dedup_hits;
+    if plan.Plan.symbolic_conclusive > 0 then
+      Obs.Trace.count "symbolic_conclusive" plan.Plan.symbolic_conclusive;
+    if plan.Plan.symbolic_seeded > 0 then
+      Obs.Trace.count "symbolic_seeded" plan.Plan.symbolic_seeded;
     (* [partial_stats] (not the returned stats) feeds the report: a
        raising solve hook still accounts for the work already done *)
     let outcome =
@@ -162,6 +207,9 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
     bound_queries = !bound_queries;
     encoded_models = !encoded_models;
     dedup_hits = !dedup_hits;
+    symbolic_conclusive = !sym_conclusive;
+    symbolic_seeded = !sym_seeded;
+    symbolic_stable_relus = !stable_relus;
     runtime = Unix.gettimeofday () -. t0 }
 
 let certify_box ?config ?pool ?solve_hook net ~lo ~hi ~delta =

@@ -8,6 +8,8 @@ type neuron_vars = {
   dy : Model.var;
   x : Model.var option;
   dx : Model.var option;
+  z : Model.var option;
+  zhat : Model.var option;
 }
 
 type itne_enc = {
@@ -35,12 +37,19 @@ let add_affine_constraint model y_var row prev_var =
   in
   Model.add_constr model terms Model.Eq row.Sparse_row.const
 
-(* Copy-1 ReLU relation between [y] and [x], with y in [iv]. *)
+(* Copy-1 ReLU relation between [y] and [x], with y in [iv].  Returns
+   the indicator binary when the Exact straddling branch created one, so
+   callers can hand it to a solver that fixes statically-known phases. *)
 let add_relu_relation model ~mode ~(iv : Interval.t) ~y ~x =
   let a = iv.Interval.lo and b = iv.Interval.hi in
-  if b <= 0.0 then Model.add_constr model [ (x, 1.0) ] Model.Eq 0.0
-  else if a >= 0.0 then
-    Model.add_constr model [ (x, 1.0); (y, -1.0) ] Model.Eq 0.0
+  if b <= 0.0 then begin
+    Model.add_constr model [ (x, 1.0) ] Model.Eq 0.0;
+    None
+  end
+  else if a >= 0.0 then begin
+    Model.add_constr model [ (x, 1.0); (y, -1.0) ] Model.Eq 0.0;
+    None
+  end
   else begin
     require_finite "ReLU pre-activation" iv;
     Model.add_constr model [ (x, 1.0); (y, -1.0) ] Model.Ge 0.0;
@@ -51,25 +60,33 @@ let add_relu_relation model ~mode ~(iv : Interval.t) ~y ~x =
         (* x <= y - a (1 - z)  and  x <= b z *)
         Model.add_constr model [ (x, 1.0); (y, -1.0); (z, -.a) ] Model.Le
           (-.a);
-        Model.add_constr model [ (x, 1.0); (z, -.b) ] Model.Le 0.0
+        Model.add_constr model [ (x, 1.0); (z, -.b) ] Model.Le 0.0;
+        Some z
     | Relaxed ->
         (* x <= b (y - a) / (b - a) *)
         Model.add_constr model
           [ (x, b -. a); (y, -.b) ]
-          Model.Le (-.b *. a)
+          Model.Le (-.b *. a);
+        None
   end
 
-(* Distance relation dx = relu(y + dy) - relu(y), Eq. 5/6 of the paper. *)
+(* Distance relation dx = relu(y + dy) - relu(y), Eq. 5/6 of the paper.
+   Returns the second copy's indicator binary when Exact mode created
+   one for the straddling relu(y + dy). *)
 let add_dist_relation model ~mode ~(y_iv : Interval.t)
     ~(dy_iv : Interval.t) ~y ~dy ~x ~dx =
   let a = y_iv.Interval.lo and b = y_iv.Interval.hi in
   let c = dy_iv.Interval.lo and d = dy_iv.Interval.hi in
-  if b <= 0.0 && b +. d <= 0.0 then
+  if b <= 0.0 && b +. d <= 0.0 then begin
     (* both copies certainly inactive *)
-    Model.add_constr model [ (dx, 1.0) ] Model.Eq 0.0
-  else if a >= 0.0 && a +. c >= 0.0 then
+    Model.add_constr model [ (dx, 1.0) ] Model.Eq 0.0;
+    None
+  end
+  else if a >= 0.0 && a +. c >= 0.0 then begin
     (* both copies certainly active *)
-    Model.add_constr model [ (dx, 1.0); (dy, -1.0) ] Model.Eq 0.0
+    Model.add_constr model [ (dx, 1.0); (dy, -1.0) ] Model.Eq 0.0;
+    None
+  end
   else
     match mode with
     | Exact ->
@@ -82,9 +99,12 @@ let add_dist_relation model ~mode ~(y_iv : Interval.t)
         Model.add_constr model [ (yhat, 1.0); (y, -1.0); (dy, -1.0) ]
           Model.Eq 0.0;
         let xhat = var_of_interval model (Interval.relu yhat_iv) in
-        add_relu_relation model ~mode:Exact ~iv:yhat_iv ~y:yhat ~x:xhat;
+        let zhat =
+          add_relu_relation model ~mode:Exact ~iv:yhat_iv ~y:yhat ~x:xhat
+        in
         Model.add_constr model [ (dx, 1.0); (xhat, -1.0); (x, 1.0) ]
-          Model.Eq 0.0
+          Model.Eq 0.0;
+        zhat
     | Relaxed ->
         require_finite "ReLU distance" dy_iv;
         let l = Float.min 0.0 c and u = Float.max 0.0 d in
@@ -95,7 +115,8 @@ let add_dist_relation model ~mode ~(y_iv : Interval.t)
           Model.add_constr model [ (dx, u -. l); (dy, l) ] Model.Ge (l *. u);
           Model.add_constr model [ (dx, u -. l); (dy, -.u) ] Model.Le
             (-.u *. l)
-        end
+        end;
+        None
 
 let interval_clip_relu_dist ~y_iv ~dy_iv stored =
   (* best cheap enclosure for the dx variable's own bounds *)
@@ -176,7 +197,7 @@ let itne ?(refined = []) ?(include_output_relu = false) ~mode
         let encode_relu =
           layer.Nn.Layer.relu && ((not is_last) || include_output_relu)
         in
-        let x, dx =
+        let x, dx, z, zhat =
           if encode_relu then begin
             let x_iv =
               match
@@ -193,14 +214,16 @@ let itne ?(refined = []) ?(include_output_relu = false) ~mode
             let neuron_mode =
               if Hashtbl.mem refined_set (abs, j) then Exact else mode
             in
-            add_relu_relation model ~mode:neuron_mode ~iv:y_iv ~y ~x;
-            add_dist_relation model ~mode:neuron_mode ~y_iv ~dy_iv ~y ~dy ~x
-              ~dx;
-            (Some x, Some dx)
+            let z = add_relu_relation model ~mode:neuron_mode ~iv:y_iv ~y ~x in
+            let zhat =
+              add_dist_relation model ~mode:neuron_mode ~y_iv ~dy_iv ~y ~dy ~x
+                ~dx
+            in
+            (Some x, Some dx, z, zhat)
           end
-          else (None, None)
+          else (None, None, None, None)
         in
-        Hashtbl.replace vars (abs, j) { y; dy; x; dx })
+        Hashtbl.replace vars (abs, j) { y; dy; x; dx; z; zhat })
       view.Subnet.active.(k)
   done;
   { model; view; vars; in_vars }
@@ -302,7 +325,9 @@ let encode_copy ?phases ?splits model view ~(bounds : Bounds.t) ~mode
                       Hashtbl.replace split_table (abs, j)
                         { sp_y = y; sp_x = x; sp_slack = s; sp_y_iv = y_iv;
                           sp_x_iv = x_iv; sp_slack_hi = -.a }
-                  | _ -> add_relu_relation model ~mode ~iv:y_iv ~y ~x));
+                  | _ ->
+                      ignore
+                        (add_relu_relation model ~mode ~iv:y_iv ~y ~x)));
             Some x
           end
           else None

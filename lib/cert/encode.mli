@@ -30,6 +30,13 @@ type neuron_vars = {
   dy : Lp.Model.var;
   x : Lp.Model.var option;   (** present iff the neuron's ReLU was encoded *)
   dx : Lp.Model.var option;
+  z : Lp.Model.var option;
+      (** copy-1 ReLU indicator binary: present iff the neuron was
+          encoded exactly and its [y] interval straddles 0.  A solver
+          holding a static phase proof can fix it ([1] active, [0]
+          inactive) instead of branching. *)
+  zhat : Lp.Model.var option;
+      (** same for the implicit second copy's ReLU, [relu(y + dy)] *)
 }
 
 type itne_enc = {

@@ -60,6 +60,10 @@ let relu_dist ~y ~dy =
 
 let abs_max iv = Float.max (Float.abs iv.lo) (Float.abs iv.hi)
 
+let noise_guard iv =
+  let fin v = if Float.is_finite v then Float.abs v else 0.0 in
+  1e-9 *. Float.max 1.0 (Float.max (fin iv.lo) (fin iv.hi))
+
 let grow eps iv = { lo = iv.lo -. eps; hi = iv.hi +. eps }
 
 let is_finite iv =

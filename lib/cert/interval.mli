@@ -46,6 +46,15 @@ val relu_dist : y:t -> dy:t -> t
 val abs_max : t -> float
 (** [max |lo| |hi|]. *)
 
+val noise_guard : t -> float
+(** Solver-noise threshold for the interval's magnitude: an endpoint
+    improvement below this is indistinguishable from LP/MILP numerical
+    noise (relative 1e-9, floored at 1e-9 absolute; infinite endpoints
+    are ignored for the scale).  Used by the certifier to reject
+    sub-noise bound "tightenings" so that statically skippable queries
+    ({!Planner} conclusive fast path) leave certified bounds bitwise
+    unchanged. *)
+
 val grow : float -> t -> t
 (** [grow eps iv] widens both ends by [eps] (soundness margin). *)
 

@@ -6,6 +6,7 @@ type result = {
   exact : bool;
   nodes : int;
   pivots : int;
+  skipped_splits : int;
   runtime : float;
 }
 
@@ -44,10 +45,14 @@ let unfix session (sp : Encode.relu_split) =
    bounds, so every LP after the first warm-starts from [session]'s
    retained basis — a dual-simplex restart instead of a cold two-phase
    solve per node.  [eval_true xa xb] evaluates the objective on a real
-   forward pass, providing feasible incumbents for pruning.  Returns
+   forward pass, providing feasible incumbents for pruning.  [fixed]
+   holds the split keys that must never be branched on — pre-populated
+   by the caller with statically proven phases (their bounds already
+   applied to [session]); explore's own entries are symmetric, so the
+   table returns to its initial state.  Returns
    (exact_max_or_upper_bound, completed). *)
-let maximise net bounds (enc : Encode.btne_enc) session stats ~max_nodes
-    ~nodes ~terms ~eval_true =
+let maximise net bounds (enc : Encode.btne_enc) session stats ~fixed
+    ~max_nodes ~nodes ~terms ~eval_true =
   let input_dim = Nn.Network.input_dim net in
   let best = ref neg_infinity in
   let completed = ref true in
@@ -58,8 +63,6 @@ let maximise net bounds (enc : Encode.btne_enc) session stats ~max_nodes
     List.iter (fun (id, v) -> x.(id) <- sol.Lp.Simplex.x.(v)) assoc;
     x
   in
-  (* which split keys are currently phase-fixed, per copy *)
-  let fixed = Hashtbl.create 16 in
   let rec explore () =
     if !nodes >= max_nodes then completed := false
     else begin
@@ -124,7 +127,8 @@ let maximise net bounds (enc : Encode.btne_enc) session stats ~max_nodes
   explore ();
   (!best, !completed)
 
-let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
+let global ?(max_nodes = 200_000) ?(presolve = true) ?stable net ~input
+    ~delta =
   let t0 = Unix.gettimeofday () in
   let bounds =
     if presolve then begin
@@ -156,6 +160,26 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
   let session =
     Lp.Simplex.create_session (Lp.Simplex.compile enc.Encode.model)
   in
+  (* which split keys are currently phase-fixed, per copy; statically
+     proven phases are applied once here and stay fixed for every
+     node of every output's split tree *)
+  let fixed = Hashtbl.create 16 in
+  let skipped = ref 0 in
+  (match stable with
+   | None -> ()
+   | Some table ->
+       Hashtbl.iter
+         (fun key phase ->
+           List.iter
+             (fun (in_a, splits) ->
+               match Hashtbl.find_opt splits key with
+               | None -> ()
+               | Some sp ->
+                   apply_phase session sp phase;
+                   Hashtbl.replace fixed (in_a, key) ();
+                   incr skipped)
+             [ (true, enc.Encode.split_a); (false, enc.Encode.split_b) ])
+         table);
   let stats = Plan.Engine.zero_stats () in
   let nodes = ref 0 in
   let all_exact = ref true in
@@ -170,11 +194,11 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
           sign *. (fb.(j) -. fa.(j))
         in
         let hi, ok1 =
-          maximise net bounds enc session stats ~max_nodes ~nodes
+          maximise net bounds enc session stats ~fixed ~max_nodes ~nodes
             ~terms:(terms 1.0) ~eval_true:(eval_true 1.0)
         in
         let neg_lo, ok2 =
-          maximise net bounds enc session stats ~max_nodes ~nodes
+          maximise net bounds enc session stats ~fixed ~max_nodes ~nodes
             ~terms:(terms (-1.0)) ~eval_true:(eval_true (-1.0))
         in
         if not (ok1 && ok2) then all_exact := false;
@@ -191,4 +215,5 @@ let global ?(max_nodes = 200_000) ?(presolve = true) net ~input ~delta =
     exact = !all_exact;
     nodes = !nodes;
     pivots = stats.Plan.Engine.lp_pivots;
+    skipped_splits = !skipped;
     runtime = Unix.gettimeofday () -. t0 }

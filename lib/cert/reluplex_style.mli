@@ -13,11 +13,19 @@ type result = {
   exact : bool;        (** search completed within the node budget *)
   nodes : int;         (** LP relaxations solved *)
   pivots : int;        (** simplex pivots across all node LPs *)
+  skipped_splits : int;
+      (** ambiguous ReLU copies phase-fixed up front by a [stable]
+          table, excluded from case-splitting for the whole search *)
   runtime : float;
 }
 
 val global :
-  ?max_nodes:int -> ?presolve:bool -> Nn.Network.t ->
+  ?max_nodes:int -> ?presolve:bool ->
+  ?stable:(int * int, Encode.phase) Hashtbl.t -> Nn.Network.t ->
   input:Interval.t array -> delta:float -> result
 (** [presolve] (default true): tighten ReLU ranges with a relaxed
-    Algorithm-1 pass before splitting. *)
+    Algorithm-1 pass before splitting.  [stable] maps (absolute layer,
+    neuron) to a phase proven over the whole input box (e.g.
+    {!Symbolic_back.analysis.stable}); the proof covers both explicit
+    copies, so those ReLUs are fixed once and never split — the result
+    is unchanged. *)

@@ -94,8 +94,25 @@ let relu_dist_nb dim (dy : nb) ~(y_iv : Interval.t) ~(dy_iv : Interval.t) =
     end
   end
 
-let meet_store store fresh =
-  match Interval.meet store fresh with Some iv -> iv | None -> store
+(* A symbolic interval disjoint from the stored one means one of the
+   two is unsound (the true range lies in both); keeping the store is
+   the conservative recovery, but under audit mode the disagreement is
+   a hard, structured failure instead of a silent one. *)
+let meet_store ?(what = "value") ?neuron store fresh =
+  match Interval.meet store fresh with
+  | Some iv -> iv
+  | None ->
+      if Audit_core.Mode.enabled () then
+        Audit_core.Mode.report
+          [ Audit_core.Diag.make Audit_core.Diag.Error ~pass:"symbolic"
+              ~code:"empty-meet"
+              ~loc:(Audit_core.Diag.loc ?neuron "symbolic")
+              (Printf.sprintf
+                 "symbolic %s interval %s is disjoint from the stored \
+                  interval %s: one of the two analyses is unsound" what
+                 (Interval.to_string fresh)
+                 (Interval.to_string store)) ];
+      store
 
 let propagate net (bounds : Bounds.t) =
   let m0 = Nn.Network.input_dim net in
@@ -121,11 +138,11 @@ let propagate net (bounds : Bounds.t) =
       let y_nb = row_bounds m0 row !vals ~with_bias:true in
       let dy_nb = row_bounds m0 row !dists ~with_bias:false in
       let y_iv =
-        meet_store bounds.Bounds.y.(i).(j)
+        meet_store ~what:"y" ~neuron:(i, j) bounds.Bounds.y.(i).(j)
           (concretise y_nb bounds.Bounds.input)
       in
       let dy_iv =
-        meet_store bounds.Bounds.dy.(i).(j)
+        meet_store ~what:"dy" ~neuron:(i, j) bounds.Bounds.dy.(i).(j)
           (concretise dy_nb bounds.Bounds.input_dist)
       in
       bounds.Bounds.y.(i).(j) <- y_iv;
@@ -134,9 +151,10 @@ let propagate net (bounds : Bounds.t) =
         next_vals.(j) <- relu_nb m0 y_nb y_iv;
         next_dists.(j) <- relu_dist_nb m0 dy_nb ~y_iv ~dy_iv;
         bounds.Bounds.x.(i).(j) <-
-          meet_store bounds.Bounds.x.(i).(j) (Interval.relu y_iv);
+          meet_store ~what:"x" ~neuron:(i, j) bounds.Bounds.x.(i).(j)
+            (Interval.relu y_iv);
         bounds.Bounds.dx.(i).(j) <-
-          meet_store bounds.Bounds.dx.(i).(j)
+          meet_store ~what:"dx" ~neuron:(i, j) bounds.Bounds.dx.(i).(j)
             (Interval.relu_dist ~y:y_iv ~dy:dy_iv)
       end
       else begin

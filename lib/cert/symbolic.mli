@@ -21,7 +21,43 @@ type affine = {
 }
 
 val eval_range : affine -> Interval.t array -> Interval.t
-(** Exact range of the affine form over a box. *)
+(** Exact range of the affine form over a box.  Zero coefficients are
+    skipped outright, so unbounded box components multiplied by a zero
+    coefficient contribute nothing (no [0 * inf = NaN] hazard). *)
+
+val zero_affine : int -> affine
+
+type nb = { lo : affine; hi : affine }
+(** Affine lower/upper bounds on one scalar quantity. *)
+
+val point_nb : int -> int -> nb
+(** [point_nb dim k]: the [k]-th coordinate itself. *)
+
+val const_nb : int -> float -> nb
+
+val row_bounds : int -> Linalg.Sparse_row.t -> nb array -> with_bias:bool -> nb
+(** Affine bounds of [row . prev]: positive coefficients take the
+    operand's own-direction bound, negative ones the opposite. *)
+
+val scale_shift_affine : float -> float -> affine -> affine
+(** [scale_shift_affine s t a] is [s * a + t]. *)
+
+val relu_nb : int -> nb -> Interval.t -> nb
+(** Triangle relaxation of [x = relu(y)] given [y]'s affine bounds and
+    its concrete range (DeepPoly area rule for the lower bound). *)
+
+val relu_dist_nb : int -> nb -> y_iv:Interval.t -> dy_iv:Interval.t -> nb
+(** Chord relaxation (the paper's Eq. 6) of
+    [dx = relu(y + dy) - relu(y)] given [dy]'s affine bounds and the
+    concrete ranges of [y] and [dy]. *)
+
+val meet_store :
+  ?what:string -> ?neuron:int * int -> Interval.t -> Interval.t -> Interval.t
+(** Meet a freshly derived symbolic interval into the stored one.  A
+    disjoint pair means one of the analyses is unsound: under audit
+    mode this reports an Error-level [symbolic/empty-meet] diagnostic
+    (raising {!Audit_core.Diag.Audit_failure}); otherwise the store is
+    kept unchanged as the conservative recovery. *)
 
 val propagate : Nn.Network.t -> Bounds.t -> unit
 (** Tightens every interval of [bounds] in place (by meet), exactly

@@ -295,3 +295,14 @@ let solve ?options ?objective ?bounds model =
       Obs.Trace.count "nodes" r.nodes;
       Obs.Trace.count "pivots" r.pivots;
       r)
+
+let fixing_bounds model fixed =
+  let n = Lp.Model.n_vars model in
+  let lo = Array.init n (Lp.Model.var_lo model) in
+  let hi = Array.init n (Lp.Model.var_hi model) in
+  List.iter
+    (fun (v, value) ->
+      lo.(v) <- value;
+      hi.(v) <- value)
+    fixed;
+  (lo, hi)

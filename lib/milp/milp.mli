@@ -45,3 +45,11 @@ val solve :
     bounds are still rounded inward afterwards), allowing one model to
     be replayed under different input intervals — e.g. a deduplicated
     certification cone. *)
+
+val fixing_bounds :
+  Lp.Model.t -> (Lp.Model.var * float) list -> float array * float array
+(** The model's structural bounds with each listed variable pinned to a
+    value — ready to pass as [solve]'s [bounds].  Used to fix indicator
+    binaries whose value is known statically (e.g. ReLU phases proven
+    stable by symbolic analysis) so branch & bound never branches on
+    them. *)

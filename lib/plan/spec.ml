@@ -15,7 +15,11 @@ let eval_affine a =
   List.fold_left
     (fun acc (c, r) ->
       let lo, hi =
-        if c >= 0.0 then (c *. r.lo, c *. r.hi) else (c *. r.hi, c *. r.lo)
+        (* a zero coefficient contributes nothing even over an unbounded
+           range; [0. *. infinity] would be NaN *)
+        if c = 0.0 then (0.0, 0.0)
+        else if c > 0.0 then (c *. r.lo, c *. r.hi)
+        else (c *. r.hi, c *. r.lo)
       in
       { lo = acc.lo +. lo; hi = acc.hi +. hi })
     { lo = a.a_const; hi = a.a_const }
@@ -46,11 +50,13 @@ type t = {
   n_queries : int;
   n_encodes : int;
   dedup_hits : int;
+  symbolic_conclusive : int;
+  symbolic_seeded : int;
 }
 
 let empty =
   { affine = [||]; tasks = [||]; units = [||]; n_queries = 0; n_encodes = 0;
-    dedup_hits = 0 }
+    dedup_hits = 0; symbolic_conclusive = 0; symbolic_seeded = 0 }
 
 (* --- builder --- *)
 
@@ -61,11 +67,20 @@ type builder = {
   mutable b_units : unit_of_work list;
   mutable b_n_queries : int;
   mutable b_dedup_hits : int;
+  mutable b_symbolic_conclusive : int;
+  mutable b_symbolic_seeded : int;
 }
 
 let builder () =
   { b_affine = []; b_tasks = []; b_n_tasks = 0; b_units = [];
-    b_n_queries = 0; b_dedup_hits = 0 }
+    b_n_queries = 0; b_dedup_hits = 0; b_symbolic_conclusive = 0;
+    b_symbolic_seeded = 0 }
+
+let count_symbolic_conclusive b n =
+  b.b_symbolic_conclusive <- b.b_symbolic_conclusive + n
+
+let count_symbolic_seeded b n =
+  b.b_symbolic_seeded <- b.b_symbolic_seeded + n
 
 let add_affine b a = b.b_affine <- a :: b.b_affine
 
@@ -88,4 +103,6 @@ let finish b =
     units = Array.of_list (List.rev b.b_units);
     n_queries = b.b_n_queries;
     n_encodes = b.b_n_tasks;
-    dedup_hits = b.b_dedup_hits }
+    dedup_hits = b.b_dedup_hits;
+    symbolic_conclusive = b.b_symbolic_conclusive;
+    symbolic_seeded = b.b_symbolic_seeded }

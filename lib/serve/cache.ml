@@ -27,7 +27,10 @@ let key ~digest (q : Wire.query) =
   in
   Printf.sprintf "%s|%s|%s|%s|w%d|%s|s%d" digest (bits q.Wire.q_delta)
     (bits q.Wire.q_lo) (bits q.Wire.q_hi) q.Wire.q_window refine
-    (if q.Wire.q_symbolic then 1 else 0)
+    (match q.Wire.q_symbolic with
+     | Cert.Certifier.Sym_off -> 0
+     | Cert.Certifier.Sym_fwd -> 1
+     | Cert.Certifier.Sym_back -> 2)
 
 (* --- persistence ---
 

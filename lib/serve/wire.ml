@@ -6,14 +6,15 @@ type query = {
   q_hi : float;
   q_window : int;
   q_refine : Cert.Refine.rule;
-  q_symbolic : bool;
+  q_symbolic : Cert.Certifier.sym_mode;
   q_no_cache : bool;
   q_deadline_ms : float option;
 }
 
 let default_query =
   { q_net = None; q_digest = None; q_delta = 1e-3; q_lo = 0.0; q_hi = 1.0;
-    q_window = 2; q_refine = Cert.Refine.No_refine; q_symbolic = false;
+    q_window = 2; q_refine = Cert.Refine.No_refine;
+    q_symbolic = Cert.Certifier.Sym_off;
     q_no_cache = false; q_deadline_ms = None }
 
 type request =
@@ -59,7 +60,13 @@ let query_fields q =
         ("hi", Json.Num q.q_hi);
         ("window", Json.Num (float_of_int q.q_window)) ];
       refine_fields q.q_refine;
-      (if q.q_symbolic then [ ("symbolic", Json.Bool true) ] else []);
+      (* [Sym_fwd] keeps the legacy boolean field so old servers still
+         understand it; [Sym_back] is a protocol extension *)
+      (match q.q_symbolic with
+       | Cert.Certifier.Sym_off -> []
+       | Cert.Certifier.Sym_fwd -> [ ("symbolic", Json.Bool true) ]
+       | Cert.Certifier.Sym_back ->
+           [ ("symbolic_mode", Json.Str "back") ]);
       (if q.q_no_cache then [ ("no_cache", Json.Bool true) ] else []);
       (match q.q_deadline_ms with
        | Some ms -> [ ("deadline_ms", Json.Num ms) ]
@@ -112,7 +119,18 @@ let decode_query v =
     q_hi = num "hi" default_query.q_hi;
     q_window = window;
     q_refine = refine;
-    q_symbolic = Option.value ~default:false (Json.mem_bool "symbolic" v);
+    q_symbolic =
+      (match Json.mem_str "symbolic_mode" v with
+       | Some "off" -> Cert.Certifier.Sym_off
+       | Some "fwd" -> Cert.Certifier.Sym_fwd
+       | Some "back" -> Cert.Certifier.Sym_back
+       | Some m ->
+           failwith
+             (Printf.sprintf "Serve.Wire: certify: unknown symbolic_mode %S" m)
+       | None ->
+           if Option.value ~default:false (Json.mem_bool "symbolic" v) then
+             Cert.Certifier.Sym_fwd
+           else Cert.Certifier.Sym_off);
     q_no_cache = Option.value ~default:false (Json.mem_bool "no_cache" v);
     q_deadline_ms = Json.mem_num "deadline_ms" v }
 

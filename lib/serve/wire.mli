@@ -29,7 +29,11 @@ type query = {
   q_hi : float;
   q_window : int;
   q_refine : Cert.Refine.rule;
-  q_symbolic : bool;
+  q_symbolic : Cert.Certifier.sym_mode;
+      (** on the wire: [Sym_fwd] is the legacy [symbolic: true] boolean
+          field (old servers keep understanding it); [Sym_back] is the
+          [symbolic_mode: "back"] extension, which takes precedence over
+          the boolean when both are present *)
   q_no_cache : bool;          (** bypass the result cache (still runs) *)
   q_deadline_ms : float option;
       (** drop the request if not {e finished} this many ms after the

@@ -8,9 +8,11 @@ let () =
   let delta = 0.05 in
   let ibp = (Cert.Interval_prop.certify net ~input ~delta).(0) in
   let sym = (Cert.Symbolic.certify net ~input ~delta).(0) in
+  let symb = (Cert.Symbolic_back.certify net ~input ~delta).(0) in
   let a1 = (Cert.Certifier.certify net ~input ~delta).Cert.Certifier.eps.(0) in
   let a1s = (Cert.Certifier.certify
-               ~config:{ Cert.Certifier.default_config with Cert.Certifier.symbolic = true }
+               ~config:{ Cert.Certifier.default_config with
+                         Cert.Certifier.symbolic = Cert.Certifier.Sym_fwd }
                net ~input ~delta).Cert.Certifier.eps.(0) in
   (* sampled lower bound on the true eps *)
   let sampled = ref 0.0 in
@@ -20,9 +22,34 @@ let () =
     let d = Float.abs ((Nn.Network.forward net x').(0) -. (Nn.Network.forward net x).(0)) in
     if d > !sampled then sampled := d
   done;
-  Printf.printf "ibp=%.5f sym=%.5f algo1=%.5f algo1+sym=%.5f sampled>=%.5f\n" ibp sym a1 a1s !sampled;
+  Printf.printf "ibp=%.5f sym=%.5f sym_back=%.5f algo1=%.5f algo1+sym=%.5f sampled>=%.5f\n"
+    ibp sym symb a1 a1s !sampled;
   assert (sym <= ibp +. 1e-9);
+  assert (symb <= sym +. 1e-9);
+  assert (symb >= !sampled -. 1e-9);
   assert (sym >= !sampled -. 1e-9);
   assert (a1s >= !sampled -. 1e-9);
   assert (a1s <= a1 +. 1e-9);
+  (* back mode, pure-LPR config: the dx pass is all chord-relaxed LPs,
+     so every dx query must be answered statically — with the certified
+     eps bitwise unchanged *)
+  let lpr sym_mode =
+    Cert.Certifier.certify
+      ~config:{ Cert.Certifier.default_config with
+                Cert.Certifier.exact_output_relation = false;
+                symbolic = sym_mode }
+      net ~input ~delta
+  in
+  let off = lpr Cert.Certifier.Sym_off in
+  let back = lpr Cert.Certifier.Sym_back in
+  Printf.printf
+    "lpr off: eps=%.17g lp=%d | back: eps=%.17g lp=%d conclusive=%d seeded=%d stable=%d\n"
+    off.Cert.Certifier.eps.(0) off.Cert.Certifier.lp_solves
+    back.Cert.Certifier.eps.(0) back.Cert.Certifier.lp_solves
+    back.Cert.Certifier.symbolic_conclusive
+    back.Cert.Certifier.symbolic_seeded
+    back.Cert.Certifier.symbolic_stable_relus;
+  assert (back.Cert.Certifier.eps.(0) = off.Cert.Certifier.eps.(0));
+  assert (back.Cert.Certifier.symbolic_conclusive > 0);
+  assert (back.Cert.Certifier.lp_solves < off.Cert.Certifier.lp_solves);
   print_endline "symbolic OK"

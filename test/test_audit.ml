@@ -246,6 +246,50 @@ let test_encoding_catches_malformed_interval () =
   let diags = Audit.Encoding.intervals bounds in
   Alcotest.(check bool) "invalid interval" true (has "invalid-interval" diags)
 
+(* --- symbolic-check pass --- *)
+
+let test_symbolic_check_clean () =
+  let net = small_net () in
+  let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+  let delta = 0.01 in
+  let certified =
+    (Cert.Certifier.certify net ~input ~delta).Cert.Certifier.bounds
+  in
+  let diags = Audit.Symbolic_check.check ~certified net ~input ~delta in
+  Alcotest.(check string) "no findings" "" (codes diags)
+
+let test_symbolic_check_catches_disjoint_certified () =
+  let net = small_net () in
+  let input = Cert.Bounds.box_domain net ~lo:0.0 ~hi:1.0 in
+  let delta = 0.01 in
+  let certified =
+    (Cert.Certifier.certify net ~input ~delta).Cert.Certifier.bounds
+  in
+  (* teleport one certified interval away from anything the symbolic
+     analysis can produce: the nonempty-meet check must fire *)
+  certified.Cert.Bounds.y.(0).(0) <- Cert.Interval.make 1e6 1e7;
+  let diags = Audit.Symbolic_check.check ~certified net ~input ~delta in
+  Alcotest.(check bool) "empty meet flagged" true (has "empty-meet" diags)
+
+(* an empty meet inside the symbolic propagation itself is a structured
+   audit diagnostic under audit mode, and a silent keep otherwise *)
+let test_symbolic_meet_store_empty () =
+  let stored = Cert.Interval.make 0.0 1.0 in
+  let fresh = Cert.Interval.make 2.0 3.0 in
+  (* audit off: the store wins, no exception *)
+  let kept =
+    Mode.with_enabled false (fun () ->
+        Cert.Symbolic.meet_store ~what:"y" ~neuron:(0, 1) stored fresh)
+  in
+  Alcotest.(check bool) "store kept" true (Cert.Interval.equal kept stored);
+  (* audit on: Error diagnostic, reported and raised *)
+  Mode.with_enabled true (fun () ->
+      match Cert.Symbolic.meet_store ~what:"y" ~neuron:(0, 1) stored fresh with
+      | _ -> Alcotest.fail "empty meet not reported"
+      | exception Diag.Audit_failure [ d ] ->
+          Alcotest.(check string) "code" "empty-meet" d.Diag.code;
+          Alcotest.(check string) "pass" "symbolic" d.Diag.pass)
+
 let test_certifier_runs_audited () =
   Mode.with_enabled true (fun () ->
       let net = small_net () in
@@ -291,4 +335,11 @@ let suites =
         Alcotest.test_case "catches malformed interval" `Quick
           test_encoding_catches_malformed_interval;
         Alcotest.test_case "certifier audited end to end" `Slow
-          test_certifier_runs_audited ] ) ]
+          test_certifier_runs_audited ] );
+    ( "audit:symbolic",
+      [ Alcotest.test_case "clean symbolic analyses" `Quick
+          test_symbolic_check_clean;
+        Alcotest.test_case "catches disjoint certified interval" `Quick
+          test_symbolic_check_catches_disjoint_certified;
+        Alcotest.test_case "empty meet diagnostic" `Quick
+          test_symbolic_meet_store_empty ] ) ]

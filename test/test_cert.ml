@@ -225,12 +225,197 @@ let test_symbolic_certifier_not_looser () =
   let with_sym =
     (Cert.Certifier.certify
        ~config:{ Cert.Certifier.default_config with
-                 Cert.Certifier.symbolic = true }
+                 Cert.Certifier.symbolic = Cert.Certifier.Sym_fwd }
        net ~input ~delta)
       .Cert.Certifier.eps.(0)
   in
   Alcotest.(check bool) "symbolic pre-pass not looser" true
     (with_sym <= plain +. 1e-9)
+
+(* --- backward symbolic analysis --- *)
+
+(* regression: a zero coefficient on an unbounded input must not poison
+   the range (0. *. infinity = nan) *)
+let test_eval_range_zero_coeff_unbounded () =
+  let a = { Cert.Symbolic.coeffs = [| 0.0; 1.0 |]; const = 1.0 } in
+  let box =
+    [| Interval.make neg_infinity infinity; Interval.make 0.0 1.0 |]
+  in
+  let r = Cert.Symbolic.eval_range a box in
+  Alcotest.(check bool) "finite exact range" true
+    (Interval.equal r (Interval.make 1.0 2.0))
+
+let test_back_unbounded_box_no_nan () =
+  (* affine net over an unbounded input box: the distance analysis is
+     still exact and finite (it only depends on the perturbation box) *)
+  let w = Linalg.Mat.of_arrays [| [| 1.0; -2.0 |] |] in
+  let net =
+    Nn.Network.make [ Nn.Layer.dense ~weight:w ~bias:[| 0.5 |] () ]
+  in
+  let input =
+    [| Interval.make neg_infinity infinity;
+       Interval.make neg_infinity infinity |]
+  in
+  let eps = (Cert.Symbolic_back.certify net ~input ~delta:0.1).(0) in
+  Alcotest.(check bool) "finite" true (Float.is_finite eps);
+  Alcotest.(check bool) "exact |1|+|-2| scaled" true (feq eps 0.3)
+
+(* property: backward bounds are contained in forward bounds, which are
+   contained in interval propagation, per neuron and quantity — all
+   three run independently from the same propagated base *)
+let back_tightness_chain_prop =
+  let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 2 6)) in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:15 ~name:"back subset fwd subset interval-prop"
+       (QCheck.make gen)
+       (fun (seed, width) ->
+         let rng = Random.State.make [| seed |] in
+         let net =
+           random_net ~rng ~dims:[ 2; width; width; 1 ] ~relu_last:false
+         in
+         let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+         let delta = 0.05 in
+         let base =
+           Cert.Bounds.create net ~input
+             ~input_dist:(Cert.Bounds.uniform_delta net delta)
+         in
+         Cert.Interval_prop.propagate net base;
+         let fwd = Cert.Bounds.copy base in
+         Cert.Symbolic.propagate net fwd;
+         let back = Cert.Bounds.copy base in
+         ignore (Cert.Symbolic_back.analyse net back);
+         let subset (a : Interval.t) (b : Interval.t) =
+           a.Interval.lo >= b.Interval.lo -. 1e-9
+           && a.Interval.hi <= b.Interval.hi +. 1e-9
+         in
+         let ok = ref true in
+         let check (sel : Cert.Bounds.t -> Interval.t array array) =
+           Array.iteri
+             (fun i row ->
+               Array.iteri
+                 (fun j _ ->
+                   if
+                     not
+                       (subset (sel back).(i).(j) (sel fwd).(i).(j)
+                        && subset (sel fwd).(i).(j) (sel base).(i).(j))
+                   then ok := false)
+                 row)
+             (sel base)
+         in
+         check (fun b -> b.Cert.Bounds.y);
+         check (fun b -> b.Cert.Bounds.dy);
+         check (fun b -> b.Cert.Bounds.x);
+         check (fun b -> b.Cert.Bounds.dx);
+         !ok))
+
+(* property: the zero-solve backward certificate is sound *)
+let back_sound_prop =
+  let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 2 5)) in
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:15 ~name:"symbolic-back sound on random nets"
+       (QCheck.make gen)
+       (fun (seed, width) ->
+         let rng = Random.State.make [| seed |] in
+         let net =
+           random_net ~rng ~dims:[ 2; width; width; 1 ] ~relu_last:false
+         in
+         let delta = 0.05 in
+         let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+         let eps = (Cert.Symbolic_back.certify net ~input ~delta).(0) in
+         let sampled =
+           sample_variation ~rng net ~lo:(-1.0) ~hi:1.0 ~delta ~j:0 ~n:150
+         in
+         eps >= sampled -. 1e-9))
+
+(* x in [0, 2]; layer0 relu: h1 = x, h2 = relu(x - 1); layer1 relu:
+   y = h1 - h2 + 0.1 = min(x, 1) + 0.1 in [0.1, 1.1].  Interval
+   propagation sees y in [-0.9, 2.1] (straddling); the symbolic
+   analysis keeps the h1/h2 correlation and proves y stable-active. *)
+let sym_gap_net () =
+  Nn.Network.make
+    [ Nn.Layer.dense ~relu:true
+        ~weight:(Linalg.Mat.of_arrays [| [| 1.0 |]; [| 1.0 |] |])
+        ~bias:[| 0.0; -1.0 |] ();
+      Nn.Layer.dense ~relu:true
+        ~weight:(Linalg.Mat.of_arrays [| [| 1.0; -1.0 |] |])
+        ~bias:[| 0.1 |] ();
+      Nn.Layer.dense ~weight:(Linalg.Mat.of_arrays [| [| 1.0 |] |])
+        ~bias:[| 0.0 |] () ]
+
+let test_back_stable_hints () =
+  let net = sym_gap_net () in
+  let input = [| Interval.make 0.0 2.0 |] in
+  let delta = 0.05 in
+  let analysis, _ = Cert.Symbolic_back.stable_phases net ~input ~delta in
+  Alcotest.(check bool) "stable relu found" true
+    (analysis.Cert.Symbolic_back.stable_relus > 0);
+  Alcotest.(check bool) "layer-1 neuron proven active" true
+    (Hashtbl.find_opt analysis.Cert.Symbolic_back.stable (1, 0)
+     = Some Cert.Encode.Ph_active);
+  let stable = analysis.Cert.Symbolic_back.stable in
+  (* no presolve: an LP presolve would already collapse the straddle,
+     leaving nothing for the hints to skip *)
+  let plain = Cert.Exact.global_itne ~presolve:false net ~input ~delta in
+  let hinted =
+    Cert.Exact.global_itne ~presolve:false ~stable net ~input ~delta
+  in
+  Alcotest.(check bool) "itne binaries pinned" true
+    (hinted.Cert.Exact.skipped_splits > 0);
+  Alcotest.(check bool) "itne eps unchanged" true
+    (feq ~eps:1e-6 plain.Cert.Exact.eps.(0) hinted.Cert.Exact.eps.(0));
+  Alcotest.(check bool) "itne no more nodes" true
+    (hinted.Cert.Exact.nodes <= plain.Cert.Exact.nodes);
+  let bplain = Cert.Exact.global_btne ~presolve:false net ~input ~delta in
+  let bhinted =
+    Cert.Exact.global_btne ~presolve:false ~stable net ~input ~delta
+  in
+  Alcotest.(check bool) "btne binaries dropped" true
+    (bhinted.Cert.Exact.skipped_splits > 0);
+  Alcotest.(check bool) "btne eps unchanged" true
+    (feq ~eps:1e-6 bplain.Cert.Exact.eps.(0) bhinted.Cert.Exact.eps.(0));
+  let rplain =
+    Cert.Reluplex_style.global ~presolve:false net ~input ~delta
+  in
+  let rhinted =
+    Cert.Reluplex_style.global ~presolve:false ~stable net ~input ~delta
+  in
+  Alcotest.(check bool) "reluplex splits skipped" true
+    (rhinted.Cert.Reluplex_style.skipped_splits > 0);
+  (* agreement at the solver's own split tolerance (1e-6), not tighter *)
+  Alcotest.(check bool) "reluplex eps unchanged" true
+    (feq ~eps:1e-6 rplain.Cert.Reluplex_style.eps.(0)
+       rhinted.Cert.Reluplex_style.eps.(0))
+
+let test_back_conclusive_parity () =
+  let rng = rng0 () in
+  let net = random_net ~rng ~dims:[ 3; 8; 6; 2 ] ~relu_last:false in
+  let input = Cert.Bounds.box_domain net ~lo:(-1.0) ~hi:1.0 in
+  let delta = 0.03 in
+  let run ~exact_output_relation sym =
+    Cert.Certifier.certify
+      ~config:{ Cert.Certifier.default_config with
+                Cert.Certifier.exact_output_relation; symbolic = sym }
+      net ~input ~delta
+  in
+  (* pure LPR: every dx query is a chord-relaxed LP the shadow analysis
+     proves to be a structural no-op — answered with zero solves, and
+     the certified eps is bitwise identical *)
+  let off = run ~exact_output_relation:false Cert.Certifier.Sym_off in
+  let back = run ~exact_output_relation:false Cert.Certifier.Sym_back in
+  Alcotest.(check (array (float 0.0))) "bitwise eps (lpr)"
+    off.Cert.Certifier.eps back.Cert.Certifier.eps;
+  Alcotest.(check bool) "conclusive skips fired" true
+    (back.Cert.Certifier.symbolic_conclusive > 0);
+  Alcotest.(check bool) "fewer LP solves" true
+    (back.Cert.Certifier.lp_solves < off.Cert.Certifier.lp_solves);
+  (* default config: the exact output relation forces real MILPs, the
+     fast path declines everywhere, and eps stays bitwise identical *)
+  let off_d = run ~exact_output_relation:true Cert.Certifier.Sym_off in
+  let back_d = run ~exact_output_relation:true Cert.Certifier.Sym_back in
+  Alcotest.(check (array (float 0.0))) "bitwise eps (default)"
+    off_d.Cert.Certifier.eps back_d.Cert.Certifier.eps;
+  Alcotest.(check int) "no conclusive skips under exact output relation" 0
+    back_d.Cert.Certifier.symbolic_conclusive
 
 (* --- subnet cones --- *)
 
@@ -660,6 +845,17 @@ let suites =
         Alcotest.test_case "affine eval" `Quick test_symbolic_affine_eval;
         Alcotest.test_case "certifier pre-pass" `Quick
           test_symbolic_certifier_not_looser ] );
+    ( "cert:symbolic-back",
+      [ Alcotest.test_case "zero coeff on unbounded input" `Quick
+          test_eval_range_zero_coeff_unbounded;
+        Alcotest.test_case "unbounded box stays finite" `Quick
+          test_back_unbounded_box_no_nan;
+        back_tightness_chain_prop;
+        back_sound_prop;
+        Alcotest.test_case "stable hints: exact engines" `Quick
+          test_back_stable_hints;
+        Alcotest.test_case "conclusive skips: bitwise parity" `Quick
+          test_back_conclusive_parity ] );
     ( "cert:subnet",
       [ Alcotest.test_case "full window" `Quick test_cone_full_window;
         Alcotest.test_case "window clamp" `Quick test_cone_window_clamp;

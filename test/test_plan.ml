@@ -3,7 +3,8 @@
 
 let pconfig =
   { Cert.Planner.window = 2; refine = Cert.Refine.No_refine;
-    mode = Cert.Encode.Relaxed; exact_output_relation = true; dedup = true }
+    mode = Cert.Encode.Relaxed; exact_output_relation = true; dedup = true;
+    symbolic_shadow = None }
 
 let random_net ~rng ~relu ~dims =
   let rec build = function

@@ -82,7 +82,8 @@ let json_tree_roundtrip_prop =
 let sample_query =
   { Wire.q_net = Some "grc-net 1\nlayers 0\n"; q_digest = None;
     q_delta = 0.25; q_lo = -1.0; q_hi = 1.0; q_window = 3;
-    q_refine = Cert.Refine.Count 4; q_symbolic = true; q_no_cache = true;
+    q_refine = Cert.Refine.Count 4;
+    q_symbolic = Cert.Certifier.Sym_fwd; q_no_cache = true;
     q_deadline_ms = Some 125.5 }
 
 let test_wire_request_roundtrip () =
@@ -350,7 +351,8 @@ let test_cache_key_discriminates () =
       ("refine", { q0 with Wire.q_refine = Cert.Refine.Count 1 });
       ("refine frac",
        { q0 with Wire.q_refine = Cert.Refine.Fraction 0.5 });
-      ("symbolic", { q0 with Wire.q_symbolic = true }) ];
+      ("symbolic", { q0 with Wire.q_symbolic = Cert.Certifier.Sym_fwd });
+      ("symbolic_back", { q0 with Wire.q_symbolic = Cert.Certifier.Sym_back }) ];
   if Serve.Cache.key ~digest:"other" q0 = base then
     Alcotest.fail "digest did not change the key";
   (* no-cache and deadlines do not change the answer: same key *)
