@@ -622,6 +622,201 @@ let run_lp_bench () =
       r_plain.Cert.Reluplex_style.nodes r_hint.Cert.Reluplex_style.nodes
       r_diff
   in
+  (* Branch & bound strategies: the same certification under every
+     branching rule.  Gates:
+     - certified eps bitwise identical across all strategies on every
+       case (the strategy-invariance contract);
+     - dual-guided explores >= 20% fewer B&B nodes than
+       most-fractional on the gated case (exact-BTNE dnn3 below — the
+       per-query MILPs of the layer-wise certifier are too small to
+       prune at all, so every strategy visits their complete trees;
+       only the whole-network encoding has trees deep enough for the
+       branching order to matter). *)
+  let m_search_nodes = Obs.Metrics.counter "search.nodes" in
+  let m_search_prunes = Obs.Metrics.counter "search.prunes" in
+  let m_search_incumbents = Obs.Metrics.counter "search.incumbents" in
+  let branch_case name net ~lo ~hi ~delta =
+    let input = Cert.Bounds.box_domain net ~lo ~hi in
+    let runs =
+      List.map
+        (fun s ->
+          let config =
+            { Cert.Certifier.default_config with Cert.Certifier.branch = s }
+          in
+          let n0 = Obs.Metrics.get m_search_nodes
+          and p0 = Obs.Metrics.get m_search_prunes
+          and i0 = Obs.Metrics.get m_search_incumbents in
+          let r = Cert.Certifier.certify ~config net ~input ~delta in
+          ( s, r,
+            Obs.Metrics.get m_search_nodes - n0,
+            Obs.Metrics.get m_search_prunes - p0,
+            Obs.Metrics.get m_search_incumbents - i0 ))
+        Search.Strategy.all
+    in
+    let eps_of (_, (r : Cert.Certifier.report), _, _, _) =
+      r.Cert.Certifier.eps
+    in
+    let eps0 = eps_of (List.hd runs) in
+    let eps_equal =
+      List.for_all
+        (fun run ->
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            eps0 (eps_of run))
+        runs
+    in
+    if not eps_equal then
+      gate_failures :=
+        Printf.sprintf "%s: certified eps differs across branch strategies"
+          name
+        :: !gate_failures;
+    List.iter
+      (fun (s, (r : Cert.Certifier.report), n, p, i) ->
+        Format.fprintf fmt
+          "%-8s branch=%-15s %6d nodes, %5d prunes, %4d incumbents, %4d \
+           MILP, eps0 %.9g%s@."
+          name
+          (Search.Strategy.to_string s)
+          n p i r.Cert.Certifier.milp_solves r.Cert.Certifier.eps.(0)
+          (if eps_equal then "" else "  EPS DRIFT"))
+      runs;
+    Printf.sprintf
+      "    { \"name\": %S, \"delta\": %g, \"eps_bitwise_equal\": %b,\n\
+      \      \"strategies\": [\n%s\n      ] }"
+      name delta eps_equal
+      (String.concat ",\n"
+         (List.map
+            (fun (s, (r : Cert.Certifier.report), n, p, i) ->
+              Printf.sprintf
+                "        { \"branch\": %S, \"nodes\": %d, \"prunes\": %d,\n\
+                \          \"incumbents\": %d, \"milp_solves\": %d, \
+                 \"eps\": [%s] }"
+                (Search.Strategy.to_string s)
+                n p i r.Cert.Certifier.milp_solves
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%.9g")
+                      (Array.to_list r.Cert.Certifier.eps))))
+            runs))
+  in
+  let branches =
+    let b3 = branch_case "dnn3" dnn3 ~lo:0.0 ~hi:1.0 ~delta:0.001 in
+    let b4 = branch_case "dnn4" dnn4 ~lo:0.0 ~hi:1.0 ~delta:0.001 in
+    [ b3; b4 ]
+  in
+  (* Whole-network exact MILP under every strategy: one deep tree per
+     output, where an early guided incumbent prunes large subtrees.
+     Gated: dual-guided must explore >= 20% fewer nodes than
+     most-fractional at a bitwise-identical exact eps. *)
+  let branch_exact =
+    let input = Cert.Bounds.box_domain dnn3 ~lo:0.0 ~hi:0.35 in
+    let runs =
+      List.map
+        (fun s ->
+          (s, Cert.Exact.global_btne ~branch:s dnn3 ~input ~delta:0.001))
+        Search.Strategy.all
+    in
+    let eps0 = (snd (List.hd runs)).Cert.Exact.eps in
+    let eps_equal =
+      List.for_all
+        (fun (_, (r : Cert.Exact.result)) ->
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            eps0 r.Cert.Exact.eps)
+        runs
+    in
+    if not eps_equal then
+      gate_failures :=
+        "exact-dnn3: eps differs across branch strategies" :: !gate_failures;
+    let nodes_of want =
+      List.find_map
+        (fun (s, (r : Cert.Exact.result)) ->
+          if s = want then Some r.Cert.Exact.nodes else None)
+        runs
+      |> Option.get
+    in
+    let n_mf = nodes_of Search.Strategy.Most_fractional in
+    let n_dg = nodes_of Search.Strategy.Dual_guided in
+    if float_of_int n_dg > 0.8 *. float_of_int n_mf then
+      gate_failures :=
+        Printf.sprintf
+          "exact-dnn3: dual-guided explored %d nodes vs most-fractional %d \
+           (< 20%% fewer)"
+          n_dg n_mf
+        :: !gate_failures;
+    List.iter
+      (fun (s, (r : Cert.Exact.result)) ->
+        Format.fprintf fmt
+          "exact-dnn3 branch=%-15s %6d nodes, eps0 %.9g, %.2fs%s@."
+          (Search.Strategy.to_string s)
+          r.Cert.Exact.nodes r.Cert.Exact.eps.(0) r.Cert.Exact.runtime
+          (if eps_equal then "" else "  EPS DRIFT"))
+      runs;
+    Printf.sprintf
+      "{ \"name\": \"exact-dnn3\", \"eps_bitwise_equal\": %b,\n\
+      \    \"dual_guided_node_saving\": %.3f,\n\
+      \    \"strategies\": [\n%s\n    ] }"
+      eps_equal
+      (1.0 -. (float_of_int n_dg /. float_of_int n_mf))
+      (String.concat ",\n"
+         (List.map
+            (fun (s, (r : Cert.Exact.result)) ->
+              Printf.sprintf
+                "      { \"branch\": %S, \"nodes\": %d, \"eps\": [%s] }"
+                (Search.Strategy.to_string s)
+                r.Cert.Exact.nodes
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%.9g")
+                      (Array.to_list r.Cert.Exact.eps))))
+            runs))
+  in
+  (* Reluplex-style engine under the same strategies: identical eps,
+     fewer case splits under the guided rules. *)
+  let reluplex_branches =
+    let input = Cert.Bounds.box_domain dnn3 ~lo:0.0 ~hi:1.0 in
+    let runs =
+      List.map
+        (fun s ->
+          (s, Cert.Reluplex_style.global ~branch:s dnn3 ~input ~delta:0.001))
+        Search.Strategy.all
+    in
+    let eps0 = (snd (List.hd runs)).Cert.Reluplex_style.eps in
+    let eps_equal =
+      List.for_all
+        (fun (_, r) ->
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            eps0 r.Cert.Reluplex_style.eps)
+        runs
+    in
+    if not eps_equal then
+      gate_failures :=
+        "dnn3: reluplex eps differs across branch strategies"
+        :: !gate_failures;
+    List.iter
+      (fun (s, (r : Cert.Reluplex_style.result)) ->
+        Format.fprintf fmt
+          "%-8s reluplex branch=%-15s %6d nodes, eps0 %.9g%s@."
+          "dnn3"
+          (Search.Strategy.to_string s)
+          r.Cert.Reluplex_style.nodes r.Cert.Reluplex_style.eps.(0)
+          (if eps_equal then "" else "  EPS DRIFT"))
+      runs;
+    Printf.sprintf
+      "{ \"name\": \"dnn3\", \"eps_bitwise_equal\": %b,\n\
+      \    \"strategies\": [\n%s\n    ] }"
+      eps_equal
+      (String.concat ",\n"
+         (List.map
+            (fun (s, (r : Cert.Reluplex_style.result)) ->
+              Printf.sprintf
+                "      { \"branch\": %S, \"nodes\": %d, \"eps\": [%s] }"
+                (Search.Strategy.to_string s)
+                r.Cert.Reluplex_style.nodes
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%.9g")
+                      (Array.to_list r.Cert.Reluplex_style.eps))))
+            runs))
+  in
   let oc = open_out "BENCH_lp.json" in
   Printf.fprintf oc
     "{\n  \"sweeps\": [\n%s\n  ],\n\
@@ -630,13 +825,18 @@ let run_lp_bench () =
      \"speedup\": %.3f },\n\
     \  \"certifier\": [\n%s\n  ],\n\
     \  \"symbolic\": [\n%s\n  ],\n\
-    \  \"symbolic_hints\": %s\n}\n"
+    \  \"symbolic_hints\": %s,\n\
+    \  \"branch\": [\n%s\n  ],\n\
+    \  \"branch_exact\": %s,\n\
+    \  \"branch_reluplex\": %s\n}\n"
     (String.concat ",\n" sweeps)
     (String.concat ", " (List.map (Printf.sprintf "%S") gate_cases))
     !agg_dense !agg_sparse agg_speedup
     (String.concat ",\n" certs)
     (String.concat ",\n" symbolics)
-    sym_hints;
+    sym_hints
+    (String.concat ",\n" branches)
+    branch_exact reluplex_branches;
   close_out oc;
   Format.fprintf fmt "wrote BENCH_lp.json@.";
   if !gate_failures <> [] then begin

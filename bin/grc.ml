@@ -128,6 +128,24 @@ let lo_arg =
 let hi_arg =
   Arg.(value & opt float 1.0 & info [ "hi" ] ~doc:"Input domain upper bound.")
 
+let branch_arg =
+  let doc =
+    "Branch & bound strategy: $(b,most-fractional) (historical default), \
+     $(b,violation), $(b,dual-guided) (rank branching and refinement \
+     candidates by accumulated |dual| column sensitivity) or \
+     $(b,dy-partition) (additionally split distance-variable intervals at \
+     their LP point).  Certified eps is identical across strategies; only \
+     node counts differ."
+  in
+  Arg.(value
+       & opt
+           (enum
+              (List.map
+                 (fun s -> (Search.Strategy.to_string s, s))
+                 Search.Strategy.all))
+           Search.Strategy.Most_fractional
+       & info [ "branch" ] ~docv:"STRATEGY" ~doc)
+
 let certify_cmd =
   let window =
     Arg.(value & opt pos_int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
@@ -196,7 +214,7 @@ let certify_cmd =
          & info [ "trace" ] ~docv:"FILE" ~doc)
   in
   let run net_path delta lo hi window refine refine_frac domains no_dedup
-      symbolic meth trace =
+      symbolic branch meth trace =
     if trace <> None then Obs.Trace.set_enabled true;
     let net = Nn.Io.load net_path in
     let input = Cert.Bounds.box_domain net ~lo ~hi in
@@ -215,14 +233,15 @@ let certify_cmd =
           let config =
             { Cert.Certifier.default_config with
               Cert.Certifier.window; refine = refine_rule; domains;
-              dedup = not no_dedup; symbolic }
+              dedup = not no_dedup; symbolic; branch }
           in
           let r = Cert.Certifier.certify ~config net ~input ~delta in
           plan_stats := Some r;
           r.Cert.Certifier.eps
-      | `Exact -> (Cert.Exact.global_btne net ~input ~delta).Cert.Exact.eps
+      | `Exact ->
+          (Cert.Exact.global_btne ~branch net ~input ~delta).Cert.Exact.eps
       | `Reluplex ->
-          (Cert.Reluplex_style.global net ~input ~delta)
+          (Cert.Reluplex_style.global ~branch net ~input ~delta)
             .Cert.Reluplex_style.eps
       | `Interval -> Cert.Interval_prop.certify net ~input ~delta
       | `Symbolic -> Cert.Symbolic.certify net ~input ~delta
@@ -280,7 +299,7 @@ let certify_cmd =
   Cmd.v info_
     Term.(const run $ net_arg $ delta_arg $ lo_arg $ hi_arg
           $ window $ refine $ refine_frac $ domains $ no_dedup $ symbolic
-          $ meth $ trace)
+          $ branch_arg $ meth $ trace)
 
 let attack_cmd =
   let samples =
@@ -377,7 +396,8 @@ let lint_cmd =
         let pconfig =
           { Cert.Planner.window; refine = Cert.Refine.No_refine;
             mode = Cert.Encode.Relaxed; exact_output_relation = true;
-            dedup = true; symbolic_shadow = None }
+            dedup = true; symbolic_shadow = None;
+            branch = Search.Strategy.Most_fractional; dual_sens = None }
         in
         let n = Nn.Network.n_layers net in
         for i = 0 to n - 1 do
@@ -609,7 +629,8 @@ let submit_cmd =
       r.Serve.Wire.r_milp_solves
   in
   let run socket port net digest delta lo hi window refine refine_frac
-      symbolic no_cache deadline_ms load_n concurrency stats ping shutdown =
+      symbolic branch no_cache deadline_ms load_n concurrency stats ping
+      shutdown =
     match resolve_addr socket port with
     | Error msg -> `Error (true, msg)
     | Ok addr -> (
@@ -661,8 +682,8 @@ let submit_cmd =
             let query =
               { Serve.Wire.q_net; q_digest = digest; q_delta = delta;
                 q_lo = lo; q_hi = hi; q_window = window; q_refine;
-                q_symbolic = symbolic; q_no_cache = no_cache;
-                q_deadline_ms = deadline_ms }
+                q_symbolic = symbolic; q_branch = branch;
+                q_no_cache = no_cache; q_deadline_ms = deadline_ms }
             in
             (match load_n with
              | None -> with_conn (fun c -> print_result
@@ -735,8 +756,8 @@ let submit_cmd =
     Term.(
       ret (const run $ socket_arg $ port_arg $ net $ digest $ delta_arg
            $ lo_arg $ hi_arg $ window $ refine $ refine_frac $ symbolic
-           $ no_cache $ deadline_ms $ load_n $ concurrency $ stats $ ping
-           $ shutdown))
+           $ branch_arg $ no_cache $ deadline_ms $ load_n $ concurrency
+           $ stats $ ping $ shutdown))
 
 (* --- trace-check ---
 

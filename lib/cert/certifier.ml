@@ -12,12 +12,14 @@ type config = {
   domains : int;
   symbolic : sym_mode;
   dedup : bool;
+  branch : Search.Strategy.t;
 }
 
 let default_config =
   { window = 2; refine = No_refine; milp_options = Milp.default_options;
     margin = 1e-6; mode = Encode.Relaxed; exact_output_relation = true;
-    domains = 1; symbolic = Sym_off; dedup = true }
+    domains = 1; symbolic = Sym_off; dedup = true;
+    branch = Search.Strategy.Most_fractional }
 
 type report = {
   eps : float array;
@@ -92,15 +94,27 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
         stable_relus := analysis.Symbolic_back.stable_relus;
         Some sh
   in
+  (* cross-layer dual-sensitivity accumulator: layer i's solves inform
+     the refinement selection of every later layer's cones.  Allocated
+     only under the guided strategies, so the default path plans (and
+     certifies) bit-identically to before. *)
+  let dual_sens =
+    match config.branch with
+    | Search.Strategy.Dual_guided | Search.Strategy.Dy_partition ->
+        Some (Hashtbl.create 64)
+    | Search.Strategy.Most_fractional | Search.Strategy.Violation -> None
+  in
   let pconfig =
     { Planner.window = config.window; refine = config.refine;
       mode = config.mode;
       exact_output_relation = config.exact_output_relation;
-      dedup = config.dedup; symbolic_shadow = shadow }
+      dedup = config.dedup; symbolic_shadow = shadow;
+      branch = config.branch; dual_sens }
   in
   let exec_config =
     { Plan.Executor.domains = config.domains;
-      milp_options = config.milp_options }
+      milp_options = { config.milp_options with Milp.branch = config.branch }
+    }
   in
   (* pick the bound table a query's quantity refreshes *)
   let table = function
@@ -133,6 +147,15 @@ let certify ?(config = default_config) ?pool ?solve_hook net ~input ~delta =
       Plan.Executor.run ?hook:solve_hook ?pool ~partial_stats:stats
         exec_config plan
     in
+    (match dual_sens with
+     | None -> ()
+     | Some table ->
+         Array.iter
+           (fun (key, s) ->
+             match Hashtbl.find_opt table key with
+             | Some prev -> Hashtbl.replace table key (prev +. s)
+             | None -> Hashtbl.replace table key s)
+           outcome.Plan.Executor.dual_sens);
     (* affine fast-path answers are exact: intersect *)
     Array.iter
       (fun ((a : Plan.affine), (r : Plan.range)) ->

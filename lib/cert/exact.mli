@@ -15,7 +15,8 @@ type result = {
 
 val global_btne :
   ?milp_options:Milp.options -> ?presolve:bool ->
-  ?stable:(int * int, Encode.phase) Hashtbl.t -> Nn.Network.t ->
+  ?stable:(int * int, Encode.phase) Hashtbl.t ->
+  ?branch:Search.Strategy.t -> Nn.Network.t ->
   input:Interval.t array -> delta:float -> result
 (** Basic twin-network encoding: two explicit copies, all ReLUs big-M.
     [presolve] (default true) first runs a relaxed Algorithm-1 pass to
@@ -24,11 +25,14 @@ val global_btne :
     layer, neuron) to a phase proven over the whole input box (e.g.
     {!Symbolic_back.analysis.stable}); those ReLUs are encoded as
     linear rows in both copies instead of binaries, leaving the optimum
-    unchanged. *)
+    unchanged.  [branch] overrides [milp_options]'s branching strategy
+    (the input-distance link variables are passed as interval-partition
+    candidates, used under [Dy_partition]). *)
 
 val global_itne :
   ?milp_options:Milp.options -> ?presolve:bool ->
-  ?stable:(int * int, Encode.phase) Hashtbl.t -> Nn.Network.t ->
+  ?stable:(int * int, Encode.phase) Hashtbl.t ->
+  ?branch:Search.Strategy.t -> Nn.Network.t ->
   input:Interval.t array -> delta:float -> result
 (** Exact MILP over the interleaving encoding (distance variables and
     exact distance relations).  Same optimum as {!global_btne}; used as

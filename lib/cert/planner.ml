@@ -9,6 +9,8 @@ type config = {
   exact_output_relation : bool;
   dedup : bool;
   symbolic_shadow : Bounds.t option;
+  branch : Search.Strategy.t;
+  dual_sens : (int * int, float) Hashtbl.t option;
 }
 
 (* Compose the affine rows of a window with no interior ReLUs into a
@@ -208,8 +210,8 @@ let seeded_input_ranges ~improved ~seed bounds view id =
 let m_cones = Obs.Metrics.counter "planner.cones"
 let m_refined = Obs.Metrics.counter "planner.refined_neurons"
 
-let emit_cone builder cache ~dedup ~mode ~seed ~label ~include_output_relu
-    ~refined bounds (view : Subnet.view)
+let emit_cone builder cache ~dedup ~mode ~seed ~branch ~label
+    ~include_output_relu ~refined bounds (view : Subnet.view)
     ~(queries_per_target :
         sign:string -> Encode.itne_enc -> Plan.query_spec array array) =
   Obs.Metrics.add m_cones 1;
@@ -246,8 +248,41 @@ let emit_cone builder cache ~dedup ~mode ~seed ~label ~include_output_relu
         (queries_per_target ~sign rep.r_enc)
   | None ->
       let enc = Encode.itne ~refined ~include_output_relu ~mode ~bounds view in
+      (* under the guided strategies, ask the executor to charge each
+         solve's duals back to the interior ReLU neurons' distance
+         variables — the running totals feed the next layers'
+         [Refine.select].  [Dy_partition] additionally marks the
+         window-input distance variables as interval-branching
+         candidates for integer cones. *)
+      let probes, partition =
+        match (branch : Search.Strategy.t) with
+        | Search.Strategy.Most_fractional | Search.Strategy.Violation ->
+            ([||], [||])
+        | Search.Strategy.Dual_guided | Search.Strategy.Dy_partition ->
+            let probes =
+              Array.of_list
+                (List.filter_map
+                   (fun key ->
+                     match Hashtbl.find_opt enc.Encode.vars key with
+                     | None -> None
+                     | Some (nv : Encode.neuron_vars) ->
+                         Some
+                           ( key,
+                             match nv.Encode.dx with
+                             | Some dx -> dx
+                             | None -> nv.Encode.dy ))
+                   (interior_relu_neurons view))
+            in
+            let partition =
+              if branch = Search.Strategy.Dy_partition then
+                Array.map (fun (_, d, _) -> d) enc.Encode.in_vars
+              else [||]
+            in
+            (probes, partition)
+      in
       let task_id =
-        Plan.add_task builder ~label ~signature:sign enc.Encode.model
+        Plan.add_task ~probes ~partition builder ~label ~signature:sign
+          enc.Encode.model
       in
       if dedup then Hashtbl.replace cache sign { r_task = task_id; r_enc = enc };
       (* a defining instance gets overrides only when a seed genuinely
@@ -317,9 +352,12 @@ let plan_values config (bounds : Bounds.t) net ~layer:i =
       else begin
         let candidates = interior_relu_neurons view in
         let r = Refine.budget config.refine candidates in
-        let refined = Refine.select bounds ~candidates ~r in
+        let refined =
+          Refine.select ~strategy:config.branch ?sens:config.dual_sens
+            bounds ~candidates ~r
+        in
         emit_cone builder cache ~dedup:config.dedup ~mode:config.mode
-          ~seed:config.symbolic_shadow
+          ~seed:config.symbolic_shadow ~branch:config.branch
           ~label:(Printf.sprintf "itne-y:layer%d" i)
           ~include_output_relu:false ~refined bounds view
           ~queries_per_target:(fun ~sign enc ->
@@ -359,7 +397,10 @@ let plan_dx config (bounds : Bounds.t) net ~layer:i =
       let view = Subnet.cone net ~last:i ~targets:[| j |] ~window:w in
       let candidates = interior_relu_neurons view in
       let r = Refine.budget config.refine candidates in
-      let refined = Refine.select bounds ~candidates ~r in
+      let refined =
+        Refine.select ~strategy:config.branch ?sens:config.dual_sens bounds
+          ~candidates ~r
+      in
       let refined =
         if config.exact_output_relation then (i, j) :: refined else refined
       in
@@ -382,7 +423,7 @@ let plan_dx config (bounds : Bounds.t) net ~layer:i =
       then Plan.count_symbolic_conclusive builder 2
       else
         emit_cone builder cache ~dedup:config.dedup ~mode:config.mode
-          ~seed:config.symbolic_shadow
+          ~seed:config.symbolic_shadow ~branch:config.branch
           ~label:(Printf.sprintf "itne-x:layer%d:neuron%d" i j)
           ~include_output_relu:true ~refined bounds view
           ~queries_per_target:(fun ~sign enc ->

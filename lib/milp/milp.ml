@@ -14,78 +14,43 @@ type options = {
   time_limit : float;
   int_tol : float;
   gap_abs : float;
+  branch : Search.Strategy.t;
 }
 
+(* [gap_abs] defaults to 0: any positive pruning slack makes the final
+   incumbent depend on which near-tied assignment the exploration order
+   reached first, and the certified bounds must be a function of the
+   problem, not of the branching strategy (see the canonical incumbent
+   acceptance below).  Callers who want faster approximate solves can
+   still set a positive gap. *)
 let default_options =
   { max_nodes = 200_000; time_limit = infinity; int_tol = 1e-6;
-    gap_abs = 1e-8 }
+    gap_abs = 0.0; branch = Search.Strategy.Most_fractional }
 
 let m_solves = Obs.Metrics.counter "milp.solves"
 let m_nodes = Obs.Metrics.counter "milp.nodes"
 let m_incumbents = Obs.Metrics.counter "milp.incumbents"
 
-(* A search node: structural bounds plus the parent's LP value, used as a
-   priority key (minimisation key: smaller is more promising). *)
-type node = { lo : float array; hi : float array; key : float }
+(* An interval split below this width cannot meaningfully tighten the
+   relaxation; partition branching falls back to the discrete rule. *)
+let partition_min_width = 1e-6
 
-(* Minimal binary min-heap over nodes keyed by [key]. *)
-module Heap = struct
-  type t = { mutable data : node array; mutable size : int }
+(* Exploration slack: a node is pruned only when its relaxation bound
+   exceeds the incumbent by more than this.  Warm node bounds agree
+   with exact values only up to solver noise, so pruning exactly at the
+   incumbent would let that noise decide — differently per branching
+   order — whether a last-bits-better assignment is ever considered;
+   with a slack far above the noise floor, every assignment within it
+   is considered under every strategy and the reported optimum is a
+   function of the problem alone. *)
+let tie_slack = 1e-9
 
-  let dummy = { lo = [||]; hi = [||]; key = 0.0 }
-
-  let create () = { data = Array.make 64 dummy; size = 0 }
-
-  let is_empty h = h.size = 0
-
-  let min_key h = if h.size = 0 then infinity else h.data.(0).key
-
-  let push h n =
-    if h.size = Array.length h.data then begin
-      let bigger = Array.make (2 * h.size) dummy in
-      Array.blit h.data 0 bigger 0 h.size;
-      h.data <- bigger
-    end;
-    let i = ref h.size in
-    h.size <- h.size + 1;
-    h.data.(!i) <- n;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let p = (!i - 1) / 2 in
-      if h.data.(p).key > h.data.(!i).key then begin
-        let t = h.data.(p) in
-        h.data.(p) <- h.data.(!i);
-        h.data.(!i) <- t;
-        i := p
-      end
-      else continue := false
-    done
-
-  let pop h =
-    if h.size = 0 then invalid_arg "Heap.pop: empty";
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    h.data.(0) <- h.data.(h.size);
-    h.data.(h.size) <- dummy;
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.size && h.data.(l).key < h.data.(!smallest).key then
-        smallest := l;
-      if r < h.size && h.data.(r).key < h.data.(!smallest).key then
-        smallest := r;
-      if !smallest <> !i then begin
-        let t = h.data.(!smallest) in
-        h.data.(!smallest) <- h.data.(!i);
-        h.data.(!i) <- t;
-        i := !smallest
-      end
-      else continue := false
-    done;
-    top
-end
+(* Interval splits per root-to-node path.  Unlike integer branching,
+   partition branching is not self-limiting (each child can split
+   again), so without a cap the tree degenerates into an exponential
+   subdivision of the continuous box; after this many splits on a path
+   only the discrete rule fires, which terminates. *)
+let partition_max_splits = 4
 
 (* Audit-mode incumbent check: the claimed MILP solution must satisfy
    the original model's rows and bounds, be integral on the marked
@@ -117,17 +82,14 @@ let audit_incumbent ?objective model (r : result) =
       Audit_core.Mode.report (diags @ int_diags)
   | _ -> ()
 
-let solve_inner ?(options = default_options) ?objective ?bounds model =
+let solve_inner ?(options = default_options) ?objective ?bounds
+    ?(partition = [||]) model =
   let cp = Lp.Simplex.compile model in
   let n = Lp.Simplex.n_struct cp in
   (* one persistent solver session: each node's LP warm-starts from the
      previously factorised basis (dual restart after the bound change)
      instead of a cold two-phase solve *)
   let session = Lp.Simplex.create_session cp in
-  let lp_solve ~lo ~hi =
-    Lp.Simplex.set_bounds session ~lo ~hi;
-    Lp.Simplex.solve_session ?objective session
-  in
   let dir =
     match objective with
     | Some (d, _) -> d
@@ -152,144 +114,414 @@ let solve_inner ?(options = default_options) ?objective ?bounds model =
       root_lo.(j) <- Float.ceil (root_lo.(j) -. options.int_tol);
       root_hi.(j) <- Float.floor (root_hi.(j) +. options.int_tol))
     ints;
-  let heap = Heap.create () in
-  Heap.push heap { lo = root_lo; hi = root_hi; key = neg_infinity };
+  Lp.Simplex.set_bounds session ~lo:root_lo ~hi:root_hi;
+  (* the search core moves the session between nodes by bound deltas;
+     [cur_lo]/[cur_hi] mirror the session's current node bounds so the
+     branching logic can read effective bounds in O(1) *)
+  let cur_lo = Array.copy root_lo and cur_hi = Array.copy root_hi in
+  let set j ~lo ~hi =
+    cur_lo.(j) <- lo;
+    cur_hi.(j) <- hi;
+    Lp.Simplex.set_var_bounds session j ~lo ~hi
+  in
+  (* node tag: interval-partition splits on the path from the root *)
+  let root = Search.Node.root 0 in
+  let cursor = Search.Cursor.create ~set ~root_lo ~root_hi root in
+  let frontier = Search.Frontier.best_first () in
+  Search.Frontier.push frontier root;
+  let sstats = Search.zero_stats () in
   let best_key = ref infinity in
   let best_x = ref (Array.make n nan) in
   let have_incumbent = ref false in
-  let nodes = ref 0 in
   let lp_failed = ref false in
   let unbounded = ref false in
   let t0 = Unix.gettimeofday () in
-  let stopped = ref false in
-  (* Rounding heuristic: fix every integer to the nearest integer seen
-     in an LP solution and re-solve the continuous rest.  Success gives
-     a feasible incumbent, enabling best-bound pruning long before the
-     search reaches integral leaves. *)
-  let try_rounding node_lo node_hi (x : float array) =
-    let lo = Array.copy node_lo and hi = Array.copy node_hi in
-    let ok = ref true in
+  (* |dual|-weighted column sensitivities for the guided strategies;
+     built lazily so the default rule never pays for it *)
+  let columns =
+    lazy
+      (Search.Strategy.Columns.make model
+         ~vars:(Array.append ints partition))
+  in
+  let accept_incumbent key x =
+    best_key := key;
+    best_x := Array.copy x;
+    have_incumbent := true;
+    Search.note_incumbent sstats;
+    Obs.Metrics.add m_incumbents 1
+  in
+  let resolve_pivots = ref 0 in
+  (* Canonical incumbent acceptance: re-solve the candidate's integer
+     assignment cold over the root bounds and compare the cold value
+     strictly.  A warm incumbent value depends on the node order (each
+     warm restart agrees with a cold solve only up to solver
+     tolerances), so without this two branching strategies could
+     certify last-bit-different bounds; the cold value is a function of
+     the assignment alone, and exact value ties between distinct
+     assignments report the same objective whichever is kept. *)
+  let consider_assignment_uncached ~warm_key (x : float array) =
+    let lo = Array.copy root_lo and hi = Array.copy root_hi in
     Array.iter
       (fun j ->
         let v = Float.round x.(j) in
-        let v = Float.max node_lo.(j) (Float.min node_hi.(j) v) in
-        if Float.is_nan v then ok := false
-        else begin
-          lo.(j) <- v;
-          hi.(j) <- v
-        end)
+        lo.(j) <- v;
+        hi.(j) <- v)
       ints;
-    if !ok then begin
-      let sol = lp_solve ~lo ~hi in
+    let sol = Lp.Simplex.solve_compiled ?objective cp ~lo ~hi in
+    resolve_pivots := !resolve_pivots + sol.Lp.Simplex.pivots;
+    match sol.Lp.Simplex.status with
+    | Lp.Simplex.Optimal ->
+        let key = to_key sol.Lp.Simplex.obj in
+        if key < !best_key then accept_incumbent key sol.Lp.Simplex.x;
+        Some key
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+    | Lp.Simplex.Iteration_limit ->
+        (* the assignment was feasible at its node, so a failed cold
+           re-solve is a solver artefact: keep the warm value rather
+           than dropping a real incumbent *)
+        if warm_key < !best_key then accept_incumbent warm_key x;
+        None
+  in
+  let assign_key (x : float array) =
+    let b = Buffer.create (8 * Array.length ints) in
+    Array.iter
+      (fun j -> Buffer.add_int64_ne b (Int64.of_float (Float.round x.(j))))
+      ints;
+    Buffer.contents b
+  in
+  (* Each distinct assignment is cold re-solved at most once: the tree
+     can surface the same assignment at many nodes (rounding hits,
+     integral relaxations along a path), and the canonical value is a
+     function of the assignment alone.  The memo stores that canonical
+     key ([None] when the cold solve failed). *)
+  let considered : (string, float option) Hashtbl.t = Hashtbl.create 64 in
+  let consider_assignment ~warm_key (x : float array) =
+    let key_str = assign_key x in
+    match Hashtbl.find_opt considered key_str with
+    | Some cached -> cached
+    | None ->
+        let res = consider_assignment_uncached ~warm_key x in
+        Hashtbl.replace considered key_str res;
+        res
+  in
+  (* Rounding heuristic: fix every integer to the nearest integer seen
+     in an LP solution and re-solve the continuous rest.  Success gives
+     a feasible incumbent, enabling best-bound pruning long before the
+     search reaches integral leaves.  Skipped when it cannot produce a
+     new incumbent: a model without integer marks, or a node where
+     every integer is already fixed (the node LP is the rounded LP). *)
+  let try_rounding (x : float array) =
+    if
+      Array.length ints > 0
+      && Array.exists (fun j -> cur_lo.(j) < cur_hi.(j)) ints
+      && not (Array.exists (fun j -> Float.is_nan x.(j)) ints)
+    then begin
+      Array.iter
+        (fun j ->
+          let v = Float.round x.(j) in
+          let v = Float.max cur_lo.(j) (Float.min cur_hi.(j) v) in
+          Lp.Simplex.set_var_bounds session j ~lo:v ~hi:v)
+        ints;
+      let sol = Lp.Simplex.solve_session ?objective session in
+      (* restore the node's own bounds before any further solve *)
+      Array.iter
+        (fun j ->
+          Lp.Simplex.set_var_bounds session j ~lo:cur_lo.(j) ~hi:cur_hi.(j))
+        ints;
       match sol.Lp.Simplex.status with
       | Lp.Simplex.Optimal ->
+          (* the warm value only filters; acceptance re-derives the
+             value from a canonical cold solve (slack covers warm/cold
+             disagreement at the last bits) *)
           let key = to_key sol.Lp.Simplex.obj in
-          if key < !best_key -. options.gap_abs then begin
-            best_key := key;
-            best_x := Array.copy sol.Lp.Simplex.x;
-            have_incumbent := true;
-            Obs.Metrics.add m_incumbents 1;
-            Obs.Trace.count "incumbents" 1
-          end
+          if key < !best_key +. tie_slack then
+            ignore
+              (consider_assignment ~warm_key:key sol.Lp.Simplex.x
+               : float option)
       | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
       | Lp.Simplex.Iteration_limit -> ()
     end
   in
   let heuristic_period = 20 in
-  (* the tightest proven bound must also account for pruned-but-unexplored
-     nodes; the heap min key covers those *)
-  while (not !stopped) && not (Heap.is_empty heap) do
-    if !nodes >= options.max_nodes
-       || Unix.gettimeofday () -. t0 > options.time_limit
-    then stopped := true
+  (* Discrete branching candidate: the fractional integer chosen by the
+     strategy.  The guided rules weight each candidate's distance from
+     integrality by its |dual| column sensitivity; a zero-information
+     dual vector degrades to the most-fractional rule. *)
+  let pick_int_var (sol : Lp.Simplex.solution) =
+    let best_j = ref (-1) and best_frac = ref 0.0 in
+    Array.iter
+      (fun j ->
+        let v = sol.Lp.Simplex.x.(j) in
+        let f = Float.abs (v -. Float.round v) in
+        if f > options.int_tol && f > !best_frac then begin
+          best_j := j;
+          best_frac := f
+        end)
+      ints;
+    match options.branch with
+    | Search.Strategy.Most_fractional | Search.Strategy.Violation ->
+        (!best_j, !best_frac)
+    | Search.Strategy.Dual_guided | Search.Strategy.Dy_partition ->
+        let cols = Lazy.force columns in
+        let duals = sol.Lp.Simplex.duals in
+        let guided_j = ref (-1) and guided_score = ref 0.0 in
+        Array.iter
+          (fun j ->
+            let v = sol.Lp.Simplex.x.(j) in
+            let f = Float.abs (v -. Float.round v) in
+            if f > options.int_tol then begin
+              let s =
+                f *. Search.Strategy.Columns.sensitivity cols ~duals j
+              in
+              if s > !guided_score then begin
+                guided_j := j;
+                guided_score := s
+              end
+            end)
+          ints;
+        if !guided_j >= 0 then (!guided_j, !guided_score)
+        else (!best_j, !best_frac)
+  in
+  (* Interval-partition candidate (Dy_partition only): the designated
+     continuous variable whose width x |dual| sensitivity is largest.
+     Splitting its interval at the LP point is sound — the two child
+     boxes cover the node box — and tightens the big-M / chord
+     relaxations through the variable bounds. *)
+  let pick_partition_var (sol : Lp.Simplex.solution) =
+    if Array.length partition = 0 then None
     else begin
-      let node = Heap.pop heap in
-      if node.key >= !best_key -. options.gap_abs then
-        (* bound-dominated: with best-first order, everything remaining is
-           dominated too *)
-        stopped := true
-      else begin
-        incr nodes;
-        Obs.Trace.with_span "milp.node" @@ fun () ->
-        let sol = lp_solve ~lo:node.lo ~hi:node.hi in
-        match sol.status with
-        | Lp.Simplex.Infeasible -> ()
-        | Lp.Simplex.Unbounded ->
-            unbounded := true;
-            stopped := true
-        | Lp.Simplex.Iteration_limit ->
-            lp_failed := true;
-            stopped := true
-        | Lp.Simplex.Optimal ->
-            if !nodes mod heuristic_period = 1 then
-              try_rounding node.lo node.hi sol.x;
-            let key = to_key sol.obj in
-            if key < !best_key -. options.gap_abs then begin
-              (* most fractional integer *)
-              let branch_var = ref (-1) and branch_frac = ref 0.0 in
-              Array.iter
-                (fun j ->
-                  let v = sol.x.(j) in
-                  let f = Float.abs (v -. Float.round v) in
-                  if f > options.int_tol && f > !branch_frac then begin
-                    branch_var := j;
-                    branch_frac := f
-                  end)
-                ints;
-              if !branch_var < 0 then begin
-                (* integral: new incumbent *)
-                best_key := key;
-                best_x := Array.copy sol.x;
-                have_incumbent := true;
-                Obs.Metrics.add m_incumbents 1;
-                Obs.Trace.count "incumbents" 1
-              end
-              else begin
-                let j = !branch_var in
-                let v = sol.x.(j) in
-                let down_hi = Array.copy node.hi in
-                down_hi.(j) <- Float.floor v;
-                let up_lo = Array.copy node.lo in
-                up_lo.(j) <- Float.ceil v;
-                if node.lo.(j) <= down_hi.(j) then
-                  Heap.push heap { lo = node.lo; hi = down_hi; key };
-                if up_lo.(j) <= node.hi.(j) then
-                  Heap.push heap { lo = up_lo; hi = node.hi; key }
-              end
+      let cols = Lazy.force columns in
+      let duals = sol.Lp.Simplex.duals in
+      let best = ref None and best_score = ref 0.0 in
+      Array.iter
+        (fun v ->
+          let w = cur_hi.(v) -. cur_lo.(v) in
+          if w > partition_min_width then begin
+            let s = w *. Search.Strategy.Columns.sensitivity cols ~duals v in
+            if s > !best_score then begin
+              best := Some v;
+              best_score := s
             end
-      end
+          end)
+        partition;
+      match !best with
+      | None -> None
+      | Some v -> Some (v, !best_score)
     end
-  done;
-  let heap_key = Heap.min_key heap in
+  in
+  let visit node =
+    Search.Cursor.goto cursor node;
+    let sol = Lp.Simplex.solve_session ?objective session in
+    match sol.Lp.Simplex.status with
+    | Lp.Simplex.Infeasible -> Search.Expand []
+    | Lp.Simplex.Unbounded ->
+        unbounded := true;
+        Search.Halt
+    | Lp.Simplex.Iteration_limit ->
+        lp_failed := true;
+        Search.Halt
+    | Lp.Simplex.Optimal ->
+        if sstats.Search.nodes mod heuristic_period = 1 then
+          try_rounding sol.Lp.Simplex.x;
+        let key = to_key sol.Lp.Simplex.obj in
+        if key >= !best_key +. tie_slack -. options.gap_abs then
+          Search.Expand []
+        else begin
+          let expand_branch (bsol : Lp.Simplex.solution) j int_score =
+            let split_interval v point =
+              let lo = cur_lo.(v) and hi = cur_hi.(v) in
+              let w = hi -. lo in
+              (* clamp the split point into the interval's middle 60%
+                 so both children shrink geometrically *)
+              let pt = Float.max (lo +. (0.2 *. w))
+                  (Float.min (hi -. (0.2 *. w)) point) in
+              let tag = Search.Node.tag node + 1 in
+              [ Search.Node.child node ~tag ~delta:[ (v, lo, pt) ] ~key;
+                Search.Node.child node ~tag ~delta:[ (v, pt, hi) ] ~key ]
+            in
+            let branch_int () =
+              let v = bsol.Lp.Simplex.x.(j) in
+              let lo = cur_lo.(j) and hi = cur_hi.(j) in
+              let down_hi = Float.floor v and up_lo = Float.ceil v in
+              let tag = Search.Node.tag node in
+              let children = ref [] in
+              if up_lo <= hi then
+                children :=
+                  Search.Node.child node ~tag
+                    ~delta:[ (j, up_lo, hi) ]
+                    ~key
+                  :: !children;
+              if lo <= down_hi then
+                children :=
+                  Search.Node.child node ~tag
+                    ~delta:[ (j, lo, down_hi) ]
+                    ~key
+                  :: !children;
+              !children
+            in
+            match options.branch with
+            | Search.Strategy.Dy_partition
+              when Search.Node.tag node < partition_max_splits -> (
+                match pick_partition_var bsol with
+                | Some (v, score) when score > int_score ->
+                    Search.Expand (split_interval v bsol.Lp.Simplex.x.(v))
+                | _ -> Search.Expand (branch_int ()))
+            | _ -> Search.Expand (branch_int ())
+          in
+          let j, int_score = pick_int_var sol in
+          if j < 0 then begin
+            (* integral: candidate incumbent.  Pure LPs skip the
+               canonical re-solve — there is no assignment to pin, the
+               root solve is the answer for every strategy. *)
+            if Array.length ints = 0 then begin
+              accept_incumbent key sol.Lp.Simplex.x;
+              Search.Expand []
+            end
+            else begin
+              ignore
+                (consider_assignment ~warm_key:key sol.Lp.Simplex.x
+                 : float option);
+              (* An integral warm relaxation proves the node optimal
+                 only up to warm-restart noise: the session's recycled
+                 basis can stop a few last bits short of the true
+                 optimum, silently hiding a near-tied sibling
+                 assignment — and which sibling depends on the
+                 branching order.  Verify the closure with one
+                 deterministic cold solve of this node's box: if it is
+                 integral too, both assignments are considered and the
+                 node closes on cold evidence; if it is fractional, the
+                 node's true optimum was not at the warm vertex, so
+                 keep branching from the cold solution. *)
+              let cold =
+                Lp.Simplex.solve_compiled ?objective cp
+                  ~lo:(Array.copy cur_lo) ~hi:(Array.copy cur_hi)
+              in
+              resolve_pivots := !resolve_pivots + cold.Lp.Simplex.pivots;
+              match cold.Lp.Simplex.status with
+              | Lp.Simplex.Optimal ->
+                  let jc, int_score_c = pick_int_var cold in
+                  if jc < 0 then begin
+                    ignore
+                      (consider_assignment
+                         ~warm_key:(to_key cold.Lp.Simplex.obj)
+                         cold.Lp.Simplex.x
+                       : float option);
+                    Search.Expand []
+                  end
+                  else expand_branch cold jc int_score_c
+              | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+              | Lp.Simplex.Iteration_limit ->
+                  (* a solver artefact: the warm solve already proved
+                     the node integral-optimal, keep its closure *)
+                  Search.Expand []
+            end
+          end
+          else expand_branch sol j int_score
+        end
+  in
+  let deadline =
+    if options.time_limit = infinity then infinity else t0 +. options.time_limit
+  in
+  (* the tightest proven bound must also account for pruned-but-
+     unexplored nodes; the frontier min key covers those (a stop on
+     budget leaves them in place) *)
+  let stop =
+    Search.run ~span:"milp.node"
+      ~prune:(fun key -> key >= !best_key +. tie_slack -. options.gap_abs)
+      ~halt_on_prune:true
+      ~limits:{ Search.max_nodes = options.max_nodes; deadline }
+      ~stats:sstats ~frontier ~visit ()
+  in
+  ignore (stop : Search.stop);
+  (* Plateau polish: breadth-first sweep over the connected component
+     of near-tied assignments reachable from the incumbent by single
+     integer +-1 flips.  The search's enumeration is complete only up
+     to solver noise — a box whose (warm or cold) relaxation stops a
+     few last bits short of its true optimum closes while still hiding
+     a near-tied assignment, and *which* assignment is hidden depends
+     on the branching order.  Strict hill-climbing is not enough: the
+     near-ties can form a value-flat plateau whose strict maximum sits
+     several flips away, so equal-value (within [tie_slack]) moves are
+     taken too, with a dedup'd frontier to terminate.  Every strategy
+     reaching any point of the plateau then explores all of it and
+     reports the same objective.  Capped: on models with very many
+     integers (which in this codebase also run under hard node
+     budgets, so the result is a [Limit] bound anyway) the sweep would
+     cost more cold solves than the search itself. *)
+  let polish_max_ints = 64 in
+  let polish_max_visits = 2048 in
+  if
+    !have_incumbent
+    && Array.length ints > 0
+    && Array.length ints <= polish_max_ints
+  then begin
+    let queue = Queue.create () in
+    let enqueued : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let push x =
+      let k = assign_key x in
+      if not (Hashtbl.mem enqueued k) then begin
+        Hashtbl.replace enqueued k ();
+        Queue.push x queue
+      end
+    in
+    push (Array.copy !best_x);
+    let visits = ref 0 in
+    while (not (Queue.is_empty queue)) && !visits < polish_max_visits do
+      let x = Queue.pop queue in
+      incr visits;
+      Array.iter
+        (fun j ->
+          let cur = Float.round x.(j) in
+          List.iter
+            (fun v ->
+              if v >= root_lo.(j) && v <= root_hi.(j) then begin
+                let x' = Array.copy x in
+                x'.(j) <- v;
+                match consider_assignment ~warm_key:infinity x' with
+                | Some key when key < !best_key +. tie_slack -> push x'
+                | Some _ | None -> ()
+              end)
+            [ cur -. 1.0; cur +. 1.0 ])
+        ints
+    done
+  end;
+  let nodes = sstats.Search.nodes in
+  let heap_key = Search.Frontier.min_key frontier in
+  let exhausted =
+    Search.Frontier.is_empty frontier
+    || heap_key >= !best_key +. tie_slack -. options.gap_abs
+  in
   let proven_key = Float.min !best_key heap_key in
   let incumbent_obj = if !have_incumbent then of_key !best_key else nan in
-  let pivots = (Lp.Simplex.session_stats session).Lp.Simplex.total_pivots in
+  let pivots =
+    (Lp.Simplex.session_stats session).Lp.Simplex.total_pivots
+    + !resolve_pivots
+  in
   let result =
     if !unbounded then
       { status = Unbounded; obj = nan; bound = of_key neg_infinity;
-        x = Array.make n nan; nodes = !nodes; pivots }
+        x = Array.make n nan; nodes; pivots }
     else if !lp_failed then
       { status = Lp_failure; obj = incumbent_obj; bound = of_key proven_key;
-        x = !best_x; nodes = !nodes; pivots }
-    else if Heap.is_empty heap || heap_key >= !best_key -. options.gap_abs
-    then begin
+        x = !best_x; nodes; pivots }
+    else if exhausted then begin
       if !have_incumbent then
         { status = Optimal; obj = of_key !best_key; bound = of_key !best_key;
-          x = !best_x; nodes = !nodes; pivots }
+          x = !best_x; nodes; pivots }
       else
         { status = Infeasible; obj = nan; bound = nan;
-          x = Array.make n nan; nodes = !nodes; pivots }
+          x = Array.make n nan; nodes; pivots }
     end
     else
       { status = Limit; obj = incumbent_obj; bound = of_key proven_key;
-        x = !best_x; nodes = !nodes; pivots }
+        x = !best_x; nodes; pivots }
   in
   if Audit_core.Mode.enabled () then audit_incumbent ?objective model result;
   result
 
-let solve ?options ?objective ?bounds model =
+let solve ?options ?objective ?bounds ?partition model =
   Obs.Trace.with_span "milp.solve" (fun () ->
-      let r = solve_inner ?options ?objective ?bounds model in
+      let r = solve_inner ?options ?objective ?bounds ?partition model in
       Obs.Metrics.add m_solves 1;
       Obs.Metrics.add m_nodes r.nodes;
       Obs.Trace.count "nodes" r.nodes;

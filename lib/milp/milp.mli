@@ -1,8 +1,13 @@
 (** Mixed-integer linear programming by branch & bound.
 
     Solves a {!Lp.Model.t} whose variables may carry the [integer] mark.
-    LP relaxations are solved with {!Lp.Simplex}; nodes are explored
-    best-bound-first; branching picks the most fractional integer.
+    LP relaxations are solved with {!Lp.Simplex}; the tree is driven by
+    the shared {!Search} core (best-bound-first frontier, bound-delta
+    nodes, one warm-started solver session).  Branching is pluggable via
+    {!Search.Strategy}: the default picks the most fractional integer;
+    [Dual_guided] weights candidates by their |dual| column sensitivity;
+    [Dy_partition] may instead split a designated continuous variable's
+    interval at its LP point (see [solve]'s [partition]).
 
     Certification note: for a maximisation query, [bound] is always a
     sound upper bound on the true optimum, even when the search stops
@@ -29,7 +34,15 @@ type options = {
   max_nodes : int;
   time_limit : float;     (** seconds; [infinity] = none *)
   int_tol : float;        (** integrality tolerance *)
-  gap_abs : float;        (** stop when bound - incumbent below this *)
+  gap_abs : float;        (** pruning slack: stop when bound - incumbent
+                              is below this.  Default 0 — a positive gap
+                              trades exactness (and the strategy-
+                              independence of the certified value) for
+                              speed *)
+  branch : Search.Strategy.t;  (** branching rule; default
+                                   [Most_fractional] ([Violation] is
+                                   treated the same here — it is the
+                                   Reluplex-style rule) *)
 }
 
 val default_options : options
@@ -38,13 +51,20 @@ val solve :
   ?options:options ->
   ?objective:Lp.Model.dir * (int * float) list ->
   ?bounds:float array * float array ->
+  ?partition:int array ->
   Lp.Model.t -> result
 (** [objective] overrides the model's objective (constant term 0),
     allowing one model to serve many bound queries.  [bounds] replaces
     the structural root bounds (arrays of length [n_vars]; integer
     bounds are still rounded inward afterwards), allowing one model to
     be replayed under different input intervals — e.g. a deduplicated
-    certification cone. *)
+    certification cone.  [partition] lists continuous variables eligible
+    for interval-partition branching (used only under
+    {!Search.Strategy.Dy_partition}): when such a variable's
+    width x |dual| sensitivity beats every fractional integer's score,
+    the node splits that variable's interval at its LP point instead of
+    branching on an integer.  The resulting certified optimum is
+    unchanged — only the tree shape is. *)
 
 val fixing_bounds :
   Lp.Model.t -> (Lp.Model.var * float) list -> float array * float array

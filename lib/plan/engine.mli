@@ -25,6 +25,11 @@ type t = {
   run : Lp.Model.dir -> (Lp.Model.var * float) list -> float option;
       (** optimise the sparse objective; [None] on infeasible,
           unbounded or iteration-limited solves *)
+  duals : unit -> float array;
+      (** row duals of the engine's most recent Optimal solve ([[||]]
+          before the first, and always for MILP engines, whose final
+          answer has no single dual vector).  Minimisation-sense row
+          multipliers, used for dual-guided refinement scoring. *)
 }
 
 val session_solution :
@@ -46,10 +51,12 @@ val of_milp :
   stats ->
   options:Milp.options ->
   ?bounds:float array * float array ->
+  ?partition:int array ->
   Lp.Model.t -> t
 (** [bounds] overrides the model's structural root bounds (see
     {!Milp.solve}); used to replay a deduplicated integer cone under an
-    instance's input intervals. *)
+    instance's input intervals.  [partition] lists continuous variables
+    eligible for interval-partition branching (see {!Milp.solve}). *)
 
 val of_model : stats -> options:Milp.options -> name:string -> Lp.Model.t -> t
 (** Session engine when the model has no integer marks, MILP engine

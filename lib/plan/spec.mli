@@ -40,6 +40,16 @@ type task = {
   model : Lp.Model.t;
   integer : bool;          (** has integer marks: solved by B&B *)
   signature : string;      (** cone signature ([""] if not deduplicable) *)
+  probes : ((int * int) * Lp.Model.var) array;
+      (** dual-sensitivity probes: (absolute layer, neuron) paired with
+          the model variable whose |dual|-weighted column sensitivity
+          measures how strongly that neuron's relaxation binds the
+          task's LP optima.  Empty unless the planner runs dual-guided
+          refinement. *)
+  partition : Lp.Model.var array;
+      (** continuous variables eligible for interval-partition
+          branching when the task is solved by MILP (see
+          {!Milp.solve}); empty otherwise *)
 }
 
 type unit_of_work = {
@@ -77,9 +87,14 @@ val builder : unit -> builder
 val add_affine : builder -> affine -> unit
 
 val add_task :
+  ?probes:((int * int) * Lp.Model.var) array ->
+  ?partition:Lp.Model.var array ->
   builder -> label:string -> signature:string -> Lp.Model.t -> int
 (** Registers an encoded model; returns its [task_id].  The [integer]
-    flag is derived from the model's integrality marks. *)
+    flag is derived from the model's integrality marks.  [probes]
+    (default empty) requests per-neuron dual-sensitivity accumulation;
+    [partition] (default empty) marks interval-partition branching
+    candidates for MILP tasks. *)
 
 val add_unit :
   ?dedup:bool ->

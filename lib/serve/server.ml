@@ -175,6 +175,7 @@ let certifier_config state (q : Wire.query) =
     Cert.Certifier.window = q.Wire.q_window;
     refine = q.Wire.q_refine;
     symbolic = q.Wire.q_symbolic;
+    branch = q.Wire.q_branch;
     domains = state.cfg.domains }
 
 let resolve_network state (q : Wire.query) =

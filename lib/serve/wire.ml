@@ -7,6 +7,7 @@ type query = {
   q_window : int;
   q_refine : Cert.Refine.rule;
   q_symbolic : Cert.Certifier.sym_mode;
+  q_branch : Search.Strategy.t;
   q_no_cache : bool;
   q_deadline_ms : float option;
 }
@@ -15,6 +16,7 @@ let default_query =
   { q_net = None; q_digest = None; q_delta = 1e-3; q_lo = 0.0; q_hi = 1.0;
     q_window = 2; q_refine = Cert.Refine.No_refine;
     q_symbolic = Cert.Certifier.Sym_off;
+    q_branch = Search.Strategy.Most_fractional;
     q_no_cache = false; q_deadline_ms = None }
 
 type request =
@@ -67,6 +69,9 @@ let query_fields q =
        | Cert.Certifier.Sym_fwd -> [ ("symbolic", Json.Bool true) ]
        | Cert.Certifier.Sym_back ->
            [ ("symbolic_mode", Json.Str "back") ]);
+      (* protocol extension: absent means the historical default *)
+      (if q.q_branch = Search.Strategy.Most_fractional then []
+       else [ ("branch", Json.Str (Search.Strategy.to_string q.q_branch)) ]);
       (if q.q_no_cache then [ ("no_cache", Json.Bool true) ] else []);
       (match q.q_deadline_ms with
        | Some ms -> [ ("deadline_ms", Json.Num ms) ]
@@ -131,6 +136,15 @@ let decode_query v =
            if Option.value ~default:false (Json.mem_bool "symbolic" v) then
              Cert.Certifier.Sym_fwd
            else Cert.Certifier.Sym_off);
+    q_branch =
+      (match Json.mem_str "branch" v with
+       | None -> default_query.q_branch
+       | Some s -> (
+           match Search.Strategy.of_string s with
+           | Some b -> b
+           | None ->
+               failwith
+                 (Printf.sprintf "Serve.Wire: certify: unknown branch %S" s)));
     q_no_cache = Option.value ~default:false (Json.mem_bool "no_cache" v);
     q_deadline_ms = Json.mem_num "deadline_ms" v }
 

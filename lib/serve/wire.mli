@@ -34,6 +34,11 @@ type query = {
           field (old servers keep understanding it); [Sym_back] is the
           [symbolic_mode: "back"] extension, which takes precedence over
           the boolean when both are present *)
+  q_branch : Search.Strategy.t;
+      (** on the wire: the [branch] string field (a
+          {!Search.Strategy.to_string} name), emitted only when
+          different from the historical [Most_fractional] default so old
+          servers keep understanding default queries *)
   q_no_cache : bool;          (** bypass the result cache (still runs) *)
   q_deadline_ms : float option;
       (** drop the request if not {e finished} this many ms after the
@@ -42,7 +47,8 @@ type query = {
 
 val default_query : query
 (** [delta = 1e-3], box [\[0, 1\]], window 2, no refinement, no
-    symbolic pre-pass, cache on, no deadline, no network. *)
+    symbolic pre-pass, most-fractional branching, cache on, no deadline,
+    no network. *)
 
 type request =
   | Certify of query

@@ -73,6 +73,30 @@ if [ "$plain_eps" != "$back_eps" ] || [ "$plain_eps" != "$back_par_eps" ]; then
   exit 1
 fi
 
+echo "== branch-strategy certify parity (sequential and --domains 4) =="
+# Every branch & bound strategy must certify the identical epsilon —
+# only the tree shape (node counts) may differ — sequentially and
+# under domain parallelism.
+ref_eps=""
+for strategy in most-fractional violation dual-guided dy-partition; do
+  seq_eps=$(dune exec -- grc certify \
+    --net _build/lint-artifacts/lint-ci.net --delta 0.001 \
+    --branch "$strategy" | grep '^output')
+  par_eps=$(dune exec -- grc certify \
+    --net _build/lint-artifacts/lint-ci.net --delta 0.001 \
+    --branch "$strategy" --domains 4 | grep '^output')
+  if [ -z "$ref_eps" ]; then
+    ref_eps="$seq_eps"
+  fi
+  if [ "$seq_eps" != "$ref_eps" ] || [ "$par_eps" != "$ref_eps" ]; then
+    echo "branch strategy $strategy changed certified bounds:" >&2
+    echo "  reference:  $ref_eps" >&2
+    echo "  sequential: $seq_eps" >&2
+    echo "  domains4:   $par_eps" >&2
+    exit 1
+  fi
+done
+
 echo "== certification with dedup disabled matches =="
 with_dedup=$(dune exec -- grc certify \
   --net _build/lint-artifacts/lint-ci.net --delta 0.001 | grep '^output')
@@ -109,7 +133,11 @@ test -s BENCH_obs.json
 # the dnn3/dnn4/dnn5-scale sweeps, and the backward-symbolic gates
 # (>= 30% fewer LP solves on dnn3/dnn4 at bitwise-identical certified
 # eps, plus exact-engine stability hints that pin splits without
-# moving the optimum).  It exits nonzero if any gate fails.
+# moving the optimum).  The branch-strategy gates ride along: certified
+# eps bitwise identical across all four strategies on the certifier,
+# exact-BTNE and reluplex cases, and dual-guided exploring >= 20% fewer
+# B&B nodes than most-fractional on the exact-BTNE dnn3 tree.  It
+# exits nonzero if any gate fails.
 echo "== lp-bench (dense-vs-sparse solver gates; writes BENCH_lp.json) =="
 dune exec bench/main.exe -- lp-bench
 test -s BENCH_lp.json

@@ -83,7 +83,8 @@ let sample_query =
   { Wire.q_net = Some "grc-net 1\nlayers 0\n"; q_digest = None;
     q_delta = 0.25; q_lo = -1.0; q_hi = 1.0; q_window = 3;
     q_refine = Cert.Refine.Count 4;
-    q_symbolic = Cert.Certifier.Sym_fwd; q_no_cache = true;
+    q_symbolic = Cert.Certifier.Sym_fwd;
+    q_branch = Search.Strategy.Dual_guided; q_no_cache = true;
     q_deadline_ms = Some 125.5 }
 
 let test_wire_request_roundtrip () =
