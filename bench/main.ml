@@ -963,14 +963,173 @@ let run_serve_bench () =
    | _ -> failwith "daemon refused shutdown");
   Serve.Client.close client;
   Domain.join srv;
+  (* --- shard scaling: one dnn3 grid swept through 1, 2 and 4 shards ---
+
+     Every configuration answers the same cells with the cache bypassed,
+     so the wall-clock ratio is pure fan-out.  The >= 1.6x gate on 2
+     shards needs real parallelism, so it is enforced only when the
+     machine has cores to scale onto; single-core runs still record the
+     measured numbers. *)
+  header "serve-bench: shard scaling (dnn3 sweep through 1/2/4 shards)";
+  let deltas = [ 0.001; 0.0015; 0.002; 0.0025 ] in
+  let regions = [ (0.0, 0.5); (0.25, 0.75); (0.5, 1.0); (0.0, 1.0) ] in
+  let cells =
+    List.concat_map
+      (fun d -> List.map (fun (lo, hi) -> (d, lo, hi)) regions)
+      deltas
+    |> Array.of_list
+  in
+  let n_cells = Array.length cells in
+  let oneshot_eps =
+    Array.map
+      (fun (delta, lo, hi) ->
+        (Cert.Certifier.certify_box dnn3 ~lo ~hi ~delta).Cert.Certifier.eps)
+      cells
+  in
+  let net_text = Nn.Io.to_string dnn3 in
+  let fresh_addr () =
+    let p = Filename.temp_file "grc-serve-bench" ".sock" in
+    Sys.remove p;
+    Serve.Server.Unix_path p
+  in
+  let run_shards shards =
+    let baddrs = List.init shards (fun _ -> fresh_addr ()) in
+    let daemons =
+      List.map
+        (fun addr ->
+          Domain.spawn (fun () ->
+              Serve.Server.run
+                { (Serve.Server.default_config addr) with
+                  Serve.Server.workers = 1; handle_signals = false }))
+        baddrs
+    in
+    let front = fresh_addr () in
+    let router =
+      Domain.spawn (fun () ->
+          Serve.Shard.run
+            { (Serve.Shard.default_config front ~backends:baddrs) with
+              Serve.Shard.handle_signals = false })
+    in
+    let c = Serve.Client.connect_retry front in
+    let digest = Serve.Client.load c net_text in
+    let queries =
+      Array.map
+        (fun (delta, lo, hi) ->
+          { Serve.Wire.default_query with
+            Serve.Wire.q_digest = Some digest; q_delta = delta; q_lo = lo;
+            q_hi = hi; q_no_cache = true })
+        cells
+    in
+    let t0 = Unix.gettimeofday () in
+    let completed = ref 0 in
+    let traj = ref [] in
+    let results, degraded =
+      Serve.Client.certify_batch c
+        ~on_item:(fun _ _ ->
+          incr completed;
+          traj := (Unix.gettimeofday () -. t0, !completed) :: !traj)
+        queries
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.iteri
+      (fun i res ->
+        match res with
+        | Ok r ->
+            let same =
+              Array.length r.Serve.Wire.r_eps = Array.length oneshot_eps.(i)
+              && Array.for_all2
+                   (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                   r.Serve.Wire.r_eps oneshot_eps.(i)
+            in
+            if not same then
+              failwith
+                (Printf.sprintf
+                   "serve-bench: %d-shard sweep cell %d not bitwise equal"
+                   shards i)
+        | Error msg ->
+            failwith
+              (Printf.sprintf "serve-bench: %d-shard sweep cell %d: %s"
+                 shards i msg))
+      results;
+    (match Serve.Client.rpc c Serve.Wire.Shutdown with
+     | Serve.Wire.Ack -> ()
+     | _ -> failwith "router refused shutdown");
+    Serve.Client.close c;
+    Domain.join router;
+    List.iter Domain.join daemons;
+    (wall, float_of_int n_cells /. wall, degraded, List.rev !traj)
+  in
+  let scale_rows =
+    List.map
+      (fun shards ->
+        let wall, qps, degraded, traj = run_shards shards in
+        Format.fprintf fmt "shards=%d: %d cells in %.3fs (%.1f cells/s)@."
+          shards n_cells wall qps;
+        (shards, wall, qps, degraded, traj))
+      [ 1; 2; 4 ]
+  in
+  let qps_of k =
+    match List.find_opt (fun (s, _, _, _, _) -> s = k) scale_rows with
+    | Some (_, _, q, _, _) -> q
+    | None -> nan
+  in
+  let speedup2 = qps_of 2 /. qps_of 1 in
+  let cores = Domain.recommended_domain_count () in
+  let gate_enforced = cores >= 2 in
+  let gate_pass = speedup2 >= 1.6 in
+  Format.fprintf fmt
+    "2-shard throughput speedup: %.2fx (gate >= 1.60x, %s; %d core%s)@."
+    speedup2
+    (if gate_enforced then "enforced" else "recorded only")
+    cores
+    (if cores = 1 then "" else "s");
+  let scaling_json =
+    Serve.Json.Obj
+      [ ("net", Serve.Json.Str "dnn3");
+        ("cells", Serve.Json.Num (float_of_int n_cells));
+        ("shards",
+         Serve.Json.List
+           (List.map
+              (fun (shards, wall, qps, degraded, traj) ->
+                Serve.Json.Obj
+                  [ ("shards", Serve.Json.Num (float_of_int shards));
+                    ("wall_s", Serve.Json.Num wall);
+                    ("throughput_qps", Serve.Json.Num qps);
+                    ("speedup_vs_1", Serve.Json.Num (qps /. qps_of 1));
+                    ("degraded", Serve.Json.Bool degraded);
+                    ("trajectory",
+                     Serve.Json.List
+                       (List.map
+                          (fun (t, d) ->
+                            Serve.Json.Obj
+                              [ ("t_s", Serve.Json.Num t);
+                                ("done",
+                                 Serve.Json.Num (float_of_int d)) ])
+                          traj)) ])
+              scale_rows));
+        ("gate",
+         Serve.Json.Obj
+           [ ("min_speedup_2_shards", Serve.Json.Num 1.6);
+             ("measured_speedup_2_shards", Serve.Json.Num speedup2);
+             ("cores", Serve.Json.Num (float_of_int cores));
+             ("enforced", Serve.Json.Bool gate_enforced);
+             ("pass", Serve.Json.Bool gate_pass) ]) ]
+  in
   let oc = open_out "BENCH_serve.json" in
   output_string oc
     (Serve.Json.to_string
        (Serve.Json.Obj
-          [ ("cases", Serve.Json.List rows); ("daemon_stats", stats) ]));
+          [ ("cases", Serve.Json.List rows); ("daemon_stats", stats);
+            ("scaling", scaling_json) ]));
   output_char oc '\n';
   close_out oc;
-  Format.fprintf fmt "wrote BENCH_serve.json@."
+  Format.fprintf fmt "wrote BENCH_serve.json@.";
+  if gate_enforced && not gate_pass then begin
+    Format.fprintf fmt
+      "serve-bench GATE FAILURE: 2-shard throughput speedup %.2fx < 1.60x@."
+      speedup2;
+    exit 1
+  end
 
 (* Observability overhead: what the always-compiled-in instrumentation
    costs when tracing is off (the production configuration).  Two

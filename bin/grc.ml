@@ -1,7 +1,7 @@
 (* grc: global robustness certification CLI.
 
    Subcommands: train, certify, attack, info, lint, fig4, case-study,
-   serve, submit, trace-check. *)
+   serve, submit, shard, sweep, trace-check. *)
 
 open Cmdliner
 
@@ -502,6 +502,13 @@ let serve_cmd =
              ~doc:"Result-cache persistence file (appended; survives \
                    restarts).")
   in
+  let cache_ns =
+    Arg.(value & opt (some string) None
+         & info [ "cache-ns" ]
+             ~doc:"Result-cache key namespace.  Give each shard its own \
+                   when daemons behind a router share a --cache file, so \
+                   they never serve each other's entries.")
+  in
   let domains =
     Arg.(value & opt pos_int 1
          & info [ "domains" ]
@@ -518,14 +525,15 @@ let serve_cmd =
                    (pivots, warm/cold splits, pool and dedup counters) in \
                    $(b,stats) responses.")
   in
-  let run socket port workers queue_cap cache domains verbose metrics =
+  let run socket port workers queue_cap cache cache_ns domains verbose
+      metrics =
     match resolve_addr socket port with
     | Error msg -> `Error (true, msg)
     | Ok addr ->
         let config =
           { (Serve.Server.default_config addr) with
-            Serve.Server.workers; queue_cap; cache_path = cache; domains;
-            verbose; metrics }
+            Serve.Server.workers; queue_cap; cache_path = cache;
+            cache_ns; domains; verbose; metrics }
         in
         (try Serve.Server.run config with Failure msg -> prerr_endline msg;
                                                          exit 1);
@@ -550,7 +558,7 @@ let serve_cmd =
   Cmd.v info_
     Term.(
       ret (const run $ socket_arg $ port_arg $ workers $ queue_cap $ cache
-           $ domains $ verbose $ metrics))
+           $ cache_ns $ domains $ verbose $ metrics))
 
 let submit_cmd =
   let net =
@@ -606,6 +614,20 @@ let submit_cmd =
     Arg.(value & opt pos_int 1
          & info [ "concurrency" ] ~doc:"Connections used in load mode.")
   in
+  let batch =
+    Arg.(value & opt pos_int 1
+         & info [ "batch" ]
+             ~doc:"In load mode, mix batch requests of $(docv) queries \
+                   with single requests (alternating), exercising both \
+                   wire paths; per-request latency for batch items is \
+                   the batch wall time divided by its size.")
+  in
+  let timeout_s =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-s" ]
+             ~doc:"Socket read timeout; a wedged daemon fails the request \
+                   instead of hanging it.")
+  in
   let stats =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Print daemon statistics (JSON) and exit.")
@@ -629,13 +651,13 @@ let submit_cmd =
       r.Serve.Wire.r_milp_solves
   in
   let run socket port net digest delta lo hi window refine refine_frac
-      symbolic branch no_cache deadline_ms load_n concurrency stats ping
-      shutdown =
+      symbolic branch no_cache deadline_ms load_n concurrency batch
+      timeout_s stats ping shutdown =
     match resolve_addr socket port with
     | Error msg -> `Error (true, msg)
     | Ok addr -> (
         let with_conn f =
-          let c = Serve.Client.connect addr in
+          let c = Serve.Client.connect ?timeout_s addr in
           Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
               f c)
         in
@@ -691,22 +713,49 @@ let submit_cmd =
              | Some n ->
                  (* Load mode: [concurrency] domains, each with its own
                     connection, splitting [n] queries; wall-clock and
-                    per-request latencies measured client-side. *)
+                    per-request latencies measured client-side.  With
+                    --batch B, workers alternate single requests and
+                    B-item batches, exercising both wire paths. *)
                  let k = min concurrency n in
                  let latencies = Array.make n 0.0 in
                  let next = Atomic.make 0 in
                  let failures = Atomic.make 0 in
                  let work () =
                    with_conn (fun c ->
+                       let send_batch = ref false in
                        let rec go () =
-                         let i = Atomic.fetch_and_add next 1 in
+                         let want =
+                           if batch > 1 && !send_batch then batch else 1
+                         in
+                         send_batch := not !send_batch;
+                         let i = Atomic.fetch_and_add next want in
                          if i < n then begin
+                           let len = min want (n - i) in
                            let t0 = Unix.gettimeofday () in
                            (try
-                              ignore (Serve.Client.certify c query)
-                            with Failure _ -> Atomic.incr failures);
-                           latencies.(i) <-
-                             (Unix.gettimeofday () -. t0) *. 1000.0;
+                              if len = 1 then
+                                ignore (Serve.Client.certify c query)
+                              else
+                                let rs, _ =
+                                  Serve.Client.certify_batch c
+                                    (Array.make len query)
+                                in
+                                Array.iter
+                                  (function
+                                    | Stdlib.Error _ ->
+                                        Atomic.incr failures
+                                    | Ok _ -> ())
+                                  rs
+                            with Failure _ | Serve.Client.Timeout _ ->
+                              ignore
+                                (Atomic.fetch_and_add failures len));
+                           let per =
+                             (Unix.gettimeofday () -. t0)
+                             *. 1000.0 /. float_of_int len
+                           in
+                           for j = i to i + len - 1 do
+                             latencies.(j) <- per
+                           done;
                            go ()
                          end
                        in
@@ -728,13 +777,48 @@ let submit_cmd =
                    Array.fold_left ( +. ) 0.0 latencies /. float_of_int n
                  in
                  Printf.printf
-                   "%d requests, %d connection(s), %d failure(s)\n\
+                   "%d requests, %d connection(s), %d batch size, \
+                    %d failure(s)\n\
                     wall: %.2fs (%.1f req/s)\n\
                     latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  \
                     max %.2f\n"
-                   n k (Atomic.get failures) wall (float_of_int n /. wall)
+                   n k batch (Atomic.get failures) wall
+                   (float_of_int n /. wall)
                    mean (pct 0.50) (pct 0.90) (pct 0.99)
-                   latencies.(n - 1));
+                   latencies.(n - 1);
+                 (* behind a router, also report the per-shard view *)
+                 with_conn (fun c ->
+                     match Serve.Client.rpc c Serve.Wire.Stats with
+                     | Serve.Wire.Stats_payload j -> (
+                         match
+                           Option.bind (Serve.Json.member "router" j)
+                             (Serve.Json.mem_list "per_shard")
+                         with
+                         | None -> ()
+                         | Some rows ->
+                             List.iter
+                               (fun row ->
+                                 let int name =
+                                   Option.value ~default:0
+                                     (Serve.Json.mem_int name row)
+                                 in
+                                 let lat name =
+                                   match
+                                     Option.bind
+                                       (Serve.Json.member "latency" row)
+                                       (Serve.Json.mem_num name)
+                                   with
+                                   | Some v -> v
+                                   | None -> 0.0
+                                 in
+                                 Printf.printf
+                                   "shard %d: routed %d  retried-onto %d  \
+                                    p50 %.2fms  p99 %.2fms\n"
+                                   (int "shard") (int "routed")
+                                   (int "retried_onto") (lat "p50_ms")
+                                   (lat "p99_ms"))
+                               rows)
+                     | _ -> ()));
             `Ok ()
           end
         with Failure msg -> `Error (false, msg))
@@ -757,7 +841,335 @@ let submit_cmd =
       ret (const run $ socket_arg $ port_arg $ net $ digest $ delta_arg
            $ lo_arg $ hi_arg $ window $ refine $ refine_frac $ symbolic
            $ branch_arg $ no_cache $ deadline_ms $ load_n $ concurrency
-           $ stats $ ping $ shutdown))
+           $ batch $ timeout_s $ stats $ ping $ shutdown))
+
+(* --- shard: the router front process --- *)
+
+(* All digits: a loopback TCP port.  Anything else: a unix socket path. *)
+let backend_conv : Serve.Server.addr Arg.conv =
+  let parse s =
+    let s = String.trim s in
+    if s = "" then Error (`Msg "empty backend address")
+    else if String.for_all (fun ch -> ch >= '0' && ch <= '9') s then
+      match int_of_string_opt s with
+      | Some p when p > 0 && p < 65536 -> Ok (Serve.Server.Tcp p)
+      | _ -> Error (`Msg (s ^ ": not a valid port"))
+    else Ok (Serve.Server.Unix_path s)
+  in
+  let print ppf = function
+    | Serve.Server.Unix_path p -> Format.pp_print_string ppf p
+    | Serve.Server.Tcp p -> Format.fprintf ppf "%d" p
+  in
+  Arg.conv ~docv:"ADDR" (parse, print)
+
+let shard_cmd =
+  let backends =
+    Arg.(value & opt_all backend_conv []
+         & info [ "backend" ] ~docv:"ADDR"
+             ~doc:"Backend daemon: a unix socket path, or a loopback TCP \
+                   port (all digits).  Repeatable; the shard index is the \
+                   order given.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log routing events to \
+                                                 stderr.")
+  in
+  let connect_timeout =
+    Arg.(value & opt float 10.0
+         & info [ "connect-timeout-s" ]
+             ~doc:"How long to wait for each backend at startup.")
+  in
+  let run socket port backends verbose connect_timeout_s =
+    match resolve_addr socket port with
+    | Error msg -> `Error (true, msg)
+    | Ok addr ->
+        if backends = [] then
+          `Error (true, "at least one --backend is required")
+        else begin
+          (try
+             Serve.Shard.run
+               { Serve.Shard.addr; backends; handle_signals = true; verbose;
+                 connect_timeout_s }
+           with Failure msg ->
+             prerr_endline msg;
+             exit 1);
+          `Ok ()
+        end
+  in
+  let info_ =
+    Cmd.info "shard"
+      ~doc:"Run the shard router in front of several daemons."
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "One front socket, N certification daemons.  Speaks the same \
+             wire protocol as $(b,grc serve), so clients need no changes: \
+             certify requests route by network digest, batch items fan \
+             out across shards and merge back as a tagged stream, load \
+             and stats fan out to every shard.  A backend that dies has \
+             its in-flight queries retried on the next live shard, and \
+             the affected answers carry a degraded flag.  Results pass \
+             through bit-exactly; the router never solves anything." ]
+  in
+  Cmd.v info_
+    Term.(
+      ret (const run $ socket_arg $ port_arg $ backends $ verbose
+           $ connect_timeout))
+
+(* --- sweep: certify a delta x region grid through the service --- *)
+
+let floats_conv : float list Arg.conv =
+  let parse s =
+    let parts = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match float_of_string_opt (String.trim p) with
+          | Some v -> go (v :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "%S is not a number" p)))
+    in
+    match go [] parts with
+    | Ok [] -> Error (`Msg "empty list")
+    | r -> r
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (Printf.sprintf "%g") l))
+  in
+  Arg.conv ~docv:"X,Y,..." (parse, print)
+
+let regions_conv : (float * float) list Arg.conv =
+  let parse s =
+    let region p =
+      match String.split_on_char ':' (String.trim p) with
+      | [ a; b ] -> (
+          match (float_of_string_opt a, float_of_string_opt b) with
+          | Some lo, Some hi when lo < hi -> Ok (lo, hi)
+          | Some _, Some _ -> Error (`Msg (p ^ ": need lo < hi"))
+          | _ -> Error (`Msg (p ^ ": expected LO:HI")))
+      | _ -> Error (`Msg (p ^ ": expected LO:HI"))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> Result.bind (region p) (fun r -> go (r :: acc) rest)
+    in
+    match go [] (String.split_on_char ',' (String.trim s)) with
+    | Ok [] -> Error (`Msg "empty list")
+    | r -> r
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map (fun (lo, hi) -> Printf.sprintf "%g:%g" lo hi) l))
+  in
+  Arg.conv ~docv:"LO:HI,..." (parse, print)
+
+let sweep_cmd =
+  let net =
+    Arg.(value & opt (some file) None
+         & info [ "net" ] ~doc:"Saved network to sweep (loaded once, then \
+                                referenced by digest).")
+  in
+  let digest =
+    Arg.(value & opt (some string) None
+         & info [ "digest" ]
+             ~doc:"Digest of a network already loaded into the service.")
+  in
+  let deltas =
+    Arg.(required & opt (some floats_conv) None
+         & info [ "deltas" ] ~doc:"Comma-separated perturbation bounds.")
+  in
+  let regions =
+    Arg.(value & opt regions_conv [ (0.0, 1.0) ]
+         & info [ "regions" ]
+             ~doc:"Comma-separated input boxes LO:HI; the grid is the \
+                   cartesian product deltas x regions.")
+  in
+  let window =
+    Arg.(value & opt pos_int 2 & info [ "window"; "W" ] ~doc:"ND window size.")
+  in
+  let batch =
+    Arg.(value & opt pos_int 16
+         & info [ "batch" ] ~doc:"Grid cells sent per batch request.")
+  in
+  let timeout_s =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-s" ]
+             ~doc:"Socket read timeout; a wedged service fails the sweep \
+                   instead of hanging it.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Bypass the service's result cache.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the full results table as JSON (exact float \
+                   bits) to $(docv).")
+  in
+  let run socket port net digest deltas regions window batch timeout_s
+      no_cache json_out =
+    match resolve_addr socket port with
+    | Error msg -> `Error (true, msg)
+    | Ok addr -> (
+        try
+          let c = Serve.Client.connect ?timeout_s addr in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          let digest =
+            match (net, digest) with
+            | Some path, _ ->
+                Serve.Client.load c (Nn.Io.to_string (Nn.Io.load path))
+            | None, Some d -> d
+            | None, None -> failwith "one of --net or --digest is required"
+          in
+          let cells =
+            List.concat_map
+              (fun delta ->
+                List.map (fun (lo, hi) -> (delta, lo, hi)) regions)
+              deltas
+            |> Array.of_list
+          in
+          let n = Array.length cells in
+          let query (delta, lo, hi) =
+            { Serve.Wire.default_query with
+              Serve.Wire.q_digest = Some digest; q_delta = delta; q_lo = lo;
+              q_hi = hi; q_window = window; q_no_cache = no_cache }
+          in
+          let results = Array.make n (Stdlib.Error "not submitted") in
+          let done_cells = ref 0 in
+          let errors = ref 0 in
+          let degraded = ref false in
+          let progress () =
+            Printf.eprintf "\rsweep: %d/%d cells (%d error%s)%!" !done_cells
+              n !errors
+              (if !errors = 1 then "" else "s")
+          in
+          let t0 = Unix.gettimeofday () in
+          let k = ref 0 in
+          while !k < n do
+            let len = min batch (n - !k) in
+            let base = !k in
+            let qs = Array.init len (fun i -> query cells.(base + i)) in
+            let batch_res, deg =
+              Serve.Client.certify_batch c
+                ~on_item:(fun _ res ->
+                  incr done_cells;
+                  (match res with
+                   | Stdlib.Error _ -> incr errors
+                   | Ok _ -> ());
+                  progress ())
+                qs
+            in
+            degraded := !degraded || deg;
+            Array.blit batch_res 0 results base len;
+            k := !k + len
+          done;
+          let wall = Unix.gettimeofday () -. t0 in
+          Printf.eprintf "\n%!";
+          (* the machine-readable table: one row per grid cell, grid
+             order, eps to 6 decimals (matching grc certify's output) *)
+          print_endline "# delta\tlo\thi\tshard\tdegraded\tcached\teps";
+          Array.iteri
+            (fun i (delta, lo, hi) ->
+              match results.(i) with
+              | Ok r ->
+                  Printf.printf "%g\t%g\t%g\t%s\t%b\t%b\t%s\n" delta lo hi
+                    (match r.Serve.Wire.r_shard with
+                     | Some s -> string_of_int s
+                     | None -> "-")
+                    r.Serve.Wire.r_degraded r.Serve.Wire.r_cached
+                    (String.concat ","
+                       (Array.to_list
+                          (Array.map
+                             (Printf.sprintf "%.6f")
+                             r.Serve.Wire.r_eps)))
+              | Error msg ->
+                  Printf.printf "%g\t%g\t%g\t-\t-\t-\terror: %s\n" delta lo
+                    hi msg)
+            cells;
+          Printf.eprintf
+            "sweep: %d cells in %.2fs (%.1f cells/s)%s%s\n%!" n wall
+            (float_of_int n /. wall)
+            (if !errors > 0 then Printf.sprintf ", %d errors" !errors
+             else "")
+            (if !degraded then ", DEGRADED (a shard died mid-sweep)"
+             else "");
+          (match json_out with
+           | None -> ()
+           | Some file ->
+               let open Serve in
+               let cell_json i (delta, lo, hi) =
+                 let common =
+                   [ ("delta", Json.Num delta); ("lo", Json.Num lo);
+                     ("hi", Json.Num hi) ]
+                 in
+                 match results.(i) with
+                 | Ok r ->
+                     Json.Obj
+                       (common
+                        @ [ ("ok", Json.Bool true);
+                            ("eps",
+                             Json.List
+                               (Array.to_list
+                                  (Array.map
+                                     (fun e -> Json.Num e)
+                                     r.Wire.r_eps)));
+                            ("cached", Json.Bool r.Wire.r_cached);
+                            ("degraded", Json.Bool r.Wire.r_degraded);
+                            ("time_ms", Json.Num r.Wire.r_time_ms) ]
+                        @ (match r.Wire.r_shard with
+                           | Some s ->
+                               [ ("shard", Json.Num (float_of_int s)) ]
+                           | None -> []))
+                 | Error msg ->
+                     Json.Obj
+                       (common
+                        @ [ ("ok", Json.Bool false);
+                            ("error", Json.Str msg) ])
+               in
+               let j =
+                 Json.Obj
+                   [ ("digest", Json.Str digest);
+                     ("cells",
+                      Json.List
+                        (Array.to_list (Array.mapi cell_json cells)));
+                     ("summary",
+                      Json.Obj
+                        [ ("cells", Json.Num (float_of_int n));
+                          ("errors", Json.Num (float_of_int !errors));
+                          ("degraded", Json.Bool !degraded);
+                          ("wall_s", Json.Num wall) ]) ]
+               in
+               let oc = open_out file in
+               output_string oc (Json.to_string j);
+               output_char oc '\n';
+               close_out oc;
+               Printf.eprintf "sweep: results written to %s\n%!" file);
+          if !errors > 0 then exit 1;
+          `Ok ()
+        with
+        | Failure msg -> `Error (false, msg)
+        | Serve.Client.Timeout msg -> `Error (false, "timeout: " ^ msg))
+  in
+  let info_ =
+    Cmd.info "sweep"
+      ~doc:"Certify a whole delta x region grid through the service."
+      ~man:
+        [ `S Manpage.s_description;
+          `P
+            "Builds the cartesian product of --deltas and --regions, \
+             loads the network once, and drives the grid through a \
+             daemon or shard router as batch requests: cells stream back \
+             in completion order (a progress line tracks them) and are \
+             printed as a grid-ordered TSV table.  Behind a router the \
+             cells spread across every shard; eps values are \
+             bit-identical to one-shot $(b,grc certify) either way." ]
+  in
+  Cmd.v info_
+    Term.(
+      ret (const run $ socket_arg $ port_arg $ net $ digest $ deltas
+           $ regions $ window $ batch $ timeout_s $ no_cache $ json_out))
 
 (* --- trace-check ---
 
@@ -900,4 +1312,5 @@ let () =
     (Cmd.eval
        (Cmd.group info_
           [ train_cmd; certify_cmd; attack_cmd; info_cmd; lint_cmd; fig4_cmd;
-            case_study_cmd; serve_cmd; submit_cmd; trace_check_cmd ]))
+            case_study_cmd; serve_cmd; submit_cmd; shard_cmd; sweep_cmd;
+            trace_check_cmd ]))

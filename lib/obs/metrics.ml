@@ -40,6 +40,41 @@ let set g v = Atomic.set g (Int64.bits_of_float v)
 
 let get_gauge g = Int64.float_of_bits (Atomic.get g)
 
+(* Indexed families ("shard.3.routed"): memoize the formatted names so
+   a hot loop updating per-shard metrics never re-allocates them and
+   never takes the registry mutex after first use. *)
+let family_memo : (string * int, cell) Hashtbl.t = Hashtbl.create 32
+
+let family_memo_mutex = Mutex.create ()
+
+let family_cell base i make =
+  Mutex.lock family_memo_mutex;
+  match Hashtbl.find_opt family_memo (base, i) with
+  | Some c ->
+      Mutex.unlock family_memo_mutex;
+      c
+  | None ->
+      Mutex.unlock family_memo_mutex;
+      (* [make] may raise (name already registered with the other
+         kind); build the cell outside the lock.  A racing duplicate is
+         benign: both resolve to the same registry cell by name. *)
+      let c = make (Printf.sprintf "%s.%d" base i) in
+      Mutex.lock family_memo_mutex;
+      Hashtbl.replace family_memo (base, i) c;
+      Mutex.unlock family_memo_mutex;
+      c
+
+let counter_family base i =
+  match family_cell base i (fun name -> C (counter name)) with
+  | C c -> c
+  | G _ -> invalid_arg ("Obs.Metrics.counter_family: " ^ base ^ " is a gauge")
+
+let gauge_family base i =
+  match family_cell base i (fun name -> G (gauge name)) with
+  | G g -> g
+  | C _ ->
+      invalid_arg ("Obs.Metrics.gauge_family: " ^ base ^ " is a counter")
+
 let value = function
   | C c -> float_of_int (Atomic.get c)
   | G g -> Int64.float_of_bits (Atomic.get g)

@@ -29,6 +29,21 @@ val set : gauge -> float -> unit
 
 val get_gauge : gauge -> float
 
+(** {1 Indexed families}
+
+    Per-instance metrics — one counter or gauge per shard, worker or
+    backend — named ["base.i"].  The formatted names are memoized, so
+    updating a family member in a hot loop allocates nothing after
+    first use.  The same [(base, i)] always returns the same cell. *)
+
+val counter_family : string -> int -> counter
+(** [counter_family base i] is [counter (base ^ "." ^ string_of_int i)],
+    memoized. *)
+
+val gauge_family : string -> int -> gauge
+(** [gauge_family base i] is [gauge (base ^ "." ^ string_of_int i)],
+    memoized. *)
+
 val dump : unit -> (string * float) list
 (** Every registered metric as [(name, value)], sorted by name;
     counters are widened to float. *)

@@ -1,7 +1,10 @@
+exception Timeout of string
+
 type t = {
   fd : Unix.file_descr;
   carry : Buffer.t;
   mutable next_id : int;
+  mutable timeout_s : float option;
 }
 
 let sockaddr = function
@@ -12,7 +15,19 @@ let addr_str = function
   | Server.Unix_path path -> path
   | Server.Tcp port -> Printf.sprintf "127.0.0.1:%d" port
 
-let connect addr =
+let set_timeout t timeout_s =
+  (match timeout_s with
+   | Some s when s <= 0.0 ->
+       invalid_arg "Serve.Client.set_timeout: timeout must be positive"
+   | _ -> ());
+  t.timeout_s <- timeout_s;
+  (* SO_RCVTIMEO 0 means "block forever" *)
+  try
+    Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO
+      (Option.value ~default:0.0 timeout_s)
+  with Unix.Unix_error _ -> ()
+
+let connect ?timeout_s addr =
   let domain =
     match addr with
     | Server.Unix_path _ -> Unix.PF_UNIX
@@ -25,15 +40,33 @@ let connect addr =
      failwith
        (Printf.sprintf "cannot reach daemon at %s: %s" (addr_str addr)
           (Unix.error_message e)));
-  { fd; carry = Buffer.create 4096; next_id = 1 }
+  let t = { fd; carry = Buffer.create 4096; next_id = 1; timeout_s = None } in
+  (match timeout_s with Some _ -> set_timeout t timeout_s | None -> ());
+  t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let rpc t req =
+(* A read that exceeds SO_RCVTIMEO fails with EAGAIN/EWOULDBLOCK; turn
+   that into the structured [Timeout] instead of hanging forever on a
+   wedged daemon (and instead of a generic exception the caller cannot
+   distinguish from a protocol error). *)
+let read_frame t =
+  try Wire.read_frame t.carry t.fd
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    raise
+      (Timeout
+         (Printf.sprintf "daemon did not answer within %gs"
+            (Option.value ~default:0.0 t.timeout_s)))
+
+let fresh_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
+  id
+
+let rpc t req =
+  let id = fresh_id t in
   Wire.write_frame t.fd (Wire.encode_request ~id req);
-  match Wire.read_frame t.carry t.fd with
+  match read_frame t with
   | None -> failwith "daemon closed the connection"
   | Some v ->
       let rid, resp = Wire.decode_response v in
@@ -71,6 +104,40 @@ let certify t q =
   | Wire.Result r -> r
   | Wire.Error msg -> failwith ("daemon error: " ^ msg)
   | _ -> failwith "unexpected response to certify"
+
+let certify_batch t ?(on_item = fun _ _ -> ()) queries =
+  let n = Array.length queries in
+  let results = Array.make n (Stdlib.Error "no response") in
+  if n = 0 then (results, false)
+  else begin
+    let id = fresh_id t in
+    Wire.write_frame t.fd
+      (Wire.encode_request ~id (Wire.Batch (Array.to_list queries)));
+    let degraded = ref false in
+    let finished = ref false in
+    while not !finished do
+      match read_frame t with
+      | None -> failwith "daemon closed the connection mid-batch"
+      | Some v -> (
+          let rid, resp = Wire.decode_response v in
+          if rid <> id && rid <> 0 then
+            failwith
+              (Printf.sprintf "batch response id %d does not match %d" rid id);
+          match resp with
+          | Wire.Batch_item { bi_item; bi_resp } ->
+              if bi_item < 0 || bi_item >= n then
+                failwith
+                  (Printf.sprintf "batch item tag %d out of range" bi_item);
+              results.(bi_item) <- bi_resp;
+              on_item bi_item bi_resp
+          | Wire.Batch_done { bd_degraded; _ } ->
+              degraded := bd_degraded;
+              finished := true
+          | Wire.Error msg -> failwith ("daemon error: " ^ msg)
+          | _ -> failwith "unexpected response during batch")
+    done;
+    (results, !degraded)
+  end
 
 let load t text =
   match rpc t (Wire.Load text) with

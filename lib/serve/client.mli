@@ -1,4 +1,5 @@
-(** Blocking client for the certification daemon.
+(** Blocking client for the certification daemon (or shard router —
+    both speak the same protocol).
 
     One connection, synchronous request/response (ids are assigned
     internally and checked on receipt).  Safe to use one connection per
@@ -6,8 +7,20 @@
 
 type t
 
-val connect : Server.addr -> t
-(** Raises [Failure] when the daemon is unreachable. *)
+exception Timeout of string
+(** A read exceeded the configured socket timeout.  Distinct from
+    [Failure] so callers can tell "the daemon is wedged" from "the
+    daemon answered garbage" and retry or fail over accordingly. *)
+
+val connect : ?timeout_s:float -> Server.addr -> t
+(** Raises [Failure] when the daemon is unreachable.  [timeout_s]: read
+    timeout applied to every subsequent receive (see {!set_timeout});
+    without it reads block indefinitely. *)
+
+val set_timeout : t -> float option -> unit
+(** Set or clear the per-read socket timeout ([SO_RCVTIMEO]).  Any
+    receive that waits longer raises {!Timeout} instead of hanging on a
+    stalled daemon.  Raises [Invalid_argument] on non-positive values. *)
 
 val connect_retry : ?timeout_s:float -> Server.addr -> t
 (** Retry {!connect} (plus a ping round-trip) until the daemon answers
@@ -17,10 +30,23 @@ val connect_retry : ?timeout_s:float -> Server.addr -> t
 val rpc : t -> Wire.request -> Wire.response
 (** One round-trip.  Raises [Failure] on transport or protocol
     errors (a server-reported error is returned as [Wire.Error], not
-    raised). *)
+    raised), {!Timeout} on a read timeout. *)
 
 val certify : t -> Wire.query -> Wire.result
 (** [rpc] + unwrapping; raises [Failure] on a server-reported error. *)
+
+val certify_batch :
+  t ->
+  ?on_item:(int -> (Wire.result, string) result -> unit) ->
+  Wire.query array ->
+  (Wire.result, string) result array * bool
+(** Send all queries as one [batch] request and block until the stream
+    closes.  [on_item] fires as each tagged item frame arrives (in
+    completion order — this is the streamed-progress hook); the
+    returned array is indexed by query position.  The boolean is the
+    stream's [degraded] flag: some item needed a retry on another
+    shard after a backend died.  Raises [Failure] on transport or
+    protocol errors, {!Timeout} on a read timeout. *)
 
 val load : t -> string -> string
 (** Register a network (canonical text); returns its digest. *)

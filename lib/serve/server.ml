@@ -7,6 +7,7 @@ type config = {
   workers : int;
   queue_cap : int;
   cache_path : string option;
+  cache_ns : string option;
   domains : int;
   handle_signals : bool;
   verbose : bool;
@@ -14,8 +15,8 @@ type config = {
 }
 
 let default_config addr =
-  { addr; workers = 2; queue_cap = 64; cache_path = None; domains = 1;
-    handle_signals = true; verbose = false; metrics = false }
+  { addr; workers = 2; queue_cap = 64; cache_path = None; cache_ns = None;
+    domains = 1; handle_signals = true; verbose = false; metrics = false }
 
 (* --- connections ---
 
@@ -60,11 +61,22 @@ let job_done c =
 
 (* --- shared server state --- *)
 
+(* One live batch request: every item job holds its index and this
+   shared record; whoever answers the last item also sends the closing
+   [Batch_done] frame (and releases the extra outstanding slot the
+   summary frame reserved on the connection). *)
+type batch_state = {
+  bt_items : int;
+  bt_remaining : int Atomic.t;
+  bt_errors : int Atomic.t;
+}
+
 type job = {
   j_conn : conn;
   j_id : int;          (* wire request id, connection-scoped *)
   j_query : Wire.query;
   j_enqueued : float;
+  j_batch : (int * batch_state) option;   (* item index within a batch *)
 }
 
 type state = {
@@ -100,7 +112,7 @@ type state = {
 let make_state cfg =
   { cfg;
     queue = Squeue.create ~cap:cfg.queue_cap;
-    cache = Cache.create ?path:cfg.cache_path ();
+    cache = Cache.create ?ns:cfg.cache_ns ?path:cfg.cache_path ();
     models = Hashtbl.create 16;
     models_mutex = Mutex.create ();
     cancelled = Hashtbl.create 16;
@@ -200,7 +212,33 @@ let respond_job state job resp =
   (match resp with
    | Wire.Error _ -> ()
    | _ -> Atomic.incr state.completed);
-  send job.j_conn (Wire.encode_response ~id:job.j_id resp);
+  (match job.j_batch with
+   | None -> send job.j_conn (Wire.encode_response ~id:job.j_id resp)
+   | Some (idx, bt) ->
+       let bi_resp =
+         match resp with
+         | Wire.Result r -> Ok r
+         | Wire.Error msg ->
+             Atomic.incr bt.bt_errors;
+             Stdlib.Error msg
+         | _ ->
+             Atomic.incr bt.bt_errors;
+             Stdlib.Error "internal: unexpected batch item response"
+       in
+       send job.j_conn
+         (Wire.encode_response ~id:job.j_id
+            (Wire.Batch_item { bi_item = idx; bi_resp }));
+       if Atomic.fetch_and_add bt.bt_remaining (-1) = 1 then begin
+         (* last item: close the stream; a lone daemon never degrades
+            (only the shard router retries across backends) *)
+         send job.j_conn
+           (Wire.encode_response ~id:job.j_id
+              (Wire.Batch_done
+                 { bd_items = bt.bt_items;
+                   bd_errors = Atomic.get bt.bt_errors;
+                   bd_degraded = false }));
+         job_done job.j_conn
+       end);
   clear_cancelled state job.j_conn job.j_id;
   job_done job.j_conn
 
@@ -236,7 +274,7 @@ let handle_job state pool job =
             (Wire.Result
                { Wire.r_eps = eps; r_digest = digest; r_cached = cached;
                  r_time_ms = dt *. 1e3; r_lp_solves = lp; r_lp_warm = warm;
-                 r_milp_solves = milp })
+                 r_milp_solves = milp; r_shard = None; r_degraded = false })
         in
         match if q.Wire.q_no_cache then None else Cache.find state.cache key with
         | Some eps -> finish ~cached:true ~lp:0 ~warm:0 ~milp:0 eps
@@ -365,7 +403,7 @@ let handle_frame state (c : conn) line =
         Mutex.unlock c.mutex;
         let job =
           { j_conn = c; j_id = id; j_query = q;
-            j_enqueued = Unix.gettimeofday () }
+            j_enqueued = Unix.gettimeofday (); j_batch = None }
         in
         match Squeue.try_push state.queue job with
         | `Ok -> ()
@@ -375,6 +413,42 @@ let handle_frame state (c : conn) line =
         | `Closed ->
             Atomic.incr state.errors;
             respond_job state job (Wire.Error "server is draining")
+      end
+  | Wire.Batch items ->
+      let n = List.length items in
+      ignore (Atomic.fetch_and_add state.received n);
+      if Atomic.get state.draining then
+        send c (Wire.encode_response ~id (Wire.Error "server is draining"))
+      else if n = 0 then
+        send c
+          (Wire.encode_response ~id
+             (Wire.Batch_done
+                { bd_items = 0; bd_errors = 0; bd_degraded = false }))
+      else begin
+        (* n item frames plus the closing summary frame *)
+        Mutex.lock c.mutex;
+        c.outstanding <- c.outstanding + n + 1;
+        Mutex.unlock c.mutex;
+        let bt =
+          { bt_items = n; bt_remaining = Atomic.make n;
+            bt_errors = Atomic.make 0 }
+        in
+        let now = Unix.gettimeofday () in
+        List.iteri
+          (fun idx q ->
+            let job =
+              { j_conn = c; j_id = id; j_query = q; j_enqueued = now;
+                j_batch = Some (idx, bt) }
+            in
+            match Squeue.try_push state.queue job with
+            | `Ok -> ()
+            | `Full ->
+                Atomic.incr state.errors;
+                respond_job state job (Wire.Error "queue full")
+            | `Closed ->
+                Atomic.incr state.errors;
+                respond_job state job (Wire.Error "server is draining"))
+          items
       end
   | Wire.Load text -> (
       match Nn.Io.of_string text with

@@ -7,6 +7,9 @@
       requests ([load], [stats], [cancel], [ping], [shutdown]) inline,
       and feeds [certify] requests into a bounded queue — a full queue
       is answered with an error, backpressure the client can see;
+      [batch] requests enqueue one job per item, and item results
+      stream back as tagged [Batch_item] frames in completion order,
+      closed by a [Batch_done] summary once every item has answered;
     - {e worker domains} pop requests, answer them from the
       content-addressed result cache when possible, and otherwise run
       {!Cert.Certifier.certify}, each worker keeping one
@@ -35,6 +38,9 @@ type config = {
   workers : int;               (** worker domains (>= 1) *)
   queue_cap : int;             (** bounded request queue length *)
   cache_path : string option;  (** result-cache persistence file *)
+  cache_ns : string option;    (** result-cache key namespace; set a
+                                   distinct one per shard when daemons
+                                   share a persistence file *)
   domains : int;               (** OCaml domains {e per worker} handed to
                                    the certifier; keep at 1 unless workers
                                    are few and requests huge *)
@@ -47,9 +53,14 @@ type config = {
 }
 
 val default_config : addr -> config
-(** 2 workers, queue of 64, no persistence, 1 domain, signals on,
-    quiet, no metrics. *)
+(** 2 workers, queue of 64, no persistence, no cache namespace,
+    1 domain, signals on, quiet, no metrics. *)
 
 val run : config -> unit
 (** Serve until shutdown.  Blocks the calling thread; raises [Failure]
     if the socket cannot be bound. *)
+
+val listen_socket : addr -> Unix.file_descr
+(** Bind + listen on [addr] (unlinking a stale unix-socket path first);
+    shared with the shard router.  Raises [Failure] when the address
+    cannot be bound. *)

@@ -21,6 +21,7 @@ let default_query =
 
 type request =
   | Certify of query
+  | Batch of query list
   | Load of string
   | Stats
   | Cancel of int
@@ -35,10 +36,14 @@ type result = {
   r_lp_solves : int;
   r_lp_warm : int;
   r_milp_solves : int;
+  r_shard : int option;
+  r_degraded : bool;
 }
 
 type response =
   | Result of result
+  | Batch_item of { bi_item : int; bi_resp : (result, string) Stdlib.result }
+  | Batch_done of { bd_items : int; bd_errors : int; bd_degraded : bool }
   | Loaded of { digest : string; params : int; layers : int }
   | Stats_payload of Json.t
   | Ack
@@ -81,6 +86,10 @@ let encode_request ~id req =
   let fields =
     match req with
     | Certify q -> ("op", Json.Str "certify") :: query_fields q
+    | Batch items ->
+        [ ("op", Json.Str "batch");
+          ("items",
+           Json.List (List.map (fun q -> Json.Obj (query_fields q)) items)) ]
     | Load net -> [ ("op", Json.Str "load"); ("net", Json.Str net) ]
     | Stats -> [ ("op", Json.Str "stats") ]
     | Cancel target ->
@@ -157,6 +166,17 @@ let decode_request v =
   let req =
     match Json.mem_str "op" v with
     | Some "certify" -> Certify (decode_query v)
+    | Some "batch" -> (
+        match Json.mem_list "items" v with
+        | Some items ->
+            Batch
+              (List.map
+                 (fun item ->
+                   match item with
+                   | Json.Obj _ -> decode_query item
+                   | _ -> failwith "Serve.Wire: batch item is not an object")
+                 items)
+        | None -> failwith "Serve.Wire: batch without items list")
     | Some "load" ->
         Load (get ~what:"net" "load" (Json.mem_str "net" v))
     | Some "stats" -> Stats
@@ -171,20 +191,41 @@ let decode_request v =
 
 (* --- responses --- *)
 
+(* [r_shard]/[r_degraded] are router annotations: emitted only when
+   set, so a daemon's frames are byte-identical to the legacy
+   protocol and old clients simply ignore them. *)
+let result_fields r =
+  [ ("ok", Json.Bool true);
+    ("eps",
+     Json.List (Array.to_list (Array.map (fun e -> Json.Num e) r.r_eps)));
+    ("digest", Json.Str r.r_digest);
+    ("cached", Json.Bool r.r_cached);
+    ("time_ms", Json.Num r.r_time_ms);
+    ("lp_solves", Json.Num (float_of_int r.r_lp_solves));
+    ("lp_warm", Json.Num (float_of_int r.r_lp_warm));
+    ("milp_solves", Json.Num (float_of_int r.r_milp_solves)) ]
+  @ (match r.r_shard with
+     | Some s -> [ ("shard", Json.Num (float_of_int s)) ]
+     | None -> [])
+  @ if r.r_degraded then [ ("degraded", Json.Bool true) ] else []
+
 let encode_response ~id resp =
   let fields =
     match resp with
-    | Result r ->
-        [ ("ok", Json.Bool true);
-          ("eps",
-           Json.List
-             (Array.to_list (Array.map (fun e -> Json.Num e) r.r_eps)));
-          ("digest", Json.Str r.r_digest);
-          ("cached", Json.Bool r.r_cached);
-          ("time_ms", Json.Num r.r_time_ms);
-          ("lp_solves", Json.Num (float_of_int r.r_lp_solves));
-          ("lp_warm", Json.Num (float_of_int r.r_lp_warm));
-          ("milp_solves", Json.Num (float_of_int r.r_milp_solves)) ]
+    | Result r -> result_fields r
+    | Batch_item { bi_item; bi_resp } ->
+        ("item", Json.Num (float_of_int bi_item))
+        ::
+        (match bi_resp with
+         | Ok r -> result_fields r
+         | Stdlib.Error msg ->
+             [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+    | Batch_done { bd_items; bd_errors; bd_degraded } ->
+        [ ("done", Json.Bool true);
+          ("ok", Json.Bool true);
+          ("items", Json.Num (float_of_int bd_items));
+          ("errors", Json.Num (float_of_int bd_errors));
+          ("degraded", Json.Bool bd_degraded) ]
     | Loaded { digest; params; layers } ->
         [ ("ok", Json.Bool true);
           ("digest", Json.Str digest);
@@ -197,53 +238,82 @@ let encode_response ~id resp =
   in
   Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: fields))
 
+let decode_result v =
+  match Json.member "eps" v with
+  | None -> failwith "Serve.Wire: result without eps"
+  | Some eps ->
+      let eps =
+        match Json.to_list eps with
+        | Some vs ->
+            Array.of_list
+              (List.map
+                 (fun j -> get ~what:"eps entry" "result" (Json.to_num j))
+                 vs)
+        | None -> failwith "Serve.Wire: result eps is not a list"
+      in
+      { r_eps = eps;
+        r_digest = Option.value ~default:"" (Json.mem_str "digest" v);
+        r_cached = Option.value ~default:false (Json.mem_bool "cached" v);
+        r_time_ms = Option.value ~default:0.0 (Json.mem_num "time_ms" v);
+        r_lp_solves = Option.value ~default:0 (Json.mem_int "lp_solves" v);
+        r_lp_warm = Option.value ~default:0 (Json.mem_int "lp_warm" v);
+        r_milp_solves =
+          Option.value ~default:0 (Json.mem_int "milp_solves" v);
+        r_shard = Json.mem_int "shard" v;
+        r_degraded =
+          Option.value ~default:false (Json.mem_bool "degraded" v) }
+
 let decode_response v =
   let id =
     match Json.mem_int "id" v with
     | Some id -> id
     | None -> failwith "Serve.Wire: response without integer id"
   in
-  let resp =
+  let ok () =
     match Json.mem_bool "ok" v with
-    | Some false ->
-        Error
-          (Option.value ~default:"unknown error" (Json.mem_str "error" v))
-    | Some true -> (
-        match (Json.member "eps" v, Json.member "stats" v,
-               Json.member "params" v) with
-        | Some eps, _, _ ->
-            let eps =
-              match Json.to_list eps with
-              | Some vs ->
-                  Array.of_list
-                    (List.map
-                       (fun j -> get ~what:"eps entry" "result" (Json.to_num j))
-                       vs)
-              | None -> failwith "Serve.Wire: result eps is not a list"
-            in
-            Result
-              { r_eps = eps;
-                r_digest =
-                  Option.value ~default:"" (Json.mem_str "digest" v);
-                r_cached =
-                  Option.value ~default:false (Json.mem_bool "cached" v);
-                r_time_ms =
-                  Option.value ~default:0.0 (Json.mem_num "time_ms" v);
-                r_lp_solves =
-                  Option.value ~default:0 (Json.mem_int "lp_solves" v);
-                r_lp_warm =
-                  Option.value ~default:0 (Json.mem_int "lp_warm" v);
-                r_milp_solves =
-                  Option.value ~default:0 (Json.mem_int "milp_solves" v) }
-        | None, Some stats, _ -> Stats_payload stats
-        | None, None, Some _ ->
-            Loaded
-              { digest = get ~what:"digest" "loaded" (Json.mem_str "digest" v);
-                params = get ~what:"params" "loaded" (Json.mem_int "params" v);
-                layers =
-                  Option.value ~default:0 (Json.mem_int "layers" v) }
-        | None, None, None -> Ack)
+    | Some b -> b
     | None -> failwith "Serve.Wire: response without ok"
+  in
+  let resp =
+    (* batch stream frames are discriminated first: an item frame may
+       carry [ok = false] (a per-item failure), which must not decode
+       as a whole-request [Error] *)
+    match (Json.member "item" v, Json.member "done" v) with
+    | Some _, _ ->
+        let bi_item = get ~what:"item" "batch item" (Json.mem_int "item" v) in
+        let bi_resp =
+          if ok () then Ok (decode_result v)
+          else
+            Stdlib.Error
+              (Option.value ~default:"unknown error" (Json.mem_str "error" v))
+        in
+        Batch_item { bi_item; bi_resp }
+    | None, Some _ ->
+        if not (ok ()) then
+          failwith "Serve.Wire: batch done frame with ok = false";
+        Batch_done
+          { bd_items = get ~what:"items" "batch done" (Json.mem_int "items" v);
+            bd_errors =
+              Option.value ~default:0 (Json.mem_int "errors" v);
+            bd_degraded =
+              Option.value ~default:false (Json.mem_bool "degraded" v) }
+    | None, None -> (
+        if not (ok ()) then
+          Error
+            (Option.value ~default:"unknown error" (Json.mem_str "error" v))
+        else
+          match (Json.member "eps" v, Json.member "stats" v,
+                 Json.member "params" v) with
+          | Some _, _, _ -> Result (decode_result v)
+          | None, Some stats, _ -> Stats_payload stats
+          | None, None, Some _ ->
+              Loaded
+                { digest =
+                    get ~what:"digest" "loaded" (Json.mem_str "digest" v);
+                  params =
+                    get ~what:"params" "loaded" (Json.mem_int "params" v);
+                  layers = Option.value ~default:0 (Json.mem_int "layers" v) }
+          | None, None, None -> Ack)
   in
   (id, resp)
 

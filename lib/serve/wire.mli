@@ -10,6 +10,12 @@
     Requests:
     - [certify]: certify a network (inline text, or by digest of a
       previously loaded one) over a uniform input box;
+    - [batch]: N certify queries in one request.  The response is a
+      {e stream} of frames sharing the request id: one tagged
+      [Batch_item] frame per query, in completion order (tags, not
+      positions, identify the query), closed by a single [Batch_done]
+      summary frame — so a client watching the connection sees results
+      as they land;
     - [load]: register a network under its content digest and return
       the digest, so subsequent queries ship ~30 bytes instead of the
       whole model;
@@ -52,6 +58,7 @@ val default_query : query
 
 type request =
   | Certify of query
+  | Batch of query list       (** N queries, streamed tagged responses *)
   | Load of string            (** canonical network text *)
   | Stats
   | Cancel of int             (** id of the request to cancel *)
@@ -66,10 +73,25 @@ type result = {
   r_lp_solves : int;
   r_lp_warm : int;
   r_milp_solves : int;
+  r_shard : int option;
+      (** router annotation: index of the backend that answered; daemons
+          leave it [None] and the field off the wire, keeping their
+          frames byte-identical to the legacy protocol *)
+  r_degraded : bool;
+      (** router annotation: the answer was produced by a retry on
+          another shard after a backend died; emitted only when true *)
 }
 
 type response =
   | Result of result          (** a [Certify] answer *)
+  | Batch_item of { bi_item : int; bi_resp : (result, string) Stdlib.result }
+      (** one streamed [Batch] answer, tagged with the 0-based position
+          of its query in the request; item frames arrive in completion
+          order *)
+  | Batch_done of { bd_items : int; bd_errors : int; bd_degraded : bool }
+      (** closes a [Batch] stream: every item frame has been sent;
+          [bd_degraded] is set when any item needed a retry on another
+          shard *)
   | Loaded of { digest : string; params : int; layers : int }
   | Stats_payload of Json.t   (** structured stats, schema-free *)
   | Ack                       (** cancel / ping / shutdown *)

@@ -198,7 +198,124 @@ if [ -S "$sock" ]; then
   exit 1
 fi
 
-echo "== serve-bench (daemon vs one-shot; writes BENCH_serve.json) =="
+echo "== 2-shard router: parity sweep, failover, SIGTERM drain =="
+s0="_build/grc-shard0.sock"
+s1="_build/grc-shard1.sock"
+front="_build/grc-front.sock"
+shcache="_build/grc-shard-cache.txt"
+rm -f "$s0" "$s1" "$front" "$shcache"
+# two daemons sharing one cache file, kept honest by per-shard namespaces
+"$grc" serve --socket "$s0" --workers 1 --cache "$shcache" --cache-ns shard0 &
+d0_pid=$!
+"$grc" serve --socket "$s1" --workers 1 --cache "$shcache" --cache-ns shard1 &
+d1_pid=$!
+router_pid=""
+cleanup_shards() {
+  kill "$d0_pid" "$d1_pid" 2>/dev/null || true
+  [ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null || true
+}
+trap cleanup_shards EXIT
+for sock_i in "$s0" "$s1"; do
+  i=0
+  until "$grc" submit --socket "$sock_i" --ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "shard daemon $sock_i did not come up" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+"$grc" shard --socket "$front" --backend "$s0" --backend "$s1" &
+router_pid=$!
+i=0
+until "$grc" submit --socket "$front" --ping >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "shard router did not come up" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+# a sweep through the router must be bitwise one-shot certify, cell by cell
+"$grc" sweep --socket "$front" --timeout-s 120 \
+  --net _build/lint-artifacts/lint-ci.net \
+  --deltas 0.001,0.002 --regions 0:0.5,0:1 \
+  --json _build/sweep-ci.json >_build/sweep-ci.tsv
+while IFS="$(printf '\t')" read -r delta lo hi shard degraded cached eps; do
+  case "$delta" in \#*) continue ;; esac
+  want=$("$grc" certify --net _build/lint-artifacts/lint-ci.net \
+    --delta "$delta" --lo "$lo" --hi "$hi" \
+    | sed -n 's/^output [0-9]*: eps <= //p' | tr '\n' ',' | sed 's/,$//')
+  if [ "$eps" != "$want" ]; then
+    echo "sweep cell (delta=$delta lo=$lo hi=$hi) drifted from one-shot:" >&2
+    echo "  sweep:    $eps" >&2
+    echo "  one-shot: $want" >&2
+    exit 1
+  fi
+done <_build/sweep-ci.tsv
+grep -qv '^#' _build/sweep-ci.tsv || {
+  echo "sweep produced no cells" >&2
+  exit 1
+}
+# both shards must have taken cells (column 4 of the data rows)
+shards_used=$(awk -F'\t' '!/^#/ { print $4 }' _build/sweep-ci.tsv \
+  | sort -u | tr '\n' ' ')
+if [ "$shards_used" != "0 1 " ]; then
+  echo "sweep did not spread across both shards (used: $shards_used)" >&2
+  exit 1
+fi
+# failover: freeze shard1 so its cells stay in flight, then kill it
+# mid-sweep; every cell must still answer (retried on shard0) and the
+# sweep must report degradation.  The sweep reuses the digest from the
+# parity run rather than --net: a load would fan out to the frozen
+# shard and block the client before any certify item is in flight.
+sweep_digest=$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' _build/sweep-ci.json)
+if [ -z "$sweep_digest" ]; then
+  echo "could not extract digest from _build/sweep-ci.json" >&2
+  exit 1
+fi
+kill -STOP "$d1_pid"
+"$grc" sweep --socket "$front" --timeout-s 120 \
+  --digest "$sweep_digest" \
+  --deltas 0.001,0.002 --regions 0:0.5,0:1 \
+  --json _build/sweep-failover.json >_build/sweep-failover.tsv &
+sweep_pid=$!
+sleep 1
+kill -KILL "$d1_pid" 2>/dev/null || true
+if ! wait "$sweep_pid"; then
+  echo "failover sweep lost cells" >&2
+  exit 1
+fi
+grep -q '"degraded":true' _build/sweep-failover.json || {
+  echo "failover sweep did not report degradation" >&2
+  exit 1
+}
+# answers must be identical to the healthy sweep despite the retries
+healthy=$(awk -F'\t' '!/^#/ { print $1, $2, $3, $7 }' _build/sweep-ci.tsv)
+failover=$(awk -F'\t' '!/^#/ { print $1, $2, $3, $7 }' _build/sweep-failover.tsv)
+if [ "$healthy" != "$failover" ]; then
+  echo "failover sweep drifted from the healthy sweep:" >&2
+  echo "  healthy:  $healthy" >&2
+  echo "  failover: $failover" >&2
+  exit 1
+fi
+# the router drains cleanly on SIGTERM and removes its socket
+kill -TERM "$router_pid"
+wait "$router_pid" || {
+  echo "router did not drain cleanly on SIGTERM" >&2
+  exit 1
+}
+router_pid=""
+if [ -S "$front" ]; then
+  echo "router left its socket behind" >&2
+  exit 1
+fi
+"$grc" submit --socket "$s0" --shutdown >/dev/null
+wait "$d0_pid"
+trap - EXIT
+
+echo "== serve-bench (daemon vs one-shot + shard scaling; writes BENCH_serve.json) =="
 dune exec bench/main.exe -- serve-bench
 test -s BENCH_serve.json
 

@@ -94,6 +94,12 @@ let test_wire_request_roundtrip () =
       Wire.Certify
         { Wire.default_query with
           Wire.q_digest = Some "ff"; q_refine = Cert.Refine.Fraction 0.5 };
+      Wire.Batch [];
+      Wire.Batch
+        [ sample_query;
+          { Wire.default_query with Wire.q_digest = Some "abcd" };
+          { Wire.default_query with
+            Wire.q_net = Some "grc-net 1\nlayers 0\n"; q_delta = 0.5 } ];
       Wire.Load "grc-net 1\nlayers 0\n"; Wire.Stats; Wire.Cancel 42;
       Wire.Ping; Wire.Shutdown ]
   in
@@ -112,10 +118,26 @@ let test_wire_response_roundtrip () =
     [ Wire.Result
         { Wire.r_eps = [| 0.125; 1.0 /. 3.0 |]; r_digest = "d";
           r_cached = true; r_time_ms = 1.5; r_lp_solves = 7; r_lp_warm = 3;
-          r_milp_solves = 2 };
+          r_milp_solves = 2; r_shard = None; r_degraded = false };
+      Wire.Result
+        (* router annotations survive a roundtrip *)
+        { Wire.r_eps = [| 0.5 |]; r_digest = "d"; r_cached = false;
+          r_time_ms = 0.5; r_lp_solves = 1; r_lp_warm = 0; r_milp_solves = 0;
+          r_shard = Some 3; r_degraded = true };
       Wire.Loaded { digest = "abc"; params = 10; layers = 2 };
       Wire.Stats_payload (Json.Obj [ ("x", Json.Num 1.0) ]);
-      Wire.Ack; Wire.Error "boom" ]
+      Wire.Ack; Wire.Error "boom";
+      Wire.Batch_item
+        { bi_item = 2;
+          bi_resp =
+            Ok
+              { Wire.r_eps = [| 1.0 /. 7.0 |]; r_digest = "d";
+                r_cached = true; r_time_ms = 0.25; r_lp_solves = 0;
+                r_lp_warm = 0; r_milp_solves = 0; r_shard = Some 1;
+                r_degraded = false } };
+      Wire.Batch_item { bi_item = 0; bi_resp = Stdlib.Error "queue full" };
+      Wire.Batch_done { bd_items = 3; bd_errors = 1; bd_degraded = true };
+      Wire.Batch_done { bd_items = 0; bd_errors = 0; bd_degraded = false } ]
   in
   List.iteri
     (fun i resp ->
@@ -132,7 +154,8 @@ let test_wire_eps_bitwise () =
   let eps = [| 1.0 /. 3.0; Float.succ 0.1; 4.9e-324; 0.0 |] in
   let r =
     { Wire.r_eps = eps; r_digest = ""; r_cached = false; r_time_ms = 0.0;
-      r_lp_solves = 0; r_lp_warm = 0; r_milp_solves = 0 }
+      r_lp_solves = 0; r_lp_warm = 0; r_milp_solves = 0; r_shard = None;
+      r_degraded = false }
   in
   match
     Wire.decode_response
@@ -185,7 +208,21 @@ let valid_frames =
       (Wire.Result
          { Wire.r_eps = [| 0.5 |]; r_digest = "d"; r_cached = false;
            r_time_ms = 1.0; r_lp_solves = 1; r_lp_warm = 0;
-           r_milp_solves = 0 }) ]
+           r_milp_solves = 0; r_shard = None; r_degraded = false });
+    Wire.encode_request ~id:5
+      (Wire.Batch [ sample_query; Wire.default_query ]);
+    Wire.encode_response ~id:6
+      (Wire.Batch_item
+         { bi_item = 1;
+           bi_resp =
+             Ok
+               { Wire.r_eps = [| 0.25 |]; r_digest = "d"; r_cached = false;
+                 r_time_ms = 1.0; r_lp_solves = 1; r_lp_warm = 0;
+                 r_milp_solves = 0; r_shard = Some 1; r_degraded = true } });
+    Wire.encode_response ~id:6
+      (Wire.Batch_item { bi_item = 0; bi_resp = Stdlib.Error "boom" });
+    Wire.encode_response ~id:6
+      (Wire.Batch_done { bd_items = 2; bd_errors = 1; bd_degraded = true }) ]
 
 let mutated_frame_gen =
   QCheck.Gen.(
@@ -393,6 +430,32 @@ let test_cache_persistence () =
       Alcotest.(check int) "misses" 1 ctr.Serve.Cache.misses;
       Serve.Cache.close c2)
 
+let test_cache_namespace () =
+  (* two namespaced caches over one persistence file never serve each
+     other's entries — this is what keeps per-shard caches honest when
+     daemons share a file *)
+  let path = Filename.temp_file "grc-cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let a = Serve.Cache.create ~ns:"shard0" ~path () in
+      Serve.Cache.add a "k" [| 0.25 |];
+      Serve.Cache.close a;
+      let b = Serve.Cache.create ~ns:"shard1" ~path () in
+      Alcotest.(check bool) "other namespace misses" true
+        (Serve.Cache.find b "k" = None);
+      Serve.Cache.add b "k" [| 0.5 |];
+      Serve.Cache.close b;
+      let a2 = Serve.Cache.create ~ns:"shard0" ~path () in
+      (match Serve.Cache.find a2 "k" with
+       | Some eps -> Alcotest.(check (float 0.0)) "own entry" 0.25 eps.(0)
+       | None -> Alcotest.fail "own entry lost");
+      Serve.Cache.close a2;
+      let plain = Serve.Cache.create ~path () in
+      Alcotest.(check bool) "unnamespaced misses both" true
+        (Serve.Cache.find plain "k" = None);
+      Serve.Cache.close plain)
+
 (* --- daemon end to end --- *)
 
 (* a unix socket path under the system tmpdir (sun_path is short) *)
@@ -405,8 +468,8 @@ let with_server ?cache_path ?(workers = 1) ?(queue_cap = 8) f =
   let sock = fresh_sock () in
   let addr = Serve.Server.Unix_path sock in
   let config =
-    { Serve.Server.addr; workers; queue_cap; cache_path; domains = 1;
-      handle_signals = false; verbose = false; metrics = true }
+    { Serve.Server.addr; workers; queue_cap; cache_path; cache_ns = None;
+      domains = 1; handle_signals = false; verbose = false; metrics = true }
   in
   let srv = Domain.spawn (fun () -> Serve.Server.run config) in
   let finish () = Domain.join srv in
@@ -581,6 +644,129 @@ let test_e2e_graceful_shutdown () =
           Alcotest.fail "daemon still accepting after drain"
       | exception Failure _ -> ())
 
+(* --- client robustness against a hostile/wedged server --- *)
+
+(* A bare socket speaking whatever [handler] writes — for exercising
+   the client against servers that stall or answer garbage. *)
+let with_mock_server handler f =
+  let sock = fresh_sock () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 4;
+  let srv =
+    Domain.spawn (fun () ->
+        match Unix.accept fd with
+        | cfd, _ ->
+            (try handler cfd with _ -> ());
+            (try Unix.close cfd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join srv;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f (Serve.Server.Unix_path sock))
+
+let drain_until_eof cfd =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read cfd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let test_client_timeout () =
+  (* a server that accepts and then never answers must produce a
+     structured [Timeout], not a hang (this used to block forever) *)
+  with_mock_server drain_until_eof (fun addr ->
+      let c = Serve.Client.connect ~timeout_s:0.3 addr in
+      let t0 = Unix.gettimeofday () in
+      (match Serve.Client.rpc c Wire.Ping with
+       | _ -> Alcotest.fail "wedged server produced a response"
+       | exception Serve.Client.Timeout _ -> ()
+       | exception Failure _ -> Alcotest.fail "expected Timeout, got Failure");
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "timed out promptly" true (dt < 5.0);
+      (* the timeout is adjustable and clearable *)
+      Serve.Client.set_timeout c (Some 0.1);
+      (match Serve.Client.rpc c Wire.Ping with
+       | _ -> Alcotest.fail "still wedged"
+       | exception Serve.Client.Timeout _ -> ());
+      (match Serve.Client.set_timeout c (Some 0.0) with
+       | () -> Alcotest.fail "zero timeout accepted"
+       | exception Invalid_argument _ -> ());
+      Serve.Client.close c)
+
+let test_client_batch_bad_tag () =
+  (* an out-of-range item tag is a protocol error, not a crash or an
+     out-of-bounds write *)
+  with_mock_server
+    (fun cfd ->
+      let buf = Buffer.create 256 in
+      ignore (Wire.read_frame buf cfd);
+      Wire.write_frame cfd
+        (Wire.encode_response ~id:1
+           (Wire.Batch_item { bi_item = 99; bi_resp = Stdlib.Error "x" }));
+      drain_until_eof cfd)
+    (fun addr ->
+      let c = Serve.Client.connect ~timeout_s:5.0 addr in
+      (match
+         Serve.Client.certify_batch c
+           [| Wire.default_query; Wire.default_query |]
+       with
+       | _ -> Alcotest.fail "bad tag accepted"
+       | exception Failure _ -> ());
+      Serve.Client.close c)
+
+let test_e2e_batch () =
+  let net = test_net () in
+  let deltas = [| 0.01; 0.02; 0.03 |] in
+  let oneshot =
+    Array.map
+      (fun delta ->
+        (Cert.Certifier.certify_box net ~lo:0.0 ~hi:1.0 ~delta)
+          .Cert.Certifier.eps)
+      deltas
+  in
+  with_server ~workers:2 (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      let queries =
+        Array.append
+          (Array.map (fun delta -> certify_query ~net ~delta ()) deltas)
+          (* one bad item: errors are per-item, the stream still closes *)
+          [| { Wire.default_query with Wire.q_digest = Some "nope" } |]
+      in
+      let seen = ref [] in
+      let results, degraded =
+        Serve.Client.certify_batch c
+          ~on_item:(fun i _ -> seen := i :: !seen)
+          queries
+      in
+      Alcotest.(check int) "all items streamed" 4 (List.length !seen);
+      Alcotest.(check bool) "tags cover the batch" true
+        (List.sort compare !seen = [ 0; 1; 2; 3 ]);
+      Alcotest.(check bool) "lone daemon never degrades" false degraded;
+      Array.iteri
+        (fun i _ ->
+          match results.(i) with
+          | Ok r -> check_bits (Printf.sprintf "item %d" i) oneshot.(i)
+                      r.Wire.r_eps
+          | Error msg -> Alcotest.failf "item %d failed: %s" i msg)
+        deltas;
+      (match results.(3) with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "unknown digest item should error");
+      (* an empty batch closes immediately *)
+      let empty, deg = Serve.Client.certify_batch c [||] in
+      Alcotest.(check int) "empty batch" 0 (Array.length empty);
+      Alcotest.(check bool) "empty not degraded" false deg;
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ())
+
 let suites =
   [ ( "serve:json",
       [ Alcotest.test_case "atoms" `Quick test_json_atoms;
@@ -602,11 +788,18 @@ let suites =
         Alcotest.test_case "squeue threads" `Quick test_squeue_threads;
         Alcotest.test_case "histogram" `Quick test_hist;
         Alcotest.test_case "cache key" `Quick test_cache_key_discriminates;
-        Alcotest.test_case "cache persistence" `Quick test_cache_persistence
+        Alcotest.test_case "cache persistence" `Quick test_cache_persistence;
+        Alcotest.test_case "cache namespaces" `Quick test_cache_namespace
+      ] );
+    ( "serve:client",
+      [ Alcotest.test_case "timeout on wedged server" `Quick
+          test_client_timeout;
+        Alcotest.test_case "batch bad tag" `Quick test_client_batch_bad_tag
       ] );
     ( "serve:daemon",
       [ Alcotest.test_case "bitwise vs one-shot" `Quick
           test_e2e_bitwise_and_cache;
+        Alcotest.test_case "batch streaming" `Quick test_e2e_batch;
         Alcotest.test_case "persistence restart" `Quick
           test_e2e_persistence_restart;
         Alcotest.test_case "deadline expiry" `Quick test_e2e_deadline;
