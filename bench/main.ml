@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- fig4 | table1-small [--no-exact]
        | table1-large | case-study | fgsm-sweep | ablation-itne
        | ablation-refine | ablation-window | micro | lp-bench
-       | serve-bench | obs-bench *)
+       | serve-bench | train-bench | obs-bench *)
 
 let fmt = Format.std_formatter
 
@@ -1237,6 +1237,196 @@ let run_obs_bench () =
          "disabled-tracing overhead %.2f%% exceeds the 5%% gate"
          (overhead_frac *. 100.0))
 
+(* Certifier-in-the-loop robust training on the camera/ACC case study:
+   fine-tune the cached camera net against the differentiable interval
+   twin-distance surrogate, re-certifying through the batched service
+   after every epoch (digest-addressed queries, one batch request per
+   epoch).  Emits BENCH_train.json.
+
+   Gates (exit nonzero on violation):
+   - final certified eps <= initial certified eps;
+   - a majority of the per-epoch eps steps are non-increasing (the
+     trend is monotone, not one lucky endpoint);
+   - accuracy matched within +/- 1% of the baseline net;
+   - the unchanged-net re-check is answered entirely from the result
+     cache (nonzero hits, every cell cached);
+   - no epoch fell back to degraded per-query round-trips. *)
+let run_train_bench () =
+  header "train-bench: robust fine-tuning with per-epoch re-certification";
+  let trained = camera_trained () in
+  Format.fprintf fmt "camera net: %s (test mse %.5f)@."
+    (Nn.Network.describe trained.Exp.Models.net)
+    trained.Exp.Models.test_metric;
+  Format.print_flush ();
+  let train, test, loss =
+    Exp.Train_robust.family_data
+      (Exp.Train_robust.Camera { h = 12; w = 24 })
+  in
+  let delta = 2.0 /. 255.0 in
+  let config =
+    { Exp.Train_robust.default_config with
+      Exp.Train_robust.loss;
+      optimizer = Nn.Train.adam ~lr:2e-5 ();
+      epochs = 4; batch_size = 16; lambda = 5e-3; delta;
+      lo = 0.0; hi = 1.0; grid = []; window = 2 }
+  in
+  let net = trained.Exp.Models.net in
+  let eps_max e = Array.fold_left Float.max 0.0 e in
+  let on_epoch (r : Exp.Train_robust.epoch_record) _ =
+    match r.Exp.Train_robust.recert with
+    | Some rc ->
+        Format.fprintf fmt
+          "epoch %d: train %.5f test %.5f acc %.3f surrogate %.4g | eps \
+           %.6f cache %d/%d %.2fs (%.1f cells/s)%s@."
+          r.Exp.Train_robust.epoch r.Exp.Train_robust.train_loss
+          r.Exp.Train_robust.metric r.Exp.Train_robust.accuracy
+          r.Exp.Train_robust.surrogate
+          (eps_max rc.Exp.Train_robust.rc_eps)
+          rc.Exp.Train_robust.rc_cache_hits rc.Exp.Train_robust.rc_cells
+          rc.Exp.Train_robust.rc_wall rc.Exp.Train_robust.rc_throughput
+          (if rc.Exp.Train_robust.rc_degraded then " DEGRADED" else "")
+    | None ->
+        Format.fprintf fmt "epoch %d: train %.5f acc %.3f@."
+          r.Exp.Train_robust.epoch r.Exp.Train_robust.train_loss
+          r.Exp.Train_robust.accuracy
+  in
+  let records, recheck =
+    Exp.Train_robust.with_local_service ~workers:2 (fun client ->
+        let records =
+          Exp.Train_robust.run ~client ~on_epoch config net ~train ~test
+        in
+        let recheck =
+          Exp.Train_robust.recertify client ~window:config.window
+            ~lo:config.lo ~hi:config.hi ~deltas:[| delta |] ~target:delta
+            net
+        in
+        (records, recheck))
+  in
+  let eps_of (r : Exp.Train_robust.epoch_record) =
+    match r.Exp.Train_robust.recert with
+    | Some rc -> eps_max rc.Exp.Train_robust.rc_eps
+    | None -> nan
+  in
+  let traj = List.map eps_of records in
+  let first = List.hd records in
+  let last = List.nth records (List.length records - 1) in
+  let eps_init = eps_of first and eps_fin = eps_of last in
+  let acc_init = first.Exp.Train_robust.accuracy
+  and acc_fin = last.Exp.Train_robust.accuracy in
+  let steps = List.length traj - 1 in
+  let non_increasing =
+    let rec count = function
+      | a :: (b :: _ as rest) ->
+          (if b <= a +. 1e-12 then 1 else 0) + count rest
+      | _ -> 0
+    in
+    count traj
+  in
+  let degraded =
+    List.exists
+      (fun (r : Exp.Train_robust.epoch_record) ->
+        match r.Exp.Train_robust.recert with
+        | Some rc -> rc.Exp.Train_robust.rc_degraded
+        | None -> false)
+      records
+  in
+  let recheck_full =
+    recheck.Exp.Train_robust.rc_cache_hits > 0
+    && recheck.Exp.Train_robust.rc_cache_hits
+       = recheck.Exp.Train_robust.rc_cells
+  in
+  let gate_failures = ref [] in
+  if not (eps_fin <= eps_init) then
+    gate_failures :=
+      Printf.sprintf "final eps %.6f > initial eps %.6f" eps_fin eps_init
+      :: !gate_failures;
+  if 2 * non_increasing < steps then
+    gate_failures :=
+      Printf.sprintf "only %d/%d eps steps non-increasing" non_increasing
+        steps
+      :: !gate_failures;
+  if Float.abs (acc_fin -. acc_init) > 0.01 +. 1e-9 then
+    gate_failures :=
+      Printf.sprintf "accuracy moved %.4f -> %.4f (> 1%%)" acc_init acc_fin
+      :: !gate_failures;
+  if not recheck_full then
+    gate_failures :=
+      Printf.sprintf "unchanged-net recheck hit the cache on %d/%d cells"
+        recheck.Exp.Train_robust.rc_cache_hits
+        recheck.Exp.Train_robust.rc_cells
+      :: !gate_failures;
+  if degraded then
+    gate_failures :=
+      "an epoch re-certification degraded to per-query round-trips"
+      :: !gate_failures;
+  Format.fprintf fmt
+    "eps %.6f -> %.6f (%d/%d steps non-increasing); acc %.3f -> %.3f; \
+     recheck cache hits %d/%d@."
+    eps_init eps_fin non_increasing steps acc_init acc_fin
+    recheck.Exp.Train_robust.rc_cache_hits
+    recheck.Exp.Train_robust.rc_cells;
+  let record_json (r : Exp.Train_robust.epoch_record) =
+    let base =
+      [ ("epoch", Serve.Json.Num (float_of_int r.Exp.Train_robust.epoch));
+        ("train_loss", Serve.Json.Num r.Exp.Train_robust.train_loss);
+        ("test_loss", Serve.Json.Num r.Exp.Train_robust.metric);
+        ("accuracy", Serve.Json.Num r.Exp.Train_robust.accuracy);
+        ("surrogate", Serve.Json.Num r.Exp.Train_robust.surrogate) ]
+    in
+    let rc =
+      match r.Exp.Train_robust.recert with
+      | None -> []
+      | Some rc ->
+          [ ("digest", Serve.Json.Str rc.Exp.Train_robust.rc_digest);
+            ("certified_eps", Serve.Json.Num (eps_max rc.Exp.Train_robust.rc_eps));
+            ("cells", Serve.Json.Num (float_of_int rc.Exp.Train_robust.rc_cells));
+            ("cache_hits",
+             Serve.Json.Num (float_of_int rc.Exp.Train_robust.rc_cache_hits));
+            ("wall_s", Serve.Json.Num rc.Exp.Train_robust.rc_wall);
+            ("cells_per_s", Serve.Json.Num rc.Exp.Train_robust.rc_throughput);
+            ("degraded", Serve.Json.Bool rc.Exp.Train_robust.rc_degraded) ]
+    in
+    Serve.Json.Obj (base @ rc)
+  in
+  let oc = open_out "BENCH_train.json" in
+  output_string oc
+    (Serve.Json.to_string
+       (Serve.Json.Obj
+          [ ("id", Serve.Json.Str trained.Exp.Models.id);
+            ("delta", Serve.Json.Num delta);
+            ("lambda", Serve.Json.Num config.Exp.Train_robust.lambda);
+            ("epochs", Serve.Json.List (List.map record_json records));
+            ("train-bench",
+             Serve.Json.Obj
+               [ ("eps_initial", Serve.Json.Num eps_init);
+                 ("eps_final", Serve.Json.Num eps_fin);
+                 ("eps_trajectory",
+                  Serve.Json.List
+                    (List.map (fun e -> Serve.Json.Num e) traj));
+                 ("steps_non_increasing",
+                  Serve.Json.Num (float_of_int non_increasing));
+                 ("steps", Serve.Json.Num (float_of_int steps));
+                 ("accuracy_initial", Serve.Json.Num acc_init);
+                 ("accuracy_final", Serve.Json.Num acc_fin);
+                 ("accuracy_tolerance", Serve.Json.Num 0.01);
+                 ("recheck_cache_hits",
+                  Serve.Json.Num
+                    (float_of_int recheck.Exp.Train_robust.rc_cache_hits));
+                 ("recheck_cells",
+                  Serve.Json.Num
+                    (float_of_int recheck.Exp.Train_robust.rc_cells));
+                 ("batched_service", Serve.Json.Bool (not degraded));
+                 ("pass", Serve.Json.Bool (!gate_failures = [])) ]) ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote BENCH_train.json@.";
+  if !gate_failures <> [] then begin
+    List.iter
+      (fun f -> Format.fprintf fmt "train-bench GATE FAILURE: %s@." f)
+      !gate_failures;
+    exit 1
+  end
+
 let run_all () =
   (* cheap, high-signal stages first so partial runs stay useful *)
   run_fig4 ();
@@ -1249,6 +1439,7 @@ let run_all () =
   run_ablation_itne ();
   run_micro ();
   run_case_study ();
+  run_train_bench ();
   run_fgsm_sweep ();
   run_table1_small ~with_exact:true ();
   run_table1_large ()
@@ -1277,6 +1468,7 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ "lp-bench" ] -> run_lp_bench ()
   | [ "serve-bench" ] -> run_serve_bench ()
+  | [ "train-bench" ] -> run_train_bench ()
   | [ "obs-bench" ] -> run_obs_bench ()
   | other ->
       Format.eprintf "unknown bench target: %s@." (String.concat " " other);

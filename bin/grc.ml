@@ -1305,12 +1305,250 @@ let case_study_cmd =
        ~doc:"Run the ACC perception safety case study end to end.")
     Term.(const run $ cache_arg $ episodes)
 
+(* --- train-robust: certifier-in-the-loop robust training --- *)
+
+let train_robust_cmd =
+  let epochs =
+    Arg.(value & opt pos_int 6
+         & info [ "epochs" ] ~doc:"Robust fine-tuning epochs.")
+  in
+  let batch_size =
+    Arg.(value & opt pos_int 16 & info [ "batch-size" ] ~doc:"Batch size.")
+  in
+  let lr =
+    Arg.(value & opt float 1e-4 & info [ "lr" ] ~doc:"Adam learning rate.")
+  in
+  let lambda =
+    Arg.(value & opt float 1e-3
+         & info [ "lambda" ]
+             ~doc:"Weight of the differentiable robustness surrogate in the \
+                   training loss (0 recovers plain training).")
+  in
+  let grid =
+    Arg.(value & opt floats_conv []
+         & info [ "grid" ]
+             ~doc:"Extra comma-separated deltas re-certified each epoch \
+                   (the target delta is always included).")
+  in
+  let window =
+    Arg.(value & opt pos_int 2
+         & info [ "window"; "W" ]
+             ~doc:"Certifier window for epoch re-certification.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Shuffling seed.")
+  in
+  let acc_tol =
+    Arg.(value & opt float 0.1
+         & info [ "acc-tol" ]
+             ~doc:"Regression accuracy tolerance: a prediction within this \
+                   of the target counts as accurate.")
+  in
+  let workers =
+    Arg.(value & opt pos_int 2
+         & info [ "workers" ]
+             ~doc:"Worker domains of the in-process certification daemon \
+                   (ignored when --socket/--port points at an external \
+                   service).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-epoch records as JSON to $(docv).")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Save the robustly trained network to $(docv).")
+  in
+  let run cache family id size image epochs batch_size lr lambda delta lo hi
+      grid window seed acc_tol socket port workers json_out save =
+    setup_cache cache;
+    match build_trained family ~id ~size ~image with
+    | Error msg -> `Error (true, msg)
+    | Ok trained -> (
+        try
+          let fam =
+            match family with
+            | `Auto -> Exp.Train_robust.Auto_mpg
+            | `Digits ->
+                let image =
+                  match image with One a -> a | Two (a, _) -> a
+                in
+                Exp.Train_robust.Digits { image }
+            | `Camera ->
+                let h, w =
+                  match image with One a -> (a, 2 * a) | Two (a, b) -> (a, b)
+                in
+                Exp.Train_robust.Camera { h; w }
+          in
+          let train, test, loss = Exp.Train_robust.family_data fam in
+          let config =
+            { Exp.Train_robust.loss; optimizer = Nn.Train.adam ~lr ();
+              epochs; batch_size; seed; lambda; delta; lo; hi; grid; window;
+              acc_tol }
+          in
+          let net = trained.Exp.Models.net in
+          let eps_max e = Array.fold_left Float.max 0.0 e in
+          let on_epoch (r : Exp.Train_robust.epoch_record) _net =
+            (match r.Exp.Train_robust.recert with
+             | Some rc ->
+                 Printf.printf
+                   "epoch %d: train %.5f test %.5f acc %.3f surrogate %.4g \
+                    | eps %.6f cache %d/%d %.2fs (%.1f cells/s)%s\n%!"
+                   r.Exp.Train_robust.epoch r.Exp.Train_robust.train_loss
+                   r.Exp.Train_robust.metric r.Exp.Train_robust.accuracy
+                   r.Exp.Train_robust.surrogate
+                   (eps_max rc.Exp.Train_robust.rc_eps)
+                   rc.Exp.Train_robust.rc_cache_hits
+                   rc.Exp.Train_robust.rc_cells rc.Exp.Train_robust.rc_wall
+                   rc.Exp.Train_robust.rc_throughput
+                   (if rc.Exp.Train_robust.rc_degraded then " DEGRADED"
+                    else "")
+             | None ->
+                 Printf.printf
+                   "epoch %d: train %.5f test %.5f acc %.3f surrogate %.4g\n%!"
+                   r.Exp.Train_robust.epoch r.Exp.Train_robust.train_loss
+                   r.Exp.Train_robust.metric r.Exp.Train_robust.accuracy
+                   r.Exp.Train_robust.surrogate)
+          in
+          let with_client f =
+            match (socket, port) with
+            | None, None ->
+                Exp.Train_robust.with_local_service ~workers (fun c -> f c)
+            | socket, port -> (
+                match resolve_addr socket port with
+                | Error msg -> failwith msg
+                | Ok addr ->
+                    let c = Serve.Client.connect addr in
+                    Fun.protect
+                      ~finally:(fun () -> Serve.Client.close c)
+                      (fun () -> f c))
+          in
+          with_client (fun client ->
+              let records =
+                Exp.Train_robust.run ~client ~on_epoch config net ~train
+                  ~test
+              in
+              (* unchanged-net re-check: every grid cell must come back
+                 from the result cache *)
+              let recheck =
+                Exp.Train_robust.recertify client ~window:config.window
+                  ~lo:config.lo ~hi:config.hi
+                  ~deltas:
+                    [| config.delta |]
+                  ~target:config.delta net
+              in
+              let first = List.hd records in
+              let last = List.nth records (List.length records - 1) in
+              let eps_of (r : Exp.Train_robust.epoch_record) =
+                match r.Exp.Train_robust.recert with
+                | Some rc -> eps_max rc.Exp.Train_robust.rc_eps
+                | None -> Float.nan
+              in
+              Printf.printf "initial eps %.6f\n" (eps_of first);
+              Printf.printf "final eps %.6f\n" (eps_of last);
+              Printf.printf "initial acc %.4f final acc %.4f\n"
+                first.Exp.Train_robust.accuracy
+                last.Exp.Train_robust.accuracy;
+              Printf.printf "recheck cache hits %d/%d\n"
+                recheck.Exp.Train_robust.rc_cache_hits
+                recheck.Exp.Train_robust.rc_cells;
+              (match save with
+               | Some path -> Nn.Io.save net path
+               | None -> ());
+              match json_out with
+              | None -> ()
+              | Some file ->
+                  let open Serve in
+                  let record_json (r : Exp.Train_robust.epoch_record) =
+                    let base =
+                      [ ("epoch",
+                         Json.Num (float_of_int r.Exp.Train_robust.epoch));
+                        ("train_loss",
+                         Json.Num r.Exp.Train_robust.train_loss);
+                        ("test_loss", Json.Num r.Exp.Train_robust.metric);
+                        ("accuracy", Json.Num r.Exp.Train_robust.accuracy);
+                        ("surrogate", Json.Num r.Exp.Train_robust.surrogate)
+                      ]
+                    in
+                    let rc_fields =
+                      match r.Exp.Train_robust.recert with
+                      | None -> []
+                      | Some rc ->
+                          [ ("digest",
+                             Json.Str rc.Exp.Train_robust.rc_digest);
+                            ("eps",
+                             Json.List
+                               (Array.to_list
+                                  (Array.map
+                                     (fun e -> Json.Num e)
+                                     rc.Exp.Train_robust.rc_eps)));
+                            ("grid",
+                             Json.List
+                               (Array.to_list
+                                  (Array.map
+                                     (fun (d, eps) ->
+                                       Json.Obj
+                                         [ ("delta", Json.Num d);
+                                           ("eps",
+                                            Json.List
+                                              (Array.to_list
+                                                 (Array.map
+                                                    (fun e -> Json.Num e)
+                                                    eps))) ])
+                                     rc.Exp.Train_robust.rc_grid)));
+                            ("cells",
+                             Json.Num
+                               (float_of_int rc.Exp.Train_robust.rc_cells));
+                            ("cache_hits",
+                             Json.Num
+                               (float_of_int
+                                  rc.Exp.Train_robust.rc_cache_hits));
+                            ("wall_s", Json.Num rc.Exp.Train_robust.rc_wall);
+                            ("cells_per_s",
+                             Json.Num rc.Exp.Train_robust.rc_throughput);
+                            ("degraded",
+                             Json.Bool rc.Exp.Train_robust.rc_degraded) ]
+                    in
+                    Json.Obj (base @ rc_fields)
+                  in
+                  let j =
+                    Json.Obj
+                      [ ("id", Json.Str trained.Exp.Models.id);
+                        ("delta", Json.Num config.Exp.Train_robust.delta);
+                        ("lambda", Json.Num config.Exp.Train_robust.lambda);
+                        ("epochs", Json.List (List.map record_json records));
+                        ("recheck_cache_hits",
+                         Json.Num
+                           (float_of_int
+                              recheck.Exp.Train_robust.rc_cache_hits)) ]
+                  in
+                  let oc = open_out file in
+                  output_string oc (Json.to_string j);
+                  output_char oc '\n';
+                  close_out oc);
+          `Ok ()
+        with Failure msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "train-robust"
+       ~doc:"Fine-tune a network against the differentiable \
+             global-robustness surrogate, re-certifying through the batched \
+             service every epoch.")
+    Term.(
+      ret
+        (const run $ cache_arg $ family_arg $ id_arg $ size_arg $ image_arg
+         $ epochs $ batch_size $ lr $ lambda $ delta_arg $ lo_arg $ hi_arg
+         $ grid $ window $ seed $ acc_tol $ socket_arg $ port_arg $ workers
+         $ json_out $ save))
+
 let () =
   let doc = "Global robustness certification of ReLU networks (DATE 2022)." in
   let info_ = Cmd.info "grc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info_
-          [ train_cmd; certify_cmd; attack_cmd; info_cmd; lint_cmd; fig4_cmd;
-            case_study_cmd; serve_cmd; submit_cmd; shard_cmd; sweep_cmd;
-            trace_check_cmd ]))
+          [ train_cmd; train_robust_cmd; certify_cmd; attack_cmd; info_cmd;
+            lint_cmd; fig4_cmd; case_study_cmd; serve_cmd; submit_cmd;
+            shard_cmd; sweep_cmd; trace_check_cmd ]))

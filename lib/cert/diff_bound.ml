@@ -1,0 +1,35 @@
+let to_itv (iv : Interval.t) = { Nn.Robust.lo = iv.Interval.lo; hi = iv.hi }
+
+let of_itv (iv : Nn.Robust.itv) = Interval.make iv.Nn.Robust.lo iv.hi
+
+let tape net ~input ~delta =
+  Nn.Robust.record net ~input:(Array.map to_itv input)
+    ~dist:(Nn.Robust.uniform_dist net delta)
+
+let audit_check net ~input ~delta got =
+  let want = Interval_prop.certify net ~input ~delta in
+  let mismatch = ref [] in
+  Array.iteri
+    (fun j w ->
+      if Int64.bits_of_float w <> Int64.bits_of_float got.(j) then
+        mismatch :=
+          Audit_core.Diag.make Audit_core.Diag.Error ~pass:"diff-bound"
+            ~code:"surrogate-divergence"
+            ~loc:(Audit_core.Diag.loc ~neuron:(-1, j) "diff-bound")
+            (Printf.sprintf
+               "surrogate eps %.17g differs from interval engine %.17g \
+                (output %d, delta %.17g)"
+               got.(j) w j delta)
+          :: !mismatch)
+    want;
+  Audit_core.Mode.report !mismatch
+
+let eps net ~input ~delta =
+  let t = tape net ~input ~delta in
+  let e = Nn.Robust.eps net t in
+  if Audit_core.Mode.enabled () then audit_check net ~input ~delta e;
+  e
+
+let penalty_grad ?scale net ~input ~delta grads =
+  Nn.Robust.penalty_grad ?scale net ~input:(Array.map to_itv input)
+    ~dist:(Nn.Robust.uniform_dist net delta) grads

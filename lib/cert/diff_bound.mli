@@ -1,0 +1,40 @@
+(** Differentiable bound evaluation for certifier-in-the-loop training.
+
+    Bridges the training-side surrogate ({!Nn.Robust} — plain lo/hi
+    pairs, no [Cert] dependency) to the certifier's {!Interval}
+    vocabulary, and pins down the contract that makes the surrogate a
+    sound training signal: its forward pass is the interval engine
+    {!Interval_prop}, bit for bit.  Everything the certifier proves
+    about interval bounds — in particular that {!Symbolic_back} only
+    ever tightens them — therefore transfers to the surrogate, giving
+    the ordering
+
+    {v PGD lower bound <= exact <= symbolic-back <= surrogate v}
+
+    that the differential test harness checks every training epoch.
+
+    Under audit mode ([GRC_AUDIT]), {!eps} cross-checks itself against
+    {!Interval_prop.certify} bitwise on every call and reports an
+    Error-level finding on any discrepancy. *)
+
+val to_itv : Interval.t -> Nn.Robust.itv
+
+val of_itv : Nn.Robust.itv -> Interval.t
+
+val tape : Nn.Network.t -> input:Interval.t array -> delta:float ->
+  Nn.Robust.tape
+(** Record the surrogate propagation over the value box [input] with a
+    uniform twin-distance box [[-delta, delta]]. *)
+
+val eps : Nn.Network.t -> input:Interval.t array -> delta:float ->
+  float array
+(** Per-output certified distance bound — bitwise
+    [Interval_prop.certify net ~input ~delta] (cross-checked when audit
+    mode is on). *)
+
+val penalty_grad :
+  ?scale:float -> Nn.Network.t -> input:Interval.t array -> delta:float ->
+  float array list array -> float
+(** Accumulate [scale] times the parameter subgradient of the summed
+    per-output bound into per-layer gradient arrays and return the
+    (unscaled) penalty; see {!Nn.Robust.penalty_grad}. *)

@@ -1,0 +1,278 @@
+module Mat = Linalg.Mat
+module Sparse_row = Linalg.Sparse_row
+
+type itv = { lo : float; hi : float }
+
+type tape = {
+  t_input : itv array;
+  t_dist : itv array;
+  t_y : itv array array;        (* pre-activation value intervals *)
+  t_dy : itv array array;       (* pre-activation distance intervals *)
+  t_x : itv array array;        (* post-activation value intervals *)
+  t_dx : itv array array;       (* post-activation distance intervals *)
+}
+
+let box net ~lo ~hi =
+  if lo > hi then invalid_arg "Robust.box: lo > hi";
+  Array.make (Network.input_dim net) { lo; hi }
+
+let uniform_dist net delta =
+  if delta < 0.0 then invalid_arg "Robust.uniform_dist: negative delta";
+  Array.make (Network.input_dim net) { lo = -.delta; hi = delta }
+
+(* Interval evaluation of an affine row, mirroring
+   [Cert.Interval_prop.eval_row_interval]'s fold (same operations in
+   the same order, so the results agree bit for bit). *)
+let eval_row coeffs const lookup =
+  let acc = ref { lo = const; hi = const } in
+  List.iter
+    (fun (k, c) ->
+      let v = lookup k in
+      let a = !acc in
+      if c >= 0.0 then
+        acc := { lo = a.lo +. (c *. v.lo); hi = a.hi +. (c *. v.hi) }
+      else acc := { lo = a.lo +. (c *. v.hi); hi = a.hi +. (c *. v.lo) })
+    coeffs;
+  !acc
+
+let relu v = { lo = Float.max 0.0 v.lo; hi = Float.max 0.0 v.hi }
+
+(* Twin-distance ReLU transfer, mirroring [Cert.Interval.relu_dist]. *)
+let relu_dist ~y ~dy =
+  let u = { lo = Float.min 0.0 dy.lo; hi = Float.max 0.0 dy.hi } in
+  let with_meet cand =
+    let lo = Float.max u.lo cand.lo and hi = Float.min u.hi cand.hi in
+    if lo > hi then u else { lo; hi }
+  in
+  if y.hi <= 0.0 then
+    with_meet
+      { lo = Float.max 0.0 (y.lo +. dy.lo);
+        hi = Float.max 0.0 (y.hi +. dy.hi) }
+  else if y.lo >= 0.0 then
+    with_meet
+      { lo = Float.max dy.lo (-.y.hi); hi = Float.max dy.hi (-.y.lo) }
+  else u
+
+let record net ~input ~dist =
+  let n = Network.n_layers net in
+  let d = Network.input_dim net in
+  if Array.length input <> d then invalid_arg "Robust.record: input dimension";
+  if Array.length dist <> d then invalid_arg "Robust.record: dist dimension";
+  let alloc () =
+    Array.init n (fun i ->
+        Array.make (Layer.out_dim (Network.layer net i)) { lo = 0.0; hi = 0.0 })
+  in
+  let t =
+    { t_input = input; t_dist = dist; t_y = alloc (); t_dy = alloc ();
+      t_x = alloc (); t_dx = alloc () }
+  in
+  for i = 0 to n - 1 do
+    let layer = Network.layer net i in
+    let val_in k = if i = 0 then input.(k) else t.t_x.(i - 1).(k) in
+    let dist_in k = if i = 0 then dist.(k) else t.t_dx.(i - 1).(k) in
+    for j = 0 to Layer.out_dim layer - 1 do
+      let row = Layer.linear_row layer j in
+      let y = eval_row row.Sparse_row.coeffs row.Sparse_row.const val_in in
+      let dy = eval_row row.Sparse_row.coeffs 0.0 dist_in in
+      t.t_y.(i).(j) <- y;
+      t.t_dy.(i).(j) <- dy;
+      if layer.Layer.relu then begin
+        t.t_x.(i).(j) <- relu y;
+        t.t_dx.(i).(j) <- relu_dist ~y ~dy
+      end
+      else begin
+        t.t_x.(i).(j) <- y;
+        t.t_dx.(i).(j) <- dy
+      end
+    done
+  done;
+  t
+
+let output_dist net tape = tape.t_dx.(Network.n_layers net - 1)
+
+let eps net tape =
+  Array.map
+    (fun iv -> Float.max (Float.abs iv.lo) (Float.abs iv.hi))
+    (output_dist net tape)
+
+let penalty net tape = Array.fold_left ( +. ) 0.0 (eps net tape)
+
+(* Subgradients of {!relu_dist} with respect to its four endpoint
+   inputs.  Branch decisions are replayed from the forward intervals;
+   max/min ties route to the first argument. *)
+let relu_dist_bwd ~y ~dy ~g_lo ~g_hi =
+  let gy_lo = ref 0.0 and gy_hi = ref 0.0
+  and gdy_lo = ref 0.0 and gdy_hi = ref 0.0 in
+  let u_lo = Float.min 0.0 dy.lo and u_hi = Float.max 0.0 dy.hi in
+  let to_u_lo g = if dy.lo < 0.0 then gdy_lo := !gdy_lo +. g in
+  let to_u_hi g = if dy.hi > 0.0 then gdy_hi := !gdy_hi +. g in
+  let route cand_lo cand_hi to_c_lo to_c_hi =
+    if Float.max u_lo cand_lo > Float.min u_hi cand_hi then begin
+      (* empty meet: the forward pass fell back to the universal box *)
+      to_u_lo g_lo;
+      to_u_hi g_hi
+    end
+    else begin
+      (if u_lo >= cand_lo then to_u_lo g_lo else to_c_lo g_lo);
+      if u_hi <= cand_hi then to_u_hi g_hi else to_c_hi g_hi
+    end
+  in
+  (if y.hi <= 0.0 then
+     let cand_lo = Float.max 0.0 (y.lo +. dy.lo)
+     and cand_hi = Float.max 0.0 (y.hi +. dy.hi) in
+     route cand_lo cand_hi
+       (fun g ->
+         if y.lo +. dy.lo > 0.0 then begin
+           gy_lo := !gy_lo +. g;
+           gdy_lo := !gdy_lo +. g
+         end)
+       (fun g ->
+         if y.hi +. dy.hi > 0.0 then begin
+           gy_hi := !gy_hi +. g;
+           gdy_hi := !gdy_hi +. g
+         end)
+   else if y.lo >= 0.0 then
+     let cand_lo = Float.max dy.lo (-.y.hi)
+     and cand_hi = Float.max dy.hi (-.y.lo) in
+     route cand_lo cand_hi
+       (fun g ->
+         if dy.lo >= -.y.hi then gdy_lo := !gdy_lo +. g
+         else gy_hi := !gy_hi -. g)
+       (fun g ->
+         if dy.hi >= -.y.lo then gdy_hi := !gdy_hi +. g
+         else gy_lo := !gy_lo -. g)
+   else begin
+     to_u_lo g_lo;
+     to_u_hi g_hi
+   end);
+  (!gy_lo, !gy_hi, !gdy_lo, !gdy_hi)
+
+(* Per-layer scatter of row-coefficient/constant subgradients into the
+   parameter gradient arrays (the inverse of [Layer.linear_row]'s
+   indexing). *)
+let grad_sinks layer grads =
+  match (layer.Layer.kind, grads) with
+  | Layer.Dense { weight; _ }, [ dw; db ] ->
+      let cols = weight.Mat.cols in
+      ( (fun j k g -> dw.((j * cols) + k) <- dw.((j * cols) + k) +. g),
+        fun j g -> db.(j) <- db.(j) +. g )
+  | Layer.Conv2d { in_shape; out_chans; kh; kw; stride; pad; _ }, [ dw; db ]
+    ->
+      let os = Layer.conv_out_shape ~in_shape ~out_chans ~kh ~kw ~stride ~pad
+      in
+      let hw_out = os.Layer.h * os.Layer.w in
+      let hw_in = in_shape.Layer.h * in_shape.Layer.w in
+      ( (fun j k g ->
+          let oc = j / hw_out in
+          let oy = j mod hw_out / os.Layer.w and ox = j mod os.Layer.w in
+          let ic = k / hw_in in
+          let iy = k mod hw_in / in_shape.Layer.w
+          and ix = k mod in_shape.Layer.w in
+          let ky = iy - ((oy * stride) - pad)
+          and kx = ix - ((ox * stride) - pad) in
+          let wi = (((((oc * in_shape.Layer.c) + ic) * kh) + ky) * kw) + kx in
+          dw.(wi) <- dw.(wi) +. g),
+        fun j g -> db.(j / hw_out) <- db.(j / hw_out) +. g )
+  | Layer.Normalize _, [ dmul; dadd ] ->
+      ( (fun j _k g -> dmul.(j) <- dmul.(j) +. g),
+        fun j g -> dadd.(j) <- dadd.(j) +. g )
+  | Layer.Avg_pool _, [] -> ((fun _ _ _ -> ()), fun _ _ -> ())
+  | _ -> invalid_arg "Robust.backprop_params: gradient structure mismatch"
+
+let backprop_params net tape ~dlo ~dhi grads =
+  let n = Network.n_layers net in
+  let out = Layer.out_dim (Network.layer net (n - 1)) in
+  if Array.length dlo <> out || Array.length dhi <> out then
+    invalid_arg "Robust.backprop_params: output gradient dimension";
+  if Array.length grads <> n then
+    invalid_arg "Robust.backprop_params: gradient structure mismatch";
+  (* adjoints of the post-activation value/distance interval endpoints *)
+  let gx_lo = ref (Array.make out 0.0) and gx_hi = ref (Array.make out 0.0) in
+  let gdx_lo = ref (Array.copy dlo) and gdx_hi = ref (Array.copy dhi) in
+  for i = n - 1 downto 0 do
+    let layer = Network.layer net i in
+    let m = Layer.out_dim layer and in_d = Layer.in_dim layer in
+    (* post-activation -> pre-activation *)
+    let gy_lo = Array.make m 0.0 and gy_hi = Array.make m 0.0 in
+    let gdy_lo = Array.make m 0.0 and gdy_hi = Array.make m 0.0 in
+    for j = 0 to m - 1 do
+      if layer.Layer.relu then begin
+        let y = tape.t_y.(i).(j) and dy = tape.t_dy.(i).(j) in
+        if y.lo > 0.0 then gy_lo.(j) <- !gx_lo.(j);
+        if y.hi > 0.0 then gy_hi.(j) <- !gx_hi.(j);
+        let yl, yh, dl, dh =
+          relu_dist_bwd ~y ~dy ~g_lo:!gdx_lo.(j) ~g_hi:!gdx_hi.(j)
+        in
+        gy_lo.(j) <- gy_lo.(j) +. yl;
+        gy_hi.(j) <- gy_hi.(j) +. yh;
+        gdy_lo.(j) <- dl;
+        gdy_hi.(j) <- dh
+      end
+      else begin
+        gy_lo.(j) <- !gx_lo.(j);
+        gy_hi.(j) <- !gx_hi.(j);
+        gdy_lo.(j) <- !gdx_lo.(j);
+        gdy_hi.(j) <- !gdx_hi.(j)
+      end
+    done;
+    (* pre-activation -> layer inputs and parameters.  The interval
+       affine map sign-splits each coefficient: for c >= 0 the lower
+       output endpoint reads the lower input endpoint, for c < 0 they
+       cross over. *)
+    let val_in k = if i = 0 then tape.t_input.(k) else tape.t_x.(i - 1).(k) in
+    let dist_in k =
+      if i = 0 then tape.t_dist.(k) else tape.t_dx.(i - 1).(k)
+    in
+    let gin_lo = Array.make in_d 0.0 and gin_hi = Array.make in_d 0.0 in
+    let gdin_lo = Array.make in_d 0.0 and gdin_hi = Array.make in_d 0.0 in
+    let dcoeff, dconst = grad_sinks layer grads.(i) in
+    for j = 0 to m - 1 do
+      let gl = gy_lo.(j) and gh = gy_hi.(j) in
+      let dl = gdy_lo.(j) and dh = gdy_hi.(j) in
+      if gl <> 0.0 || gh <> 0.0 || dl <> 0.0 || dh <> 0.0 then begin
+        dconst j (gl +. gh);
+        let row = Layer.linear_row layer j in
+        List.iter
+          (fun (k, c) ->
+            let v = val_in k and dv = dist_in k in
+            if c >= 0.0 then begin
+              gin_lo.(k) <- gin_lo.(k) +. (c *. gl);
+              gin_hi.(k) <- gin_hi.(k) +. (c *. gh);
+              gdin_lo.(k) <- gdin_lo.(k) +. (c *. dl);
+              gdin_hi.(k) <- gdin_hi.(k) +. (c *. dh);
+              dcoeff j k
+                ((gl *. v.lo) +. (gh *. v.hi) +. (dl *. dv.lo)
+                 +. (dh *. dv.hi))
+            end
+            else begin
+              gin_hi.(k) <- gin_hi.(k) +. (c *. gl);
+              gin_lo.(k) <- gin_lo.(k) +. (c *. gh);
+              gdin_hi.(k) <- gdin_hi.(k) +. (c *. dl);
+              gdin_lo.(k) <- gdin_lo.(k) +. (c *. dh);
+              dcoeff j k
+                ((gl *. v.hi) +. (gh *. v.lo) +. (dl *. dv.hi)
+                 +. (dh *. dv.lo))
+            end)
+          row.Sparse_row.coeffs
+      end
+    done;
+    gx_lo := gin_lo;
+    gx_hi := gin_hi;
+    gdx_lo := gdin_lo;
+    gdx_hi := gdin_hi
+  done
+
+let penalty_grad ?(scale = 1.0) net ~input ~dist grads =
+  let tape = record net ~input ~dist in
+  let out = output_dist net tape in
+  let m = Array.length out in
+  let dlo = Array.make m 0.0 and dhi = Array.make m 0.0 in
+  Array.iteri
+    (fun j iv ->
+      (* eps_j = max(|lo|, |hi|); ties route to hi like Float.max *)
+      let al = Float.abs iv.lo and ah = Float.abs iv.hi in
+      if al > ah then dlo.(j) <- (if iv.lo < 0.0 then -.scale else scale)
+      else if ah > 0.0 then dhi.(j) <- (if iv.hi < 0.0 then -.scale else scale))
+    out;
+  backprop_params net tape ~dlo ~dhi grads;
+  penalty net tape

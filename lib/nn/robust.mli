@@ -1,0 +1,59 @@
+(** Differentiable global-robustness surrogate.
+
+    Interval twin-distance propagation — the same arithmetic as the
+    certifier's interval engine ([Cert.Interval_prop]), bit for bit —
+    recorded on a tape so a reverse pass can push a loss gradient
+    through the interval endpoints back to the layer parameters.  The
+    per-output certified bound [max(|lo|, |hi|)] of the output distance
+    interval becomes a training penalty: descending it shrinks the
+    network's certified global-robustness eps.
+
+    Everything is piecewise linear in the parameters (interval scaling,
+    ReLU transfers, meets and maxima), so the reverse pass computes a
+    subgradient; branch decisions are replayed from the forward
+    intervals.  No dependency on [Cert] — intervals here are plain
+    lo/hi pairs ([Cert.Diff_bound] bridges the two vocabularies and
+    asserts the bitwise agreement under audit mode). *)
+
+type itv = { lo : float; hi : float }
+
+type tape
+(** Forward recording: value and distance intervals of every neuron,
+    pre- and post-activation. *)
+
+val box : Network.t -> lo:float -> hi:float -> itv array
+(** Uniform input-value box, one interval per input component. *)
+
+val uniform_dist : Network.t -> float -> itv array
+(** Uniform twin-distance box [[-delta, delta]]. *)
+
+val record : Network.t -> input:itv array -> dist:itv array -> tape
+(** Propagate value and twin-distance intervals through the network,
+    keeping every intermediate interval.  Bitwise identical to
+    [Cert.Interval_prop.propagate] on a fresh store. *)
+
+val output_dist : Network.t -> tape -> itv array
+(** Distance intervals of the network output. *)
+
+val eps : Network.t -> tape -> float array
+(** Per-output certified bound [max(|lo|, |hi|)] of {!output_dist} —
+    bitwise [Cert.Interval_prop.certify]. *)
+
+val penalty : Network.t -> tape -> float
+(** Sum of {!eps} over the outputs: the scalar training surrogate. *)
+
+val backprop_params :
+  Network.t -> tape -> dlo:float array -> dhi:float array ->
+  float array list array -> unit
+(** Reverse pass: [dlo]/[dhi] are the loss gradients with respect to
+    the lower/upper endpoints of the output distance intervals;
+    parameter subgradients are accumulated into one
+    {!Layer.alloc_grad_arrays} structure per layer (the same layout
+    {!Grad.backprop_params} fills). *)
+
+val penalty_grad :
+  ?scale:float -> Network.t -> input:itv array -> dist:itv array ->
+  float array list array -> float
+(** Record, seed the reverse pass with the subgradient of {!penalty},
+    accumulate [scale] (default 1) times the parameter subgradients,
+    and return the (unscaled) penalty value. *)

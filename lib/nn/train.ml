@@ -90,6 +90,10 @@ let apply_update optimizer state net grads scale =
 let zero_grads grads =
   Array.iter (List.iter (fun g -> Array.fill g 0 (Array.length g) 0.0)) grads
 
+let alloc_grads net =
+  Array.init (Network.n_layers net) (fun i ->
+      Layer.alloc_grad_arrays (Network.layer net i))
+
 let fit ?log config net ~xs ~ys =
   let n = Array.length xs in
   if Array.length ys <> n then invalid_arg "Train.fit: xs/ys length";
@@ -97,10 +101,7 @@ let fit ?log config net ~xs ~ys =
   let rng = Random.State.make [| config.seed |] in
   let order = Array.init n Fun.id in
   let state = make_state net in
-  let grads =
-    Array.init (Network.n_layers net) (fun i ->
-        Layer.alloc_grad_arrays (Network.layer net i))
-  in
+  let grads = alloc_grads net in
   for epoch = 1 to config.epochs do
     (* Fisher-Yates shuffle *)
     for i = n - 1 downto 1 do

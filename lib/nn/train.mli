@@ -28,6 +28,31 @@ val fit :
   config -> Network.t -> xs:float array array -> ys:float array array -> unit
 (** Trains in place (layer parameter arrays are mutated). *)
 
+(** {1 Optimiser internals}
+
+    Exposed so custom training loops (certifier-in-the-loop robust
+    training, {!Exp.Train_robust}) can interleave extra gradient terms
+    between batches while reusing the exact update rules of {!fit}. *)
+
+type opt_state
+(** Momentum / Adam moment accumulators plus the step counter. *)
+
+val make_state : Network.t -> opt_state
+
+val alloc_grads : Network.t -> float array list array
+(** One {!Layer.alloc_grad_arrays} structure per layer — the
+    accumulator shape taken by {!Grad.backprop_params} and
+    {!apply_update}. *)
+
+val zero_grads : float array list array -> unit
+
+val apply_update :
+  optimizer -> opt_state -> Network.t -> float array list array -> float ->
+  unit
+(** [apply_update opt state net grads scale] performs one optimiser
+    step on [net]'s parameters from [scale *. grads] (e.g. [1/batch]),
+    mutating the parameter arrays in place. *)
+
 val mean_loss :
   loss -> Network.t -> xs:float array array -> ys:float array array -> float
 

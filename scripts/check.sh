@@ -319,6 +319,33 @@ echo "== serve-bench (daemon vs one-shot + shard scaling; writes BENCH_serve.jso
 dune exec bench/main.exe -- serve-bench
 test -s BENCH_serve.json
 
+echo "== train-robust smoke (tiny net, 3 epochs, certifier in the loop) =="
+# Three robust epochs on a tiny auto-mpg net through the in-process
+# certification daemon: the final certified eps must not exceed the
+# initial one, and the unchanged-net re-check after training must be
+# answered from the result cache.
+tr_out=$("$grc" train-robust --family auto-mpg --id lint-ci --size 4,4 \
+  --artifacts _build/lint-artifacts --epochs 3 --batch-size 16 \
+  --lambda 0.01 --delta 0.05 --json _build/train-robust-ci.json)
+echo "$tr_out"
+eps0=$(echo "$tr_out" | sed -n 's/^initial eps //p')
+eps1=$(echo "$tr_out" | sed -n 's/^final eps //p')
+if [ -z "$eps0" ] || [ -z "$eps1" ]; then
+  echo "train-robust did not report initial/final eps" >&2
+  exit 1
+fi
+if ! awk -v a="$eps1" -v b="$eps0" 'BEGIN { exit !(a <= b) }'; then
+  echo "robust training increased certified eps: $eps0 -> $eps1" >&2
+  exit 1
+fi
+hits=$(echo "$tr_out" | sed -n 's|^recheck cache hits \([0-9]*\)/.*|\1|p')
+cells=$(echo "$tr_out" | sed -n 's|^recheck cache hits [0-9]*/||p')
+if [ -z "$hits" ] || [ "$hits" -eq 0 ] || [ "$hits" != "$cells" ]; then
+  echo "unchanged-net re-check missed the cache ($hits/$cells hits)" >&2
+  exit 1
+fi
+test -s _build/train-robust-ci.json
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt check =="
   dune build @fmt

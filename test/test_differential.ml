@@ -198,7 +198,155 @@ let symbolic_back_gate_prop =
                  false))
              off.Cert.Certifier.eps back.Cert.Certifier.eps))
 
+(* --- (e) the training surrogate IS the interval engine, bit for bit --- *)
+
+(* Nn.Robust re-implements the interval twin propagation without a
+   Cert dependency so training can backprop through it; any drift
+   between the two copies would silently decouple the penalty being
+   descended from the bound being certified. *)
+
+let surrogate_bitwise_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"robust surrogate = interval engine (bitwise)"
+       (QCheck.make
+          QCheck.Gen.(
+            pair (net_gen ~max_width:5 ~hidden:3) (int_range 1 20)))
+       (fun (spec, dscale) ->
+         let net = build_net spec in
+         let delta = 0.01 *. float_of_int dscale in
+         let lo = -1.0 and hi = 1.0 in
+         let engine =
+           Cert.Interval_prop.certify net
+             ~input:(Cert.Bounds.box_domain net ~lo ~hi)
+             ~delta
+         in
+         let tape =
+           Nn.Robust.record net
+             ~input:(Nn.Robust.box net ~lo ~hi)
+             ~dist:(Nn.Robust.uniform_dist net delta)
+         in
+         let surrogate = Nn.Robust.eps net tape in
+         Array.for_all2
+           (fun a b ->
+             if Int64.bits_of_float a = Int64.bits_of_float b then true
+             else (
+               Printf.eprintf "surrogate %.17g <> interval %.17g\n%!" a b;
+               false))
+           surrogate engine))
+
+(* --- (f) certifier-in-the-loop training keeps the ordering each epoch --- *)
+
+(* Every epoch of the robust training loop must sit inside the chain
+   PGD lower bound <= symbolic-back <= interval surrogate: the penalty
+   being trained against upper-bounds the tighter certificate, which
+   upper-bounds anything an attack can realise — on every intermediate
+   network, not just the final one. *)
+
+let test_train_robust_chain () =
+  let rng = Random.State.make [| 2024 |] in
+  let xs =
+    Array.init 80 (fun _ ->
+        Array.init 2 (fun _ -> Random.State.float rng 1.0))
+  in
+  let ys = Array.map (fun x -> [| Float.max 0.0 (x.(0) -. x.(1)) |]) xs in
+  let train = { Data.Dataset.xs; ys } in
+  let test =
+    { Data.Dataset.xs = Array.sub xs 0 20; ys = Array.sub ys 0 20 }
+  in
+  let net = dense_chain ~rng ~dims:[ 2; 6; 4; 1 ] in
+  let config =
+    { Exp.Train_robust.default_config with
+      Exp.Train_robust.epochs = 3; batch_size = 16; lambda = 1e-2;
+      delta = 0.05; lo = 0.0; hi = 1.0; seed = 5 }
+  in
+  let epochs_seen = ref 0 in
+  let on_epoch (r : Exp.Train_robust.epoch_record) net =
+    incr epochs_seen;
+    let input =
+      Cert.Bounds.box_domain net ~lo:config.Exp.Train_robust.lo
+        ~hi:config.Exp.Train_robust.hi
+    in
+    let delta = config.Exp.Train_robust.delta in
+    let surrogate = Cert.Diff_bound.eps net ~input ~delta in
+    let sym = Cert.Symbolic_back.certify net ~input ~delta in
+    let pgd =
+      Attack.Global_under.sweep ~domain:input ~max_samples:10
+        ~seed:(41 + r.Exp.Train_robust.epoch) net ~xs ~delta
+    in
+    Array.iteri
+      (fun j s ->
+        if not (s <= surrogate.(j)) then
+          Alcotest.failf
+            "epoch %d output %d: symbolic-back %.12g above surrogate %.12g"
+            r.Exp.Train_robust.epoch j s surrogate.(j);
+        if not (pgd.Attack.Global_under.eps_under.(j) <= s +. 1e-9) then
+          Alcotest.failf
+            "epoch %d output %d: PGD %.12g above symbolic-back %.12g"
+            r.Exp.Train_robust.epoch j
+            pgd.Attack.Global_under.eps_under.(j)
+            s;
+        (* the penalty the optimiser descends is the summed surrogate *)
+        if
+          not
+            (r.Exp.Train_robust.surrogate
+             >= Array.fold_left ( +. ) 0.0 surrogate -. 1e-12)
+        then
+          Alcotest.failf "epoch %d: recorded surrogate below re-evaluation"
+            r.Exp.Train_robust.epoch)
+      sym
+  in
+  let records = Exp.Train_robust.run ~on_epoch config net ~train ~test in
+  Alcotest.(check int) "epoch records" 4 (List.length records);
+  Alcotest.(check int) "hook fired per epoch" 4 !epochs_seen
+
+(* --- (g) trained weights re-certify bitwise after a file round trip --- *)
+
+let test_post_train_recertify_bitwise () =
+  let rng = Random.State.make [| 77 |] in
+  let xs =
+    Array.init 60 (fun _ ->
+        Array.init 3 (fun _ -> Random.State.float rng 2.0 -. 1.0))
+  in
+  let ys = Array.map (fun x -> [| x.(0) +. (0.3 *. x.(2)) |]) xs in
+  let net = dense_chain ~rng ~dims:[ 3; 5; 1 ] in
+  let config =
+    { Nn.Train.loss = Nn.Train.Mse; optimizer = Nn.Train.adam ();
+      epochs = 4; batch_size = 16; seed = 9 }
+  in
+  Nn.Train.fit config net ~xs ~ys;
+  let path = Filename.temp_file "grc-test" ".net" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nn.Io.save net path;
+      let net2 = Nn.Io.load path in
+      Alcotest.(check string) "digest" (Nn.Network.digest net)
+        (Nn.Network.digest net2);
+      let delta = 0.03 in
+      let certify n =
+        let input = Cert.Bounds.box_domain n ~lo:(-1.0) ~hi:1.0 in
+        ( Cert.Interval_prop.certify n ~input ~delta,
+          Cert.Symbolic_back.certify n ~input ~delta )
+      in
+      let iv1, sb1 = certify net and iv2, sb2 = certify net2 in
+      let bits name a b =
+        Array.iteri
+          (fun j x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float b.(j) then
+              Alcotest.failf "%s eps %d: %.17g vs reloaded %.17g" name j x
+                b.(j))
+          a
+      in
+      bits "interval" iv1 iv2;
+      bits "symbolic-back" sb1 sb2)
+
 let suites =
   [ ( "differential",
       [ attack_below_certified_prop; relaxed_vs_exact_prop;
-        reluplex_vs_milp_prop; symbolic_back_gate_prop ] ) ]
+        reluplex_vs_milp_prop; symbolic_back_gate_prop;
+        surrogate_bitwise_prop;
+        Alcotest.test_case "train-robust epoch ordering chain" `Slow
+          test_train_robust_chain;
+        Alcotest.test_case "post-train recertify bitwise" `Quick
+          test_post_train_recertify_bitwise ] ) ]

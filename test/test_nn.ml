@@ -203,6 +203,134 @@ let test_param_gradient () =
       Alcotest.failf "param grad[%d]: %.6g vs fd %.6g" k dw.(k) fd
   done
 
+(* --- property: backprop vs finite differences on random nets --- *)
+
+(* random dense ReLU chain: seed + layer widths *)
+let chain_gen =
+  QCheck.Gen.(
+    tup3 (int_range 0 10_000) (int_range 1 4)
+      (list_size (int_range 1 2) (int_range 1 5)))
+
+let build_chain (seed, in_dim, hidden) =
+  let rng = Random.State.make [| seed; in_dim; List.length hidden |] in
+  let dims = (in_dim :: hidden) @ [ 1 + (seed mod 2) ] in
+  let rec layers = function
+    | a :: (b :: rest as tl) ->
+        Layer.dense_random ~relu:(rest <> []) ~rng ~in_dim:a ~out_dim:b ()
+        :: layers tl
+    | _ -> []
+  in
+  (Network.make (layers dims), rng)
+
+(* Central differences on a scalar function of one parameter array
+   entry; [skip] marks coordinates sitting on a kink of the piecewise
+   linear/smooth function, where both the subgradient and the centred
+   difference are unreliable. *)
+let fd_check ~name ~f ~analytic params =
+  let h = 1e-6 in
+  List.iter2
+    (fun p g ->
+      Array.iteri
+        (fun k orig ->
+          let at v =
+            p.(k) <- v;
+            let r = f () in
+            p.(k) <- orig;
+            r
+          in
+          let fp = at (orig +. h) and fm = at (orig -. h) in
+          let f0 = f () in
+          let curvature = Float.abs (fp +. fm -. (2.0 *. f0)) in
+          (* piecewise-linear in the parameter: away from a kink the
+             second difference vanishes; near one, skip *)
+          if curvature <= 1e-9 *. (1.0 +. Float.abs f0) then begin
+            let fd = (fp -. fm) /. (2.0 *. h) in
+            if Float.abs (g.(k) -. fd) > 1e-4 *. Float.max 1.0 (Float.abs fd)
+            then
+              QCheck.Test.fail_reportf "%s[%d]: analytic %.9g, fd %.9g" name
+                k g.(k) fd
+          end)
+        p)
+    params analytic
+
+let grad_fd_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"Grad.backprop_params = fd (random nets)"
+       (QCheck.make chain_gen) (fun spec ->
+         let net, rng = build_chain spec in
+         let x = random_input rng (Network.input_dim net) in
+         let target = random_input rng (Network.output_dim net) in
+         let loss () =
+           let pred = Network.forward net x in
+           fst (Nn.Train.loss_value_grad Nn.Train.Mse ~pred ~target)
+         in
+         let grads = Nn.Train.alloc_grads net in
+         let tape = Nn.Grad.record net x in
+         let pred = tape.Nn.Grad.posts.(Network.n_layers net - 1) in
+         let _, dout = Nn.Train.loss_value_grad Nn.Train.Mse ~pred ~target in
+         ignore (Nn.Grad.backprop_params net tape ~dout grads);
+         for i = 0 to Network.n_layers net - 1 do
+           fd_check
+             ~name:(Printf.sprintf "layer %d" i)
+             ~f:loss ~analytic:grads.(i)
+             (Layer.param_arrays (Network.layer net i))
+         done;
+         true))
+
+(* the robustness surrogate: penalty_grad vs finite differences *)
+let robust_fd_net net rng =
+  let delta = 0.01 +. Random.State.float rng 0.2 in
+  let lo = -.Random.State.float rng 0.5 in
+  let hi = lo +. 0.2 +. Random.State.float rng 1.0 in
+  let input = Nn.Robust.box net ~lo ~hi in
+  let dist = Nn.Robust.uniform_dist net delta in
+  let penalty () =
+    Nn.Robust.penalty net (Nn.Robust.record net ~input ~dist)
+  in
+  let grads = Nn.Train.alloc_grads net in
+  let v = Nn.Robust.penalty_grad net ~input ~dist grads in
+  if Float.abs (v -. penalty ()) > 1e-12 *. (1.0 +. Float.abs v) then
+    QCheck.Test.fail_reportf "penalty_grad value %.9g <> penalty %.9g" v
+      (penalty ());
+  for i = 0 to Network.n_layers net - 1 do
+    fd_check
+      ~name:(Printf.sprintf "surrogate layer %d" i)
+      ~f:penalty ~analytic:grads.(i)
+      (Layer.param_arrays (Network.layer net i))
+  done
+
+let robust_fd_prop =
+  Test_seed.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"Robust.penalty_grad = fd (random nets)"
+       (QCheck.make chain_gen) (fun spec ->
+         let net, rng = build_chain spec in
+         robust_fd_net net rng;
+         true))
+
+let test_robust_fd_conv () =
+  (* the conv/pool/normalize scatter paths, deterministically *)
+  let rng = rng0 () in
+  let s0 = { Layer.c = 1; h = 4; w = 4 } in
+  let c1 =
+    Layer.conv2d_random ~relu:true ~rng ~in_shape:s0 ~out_chans:2 ~kh:3 ~kw:3
+      ~stride:2 ~pad:1 ()
+  in
+  let s1 = Option.get (Layer.out_shape c1) in
+  let pool = Layer.avg_pool ~in_shape:s1 ~kh:2 ~kw:2 ~stride:1 in
+  let s2 = Option.get (Layer.out_shape pool) in
+  let flat = Layer.shape_size s2 in
+  let norm =
+    Layer.normalize
+      ~mul:(Array.init flat (fun i -> 0.5 +. (0.1 *. float_of_int i)))
+      ~add:(Array.make flat 0.05)
+  in
+  let net =
+    Network.make
+      [ c1; pool; norm; Layer.dense_random ~rng ~in_dim:flat ~out_dim:2 () ]
+  in
+  robust_fd_net net rng
+
 (* --- network structure --- *)
 
 let test_network_mismatch () =
@@ -376,6 +504,38 @@ let test_digest_sensitive () =
    | _ -> Alcotest.fail "expected dense parameters");
   Alcotest.(check bool) "digest changed" false (Network.digest net = d)
 
+let test_io_post_sgd_bitwise () =
+  (* trained weights carry full 53-bit mantissas; the text form must
+     reproduce them bit for bit, not just to printf-pretty precision *)
+  let rng = Random.State.make [| 17 |] in
+  let xs = Array.init 64 (fun _ -> random_input rng 3) in
+  let ys = Array.map (fun x -> [| x.(0) -. (0.5 *. x.(1)) |]) xs in
+  let net =
+    Network.make
+      [ Layer.dense_random ~relu:true ~rng ~in_dim:3 ~out_dim:5 ();
+        Layer.dense_random ~rng ~in_dim:5 ~out_dim:1 () ]
+  in
+  let config =
+    { Nn.Train.loss = Nn.Train.Mse; optimizer = Nn.Train.adam ();
+      epochs = 3; batch_size = 8; seed = 12 }
+  in
+  Nn.Train.fit config net ~xs ~ys;
+  let net2 = Nn.Io.of_string (Nn.Io.to_string net) in
+  Alcotest.(check string) "digest survives" (Network.digest net)
+    (Network.digest net2);
+  for i = 0 to Network.n_layers net - 1 do
+    List.iter2
+      (fun p q ->
+        Array.iteri
+          (fun k v ->
+            if Int64.bits_of_float v <> Int64.bits_of_float q.(k) then
+              Alcotest.failf "layer %d param %d: %.17g reread as %.17g" i k v
+                q.(k))
+          p)
+      (Layer.param_arrays (Network.layer net i))
+      (Layer.param_arrays (Network.layer net2 i))
+  done
+
 (* property: [of_string] on corrupted input parses or raises [Failure]
    with a message — never [Invalid_argument] or an out-of-bounds crash
    from trusting unvalidated dimensions *)
@@ -474,8 +634,10 @@ let suites =
         Alcotest.test_case "vjp pool" `Quick test_vjp_pool;
         Alcotest.test_case "network input gradient" `Quick
           test_network_gradient;
-        Alcotest.test_case "parameter gradient" `Quick test_param_gradient ]
-    );
+        Alcotest.test_case "parameter gradient" `Quick test_param_gradient;
+        grad_fd_prop; robust_fd_prop;
+        Alcotest.test_case "robust fd conv/pool/normalize" `Quick
+          test_robust_fd_conv ] );
     ( "nn:network",
       [ Alcotest.test_case "dim mismatch" `Quick test_network_mismatch;
         Alcotest.test_case "hidden count" `Quick test_hidden_count;
@@ -499,4 +661,6 @@ let suites =
         Alcotest.test_case "param count" `Quick test_param_count;
         Alcotest.test_case "digest stable" `Quick test_digest_stable;
         Alcotest.test_case "digest sensitive" `Quick test_digest_sensitive;
+        Alcotest.test_case "post-sgd bitwise roundtrip" `Quick
+          test_io_post_sgd_bitwise;
         io_malformed_prop ] ) ]

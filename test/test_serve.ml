@@ -767,6 +767,54 @@ let test_e2e_batch () =
       Serve.Client.close c;
       finish ())
 
+(* --- epoch re-certification cache behaviour (train-robust loop) ---
+
+   The training loop re-certifies by content digest every epoch;
+   stale-bound reuse would silently certify the wrong network.  So:
+   an SGD step must change the digest and miss the cache, while an
+   unchanged network must hit every cell of the grid. *)
+
+let test_e2e_train_recert_cache () =
+  let net = test_net () in
+  with_server (fun addr finish ->
+      let c = Serve.Client.connect_retry addr in
+      let recert n =
+        Exp.Train_robust.recertify c ~window:2 ~lo:0.0 ~hi:1.0
+          ~deltas:[| 0.005; 0.01 |] ~target:0.01 n
+      in
+      let r1 = recert net in
+      Alcotest.(check int) "fresh net: all cells solved" 0
+        r1.Exp.Train_robust.rc_cache_hits;
+      Alcotest.(check int) "cells" 2 r1.Exp.Train_robust.rc_cells;
+      Alcotest.(check string) "digest matches" (Nn.Network.digest net)
+        r1.Exp.Train_robust.rc_digest;
+      (* unchanged network: same digest, every cell from the cache *)
+      let r2 = recert net in
+      Alcotest.(check string) "unchanged digest"
+        r1.Exp.Train_robust.rc_digest r2.Exp.Train_robust.rc_digest;
+      Alcotest.(check int) "unchanged net: all cells cached" 2
+        r2.Exp.Train_robust.rc_cache_hits;
+      Array.iteri
+        (fun i (d, eps) ->
+          let d', eps' = r2.Exp.Train_robust.rc_grid.(i) in
+          Alcotest.(check (float 0.0)) "grid delta" d d';
+          check_bits (Printf.sprintf "cached cell %g" d) eps eps')
+        r1.Exp.Train_robust.rc_grid;
+      (* a weight nudge the size of one SGD step: new digest, all miss *)
+      (match Nn.Layer.param_arrays (Nn.Network.layer net 0) with
+       | w :: _ when Array.length w > 0 -> w.(0) <- w.(0) +. 1e-3
+       | _ -> Alcotest.fail "expected dense parameters");
+      let r3 = recert net in
+      Alcotest.(check bool) "digest moved" false
+        (r3.Exp.Train_robust.rc_digest = r1.Exp.Train_robust.rc_digest);
+      Alcotest.(check string) "digest tracks the new weights"
+        (Nn.Network.digest net) r3.Exp.Train_robust.rc_digest;
+      Alcotest.(check int) "changed net: all cells solved" 0
+        r3.Exp.Train_robust.rc_cache_hits;
+      shutdown_via c;
+      Serve.Client.close c;
+      finish ())
+
 let suites =
   [ ( "serve:json",
       [ Alcotest.test_case "atoms" `Quick test_json_atoms;
@@ -805,4 +853,6 @@ let suites =
         Alcotest.test_case "deadline expiry" `Quick test_e2e_deadline;
         Alcotest.test_case "stats" `Quick test_e2e_stats_and_queue;
         Alcotest.test_case "graceful shutdown" `Quick
-          test_e2e_graceful_shutdown ] ) ]
+          test_e2e_graceful_shutdown;
+        Alcotest.test_case "train recert cache behaviour" `Quick
+          test_e2e_train_recert_cache ] ) ]
